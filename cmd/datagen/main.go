@@ -1,0 +1,197 @@
+// Command datagen materialises the FactCheck benchmark data to disk:
+// the benchmark datasets as N-Triples plus gold labels as JSONL, the
+// generated questions, and (optionally) the per-fact document pools —
+// the offline artefacts the paper publishes on HuggingFace.
+//
+// Usage:
+//
+//	datagen [-out dir] [-scale 0.25] [-small] [-docs] [-maxdocfacts 100]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"factcheck/internal/corpus"
+	"factcheck/internal/dataset"
+	"factcheck/internal/kg"
+	"factcheck/internal/question"
+	"factcheck/internal/rerank"
+	"factcheck/internal/strategy"
+	"factcheck/internal/world"
+)
+
+type factRecord struct {
+	ID         string  `json:"id"`
+	Subject    string  `json:"subject"`
+	Predicate  string  `json:"predicate"`
+	Object     string  `json:"object"`
+	Sentence   string  `json:"sentence"`
+	Gold       bool    `json:"gold"`
+	Corruption string  `json:"corruption,omitempty"`
+	Popularity float64 `json:"popularity"`
+	Topic      string  `json:"topic"`
+}
+
+type questionRecord struct {
+	FactID string  `json:"fact_id"`
+	Text   string  `json:"text"`
+	Score  float64 `json:"score"`
+}
+
+type docRecord struct {
+	FactID string `json:"fact_id"`
+	DocID  string `json:"doc_id"`
+	URL    string `json:"url"`
+	Host   string `json:"host"`
+	Title  string `json:"title"`
+	Empty  bool   `json:"empty"`
+	Text   string `json:"text,omitempty"`
+}
+
+func main() {
+	out := flag.String("out", "factcheck-data", "output directory")
+	scale := flag.Float64("scale", 0.25, "dataset scale factor")
+	small := flag.Bool("small", false, "use the miniature test world")
+	docs := flag.Bool("docs", false, "also write document pools (large)")
+	maxDocFacts := flag.Int("maxdocfacts", 100, "facts per dataset to write documents for (0 = all)")
+	flag.Parse()
+
+	if err := run(*out, *scale, *small, *docs, *maxDocFacts); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(out string, scale float64, small, writeDocs bool, maxDocFacts int) error {
+	cfg := world.DefaultConfig()
+	if small {
+		cfg = world.SmallConfig()
+	}
+	w := world.New(cfg)
+	gen := corpus.NewGenerator(w)
+	ranker := rerank.NewQuestionRanker()
+
+	if err := os.MkdirAll(out, 0o755); err != nil {
+		return err
+	}
+
+	for _, name := range dataset.AllNames {
+		d := dataset.Build(w, name, scale)
+		base := strings.ToLower(string(name))
+		log.Printf("datagen: %s: %d facts", name, len(d.Facts))
+
+		// N-Triples of the dataset-native encodings.
+		var triples []kg.Triple
+		for _, f := range d.Facts {
+			triples = append(triples, f.Triple)
+		}
+		if err := writeNT(filepath.Join(out, base+".nt"), triples); err != nil {
+			return err
+		}
+
+		// Gold labels and metadata as JSONL.
+		if err := writeJSONL(filepath.Join(out, base+".jsonl"), len(d.Facts), func(i int) any {
+			f := d.Facts[i]
+			return factRecord{
+				ID:         f.ID,
+				Subject:    string(f.Triple.S),
+				Predicate:  string(f.Triple.P),
+				Object:     string(f.Triple.O.IRI),
+				Sentence:   strategy.ClaimFor(f).Sentence,
+				Gold:       f.Gold,
+				Corruption: string(f.Corruption),
+				Popularity: f.Popularity,
+				Topic:      f.Topic,
+			}
+		}); err != nil {
+			return err
+		}
+
+		// Questions with similarity scores (the RAG dataset's question side).
+		qpath := filepath.Join(out, base+"-questions.jsonl")
+		if err := writeStream(qpath, func(enc *json.Encoder) error {
+			for _, f := range d.Facts {
+				sentence := strategy.ClaimFor(f).Sentence
+				for _, q := range question.Generate(f, question.DefaultK) {
+					q.Score = ranker.Score(sentence, q.Text)
+					if err := enc.Encode(questionRecord{FactID: f.ID, Text: q.Text, Score: q.Score}); err != nil {
+						return err
+					}
+				}
+			}
+			return nil
+		}); err != nil {
+			return err
+		}
+
+		if writeDocs {
+			facts := d.Facts
+			if maxDocFacts > 0 && len(facts) > maxDocFacts {
+				facts = facts[:maxDocFacts]
+			}
+			dpath := filepath.Join(out, base+"-documents.jsonl")
+			if err := writeStream(dpath, func(enc *json.Encoder) error {
+				for _, f := range facts {
+					for _, doc := range gen.Docs(f) {
+						rec := docRecord{
+							FactID: f.ID, DocID: doc.ID, URL: doc.URL,
+							Host: doc.Host, Title: doc.Title, Empty: doc.Empty,
+						}
+						if !doc.Empty {
+							rec.Text = gen.Text(f, doc)
+						}
+						if err := enc.Encode(rec); err != nil {
+							return err
+						}
+					}
+				}
+				return nil
+			}); err != nil {
+				return err
+			}
+		}
+	}
+	log.Printf("datagen: wrote %s", out)
+	return nil
+}
+
+func writeNT(path string, triples []kg.Triple) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := kg.WriteNTriples(f, triples); err != nil {
+		return fmt.Errorf("write %s: %w", path, err)
+	}
+	return f.Close()
+}
+
+func writeJSONL(path string, n int, record func(i int) any) error {
+	return writeStream(path, func(enc *json.Encoder) error {
+		for i := 0; i < n; i++ {
+			if err := enc.Encode(record(i)); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+}
+
+func writeStream(path string, fill func(*json.Encoder) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	enc := json.NewEncoder(f)
+	if err := fill(enc); err != nil {
+		return fmt.Errorf("write %s: %w", path, err)
+	}
+	return f.Close()
+}

@@ -1,0 +1,95 @@
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"factcheck/internal/kg"
+)
+
+func TestRunWritesArtifacts(t *testing.T) {
+	dir := t.TempDir()
+	if err := run(dir, 0.05, true, true, 5); err != nil {
+		t.Fatal(err)
+	}
+	for _, base := range []string{"factbench", "yago", "dbpedia"} {
+		nt := filepath.Join(dir, base+".nt")
+		f, err := os.Open(nt)
+		if err != nil {
+			t.Fatalf("missing %s: %v", nt, err)
+		}
+		triples, err := kg.ReadNTriples(f)
+		f.Close()
+		if err != nil {
+			t.Fatalf("%s does not parse as N-Triples: %v", nt, err)
+		}
+		if len(triples) == 0 {
+			t.Fatalf("%s is empty", nt)
+		}
+
+		jl := filepath.Join(dir, base+".jsonl")
+		records := countJSONL(t, jl, func(line []byte) {
+			var rec factRecord
+			if err := json.Unmarshal(line, &rec); err != nil {
+				t.Fatalf("%s: bad record: %v", jl, err)
+			}
+			if rec.ID == "" || rec.Sentence == "" {
+				t.Fatalf("%s: incomplete record %+v", jl, rec)
+			}
+		})
+		if records != len(triples) {
+			t.Errorf("%s: %d records vs %d triples", base, records, len(triples))
+		}
+
+		q := filepath.Join(dir, base+"-questions.jsonl")
+		nq := countJSONL(t, q, func(line []byte) {
+			var rec questionRecord
+			if err := json.Unmarshal(line, &rec); err != nil {
+				t.Fatalf("%s: bad question: %v", q, err)
+			}
+			if rec.Score <= 0 || rec.Score >= 1 {
+				t.Fatalf("question score %f out of range", rec.Score)
+			}
+		})
+		if nq < records*2 {
+			t.Errorf("%s: only %d questions for %d facts", base, nq, records)
+		}
+
+		d := filepath.Join(dir, base+"-documents.jsonl")
+		nd := countJSONL(t, d, func(line []byte) {
+			var rec docRecord
+			if err := json.Unmarshal(line, &rec); err != nil {
+				t.Fatalf("%s: bad doc: %v", d, err)
+			}
+			if rec.Empty && rec.Text != "" {
+				t.Fatal("empty doc has text")
+			}
+		})
+		if nd == 0 {
+			t.Errorf("%s: no documents written", base)
+		}
+	}
+}
+
+func countJSONL(t *testing.T, path string, check func([]byte)) int {
+	t.Helper()
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatalf("missing %s: %v", path, err)
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64*1024), 8*1024*1024)
+	n := 0
+	for sc.Scan() {
+		check(sc.Bytes())
+		n++
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return n
+}

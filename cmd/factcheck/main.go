@@ -1,0 +1,147 @@
+// Command factcheck runs the FactCheck benchmark and prints the paper's
+// tables and figures.
+//
+// Usage:
+//
+//	factcheck [flags] [artifacts...]
+//
+// Artifacts (default "all"): table2 table3 table4 table5 table6 table7
+// table8 table9 figure2 figure3 figure4 ragstats topics
+//
+// Flags:
+//
+//	-scale    dataset scale factor (1.0 = published sizes; default 0.25)
+//	-small    use the miniature test world
+//	-models   comma-separated model list (default: the paper's five)
+//	-methods  comma-separated method list (DKA,GIV-Z,GIV-F,RAG)
+//	-datasets comma-separated dataset list (FactBench,YAGO,DBpedia)
+//	-par      verification parallelism (default GOMAXPROCS)
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"factcheck/internal/core"
+	"factcheck/internal/dataset"
+	"factcheck/internal/llm"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "factcheck:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("factcheck", flag.ContinueOnError)
+	scale := fs.Float64("scale", 0.25, "dataset scale factor (1.0 = published sizes)")
+	small := fs.Bool("small", false, "use the miniature test world")
+	modelsFlag := fs.String("models", "", "comma-separated models (default: paper's five)")
+	methodsFlag := fs.String("methods", "", "comma-separated methods (default: DKA,GIV-Z,GIV-F,RAG)")
+	datasetsFlag := fs.String("datasets", "", "comma-separated datasets (default: all three)")
+	par := fs.Int("par", 0, "verification parallelism (default GOMAXPROCS)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	artifacts := fs.Args()
+	if len(artifacts) == 0 {
+		artifacts = []string{"all"}
+	}
+
+	cfg := core.Config{Scale: *scale, Small: *small, Parallelism: *par}
+	if *modelsFlag != "" {
+		cfg.Models = strings.Split(*modelsFlag, ",")
+	}
+	if *methodsFlag != "" {
+		for _, m := range strings.Split(*methodsFlag, ",") {
+			cfg.Methods = append(cfg.Methods, llm.Method(m))
+		}
+	}
+	if *datasetsFlag != "" {
+		for _, d := range strings.Split(*datasetsFlag, ",") {
+			cfg.Datasets = append(cfg.Datasets, dataset.Name(d))
+		}
+	}
+
+	start := time.Now()
+	fmt.Fprintf(os.Stderr, "building benchmark (scale=%.2f, small=%v)...\n", *scale, *small)
+	b := core.NewBenchmark(cfg)
+	fmt.Fprintf(os.Stderr, "world: %d entities, %d facts; datasets: %d facts total (%.1fs)\n",
+		len(b.World.Entities), len(b.World.Facts), dataset.TotalFacts(b.Datasets), time.Since(start).Seconds())
+
+	want := map[string]bool{}
+	for _, a := range artifacts {
+		want[strings.ToLower(a)] = true
+	}
+	all := want["all"]
+	needRun := all || want["table5"] || want["table6"] || want["table7"] ||
+		want["table8"] || want["table9"] || want["figure2"] || want["figure3"] ||
+		want["figure4"] || want["topics"]
+	needConsensus := all || want["table6"] || want["table7"] || want["figure2"]
+
+	ctx := context.Background()
+	var rs *core.ResultSet
+	var err error
+	if needRun {
+		t := time.Now()
+		fmt.Fprintf(os.Stderr, "running verification grid...\n")
+		rs, err = b.Run(ctx)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "grid done (%.1fs)\n", time.Since(t).Seconds())
+	}
+	var rep *core.ConsensusReport
+	if needConsensus {
+		rep, err = b.RunAllConsensus(ctx, rs)
+		if err != nil {
+			return err
+		}
+	}
+
+	emit := func(name, s string) {
+		if all || want[name] {
+			fmt.Println(s)
+		}
+	}
+	emit("table2", b.Table2())
+	emit("table3", b.Table3(500))
+	emit("table4", b.Table4())
+	if rs != nil {
+		emit("table5", b.Table5(rs))
+	}
+	if rep != nil {
+		emit("table6", b.Table6(rep))
+		emit("table7", b.Table7(rep))
+	}
+	if rs != nil {
+		emit("table8", b.Table8(rs))
+		emit("table9", b.Table9(rs, llm.MethodDKA))
+		if all || want["figure2"] {
+			fmt.Println(b.ComputeFigure2(rs, rep).String())
+		}
+		if all || want["figure3"] {
+			fmt.Println(b.ComputeFigure3(rs).String())
+		}
+		emit("figure4", b.Figure4(rs))
+		if all || want["topics"] {
+			fmt.Println("DBpedia topic stratification (DKA, open-source models):")
+			for _, s := range b.TopicStrata(rs, dataset.DBpedia, llm.MethodDKA) {
+				fmt.Printf("  %-16s total=%5d errors=%5d rate=%.3f\n",
+					s.Name, s.Total, s.Errors, s.ErrorRate)
+			}
+			fmt.Println()
+		}
+	}
+	if all || want["ragstats"] {
+		fmt.Println(b.ComputeRAGStats(300).String())
+	}
+	fmt.Fprintf(os.Stderr, "total %.1fs\n", time.Since(start).Seconds())
+	return nil
+}

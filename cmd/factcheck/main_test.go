@@ -1,0 +1,27 @@
+package main
+
+import (
+	"testing"
+)
+
+func TestRunSmallArtifacts(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI smoke test is slow")
+	}
+	err := run([]string{
+		"-scale", "0.05", "-small",
+		"-datasets", "FactBench",
+		"-models", "gemma2:9b,mistral:7b",
+		"-methods", "DKA,RAG",
+		"table2", "table5", "table8", "figure3",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	if err := run([]string{"-scale", "not-a-number"}); err == nil {
+		t.Error("bad flag accepted")
+	}
+}

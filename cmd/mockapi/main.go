@@ -1,0 +1,70 @@
+// Command mockapi serves the FactCheck mock web-search API (paper §4.1):
+// standardized endpoints that emulate a conventional search API while
+// returning identical results across runs, so retrieval experiments are
+// exactly reproducible.
+//
+// Endpoints:
+//
+//	GET /search?fact_id=ID&q=QUERY&num=N
+//	GET /document?doc_id=ID
+//	GET /facts
+//	GET /healthz
+//
+// Usage:
+//
+//	mockapi [-addr :8080] [-scale 0.25] [-small]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"time"
+
+	"factcheck/internal/corpus"
+	"factcheck/internal/dataset"
+	"factcheck/internal/search"
+	"factcheck/internal/world"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	scale := flag.Float64("scale", 0.25, "dataset scale factor (1.0 = published sizes)")
+	small := flag.Bool("small", false, "use the miniature test world")
+	flag.Parse()
+
+	start := time.Now()
+	cfg := world.DefaultConfig()
+	if *small {
+		cfg = world.SmallConfig()
+	}
+	w := world.New(cfg)
+	ds := dataset.Universe(w, *scale)
+	gen := corpus.NewGenerator(w)
+	var all []*dataset.Dataset
+	for _, name := range dataset.AllNames {
+		all = append(all, ds[name])
+	}
+	engine := search.NewEngine(gen, all...)
+	api := search.NewAPI(engine)
+
+	log.Printf("mockapi: %d facts indexed in %.1fs, listening on %s",
+		dataset.TotalFacts(ds), time.Since(start).Seconds(), *addr)
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           logRequests(api.Handler()),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	if err := srv.ListenAndServe(); err != nil {
+		log.Fatal(fmt.Errorf("mockapi: %w", err))
+	}
+}
+
+func logRequests(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		t := time.Now()
+		next.ServeHTTP(w, r)
+		log.Printf("%s %s (%.0fms)", r.Method, r.URL.Path, float64(time.Since(t).Microseconds())/1000)
+	})
+}

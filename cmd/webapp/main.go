@@ -1,0 +1,44 @@
+// Command webapp serves the FactCheck exploration UI (paper contribution 4:
+// "a dedicated web application enabling users to visually explore and
+// analyze each step of the verification process, also featuring error
+// analysis modules").
+//
+// Usage:
+//
+//	webapp [-addr :8090] [-scale 0.1] [-small]
+package main
+
+import (
+	"context"
+	"flag"
+	"log"
+	"net/http"
+	"time"
+
+	"factcheck/internal/core"
+	"factcheck/internal/webapp"
+)
+
+func main() {
+	addr := flag.String("addr", ":8090", "listen address")
+	scale := flag.Float64("scale", 0.1, "dataset scale factor")
+	small := flag.Bool("small", false, "use the miniature test world")
+	flag.Parse()
+
+	start := time.Now()
+	b := core.NewBenchmark(core.Config{Scale: *scale, Small: *small})
+	app, err := webapp.New(b)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := app.Warm(context.Background()); err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("webapp: benchmark built in %.1fs, serving on http://localhost%s", time.Since(start).Seconds(), *addr)
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           app.Handler(),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	log.Fatal(srv.ListenAndServe())
+}

@@ -1,0 +1,85 @@
+// KG accuracy estimation with LLM annotators: the motivating scenario of
+// the paper's introduction. Expert annotation of a 9k-triple KG takes
+// weeks; sampling + LLM annotation takes minutes — but how far off is the
+// estimate? This example estimates each dataset's accuracy µ with (a) an
+// expert oracle, (b) an LLM annotator under GIV-F, and (c) an LLM annotator
+// under RAG, comparing estimates, confidence intervals and cost.
+//
+// Run with: go run ./examples/accuracyestimation
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+
+	"factcheck/internal/accuracy"
+	"factcheck/internal/core"
+	"factcheck/internal/dataset"
+	"factcheck/internal/llm"
+	"factcheck/internal/strategy"
+)
+
+func main() {
+	b := core.NewBenchmark(core.Config{Scale: 0.15, Small: true})
+	ctx := context.Background()
+	model, err := b.Model(llm.Gemma2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ragVerifier, err := b.Verifier(llm.MethodRAG)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	n := accuracy.RequiredSampleSize(0.05, 0.95)
+	fmt.Printf("sample size for ±5%% at 95%% confidence: %d triples\n\n", n)
+
+	annotators := []accuracy.Annotator{
+		accuracy.Oracle{},
+		&accuracy.LLMAnnotator{Model: model, Verifier: strategy.GIV{FewShot: true}},
+		&accuracy.LLMAnnotator{Model: model, Verifier: ragVerifier},
+	}
+
+	for _, dn := range dataset.AllNames {
+		d := b.Datasets[dn]
+		mu := d.Stats().GoldAccuracy
+		fmt.Printf("== %s (true µ = %.3f, %d facts) ==\n", dn, mu, len(d.Facts))
+		for _, a := range annotators {
+			est, err := accuracy.SRS(ctx, d, a, n, 0.95, "example")
+			if err != nil {
+				log.Fatal(err)
+			}
+			hit := " "
+			if est.Contains(mu) {
+				hit = "✓"
+			}
+			fmt.Printf("%s %-22s µ̂=%.3f  CI=[%.3f, %.3f]  time=%s  tokens=%d\n",
+				hit, a.Name(), est.MuHat, est.Lower, est.Upper,
+				humanDuration(est.Cost.Time), est.Cost.Tokens)
+		}
+		// Stratified sampling with the oracle: tighter for skewed schemas.
+		strat, err := accuracy.Stratified(ctx, d, accuracy.Oracle{}, n, 0.95, "example")
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %-22s µ̂=%.3f  CI=[%.3f, %.3f] (predicate-stratified, n=%d)\n\n",
+			"human-expert/strat", strat.MuHat, strat.Lower, strat.Upper, strat.SampleSize)
+	}
+	fmt.Println("Note: LLM annotation is orders of magnitude cheaper than expert")
+	fmt.Println("annotation but inherits the model's class bias — on YAGO (µ=0.99) a")
+	fmt.Println("false-leaning model underestimates accuracy badly, which is exactly")
+	fmt.Println("why the paper concludes LLMs are not yet reliable KG validators.")
+}
+
+func humanDuration(d interface{ Seconds() float64 }) string {
+	s := d.Seconds()
+	switch {
+	case s >= 3600:
+		return fmt.Sprintf("%.1fh", s/3600)
+	case s >= 60:
+		return fmt.Sprintf("%.1fm", s/60)
+	default:
+		return fmt.Sprintf("%.0fs", s)
+	}
+}

@@ -1,0 +1,92 @@
+// Multi-model consensus example: four open-source models vote on each fact,
+// ties go to a higher-parameter judge (paper §3.3). The example prints the
+// vote table for a few facts, then compares the three arbiter
+// configurations over a small dataset slice.
+//
+// Run with: go run ./examples/consensus
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+
+	"factcheck/internal/consensus"
+	"factcheck/internal/core"
+	"factcheck/internal/dataset"
+	"factcheck/internal/eval"
+	"factcheck/internal/llm"
+	"factcheck/internal/strategy"
+)
+
+func main() {
+	b := core.NewBenchmark(core.Config{Scale: 0.05, Small: true})
+	ctx := context.Background()
+	facts := b.Datasets[dataset.DBpedia].Facts
+	if len(facts) > 120 {
+		facts = facts[:120]
+	}
+
+	// Collect per-model outcomes under GIV-F.
+	verifier := strategy.GIV{FewShot: true}
+	perFact := make([][]strategy.Outcome, len(facts))
+	for _, name := range llm.OpenSourceModels {
+		m, err := b.Model(name)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for i, f := range facts {
+			out, err := verifier.Verify(ctx, m, f)
+			if err != nil {
+				log.Fatal(err)
+			}
+			perFact[i] = append(perFact[i], out)
+		}
+	}
+
+	// Consistency analysis selects the tie-breaking judges.
+	rep := consensus.Alignment(perFact)
+	fmt.Printf("tie rate: %.0f%%   consensus alignment (CA_M):\n", 100*rep.TieRate)
+	for _, name := range llm.OpenSourceModels {
+		fmt.Printf("  %-12s %.3f\n", name, rep.CA[name])
+	}
+	up := rep.MostConsistent(true)
+	down := rep.MostConsistent(false)
+	fmt.Printf("most consistent: %s (upgraded to %s for agg-cons-up)\n", up, llm.Upgrade[up])
+	fmt.Printf("least consistent: %s (upgraded to %s for agg-cons-down)\n\n", down, llm.Upgrade[down])
+
+	// Show the first few vote tables.
+	fmt.Println("== Vote tables ==")
+	judge, _ := b.Model(llm.Upgrade[up])
+	arb := &consensus.ModelArbiter{Label: "agg-cons-up", Judge: judge, Verifier: verifier}
+	for i := 0; i < 5; i++ {
+		dec, err := consensus.Decide(ctx, facts[i], perFact[i], arb)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%s gold=%-5v -> final=%-5v tie=%-5v votes:", facts[i].ID, dec.Gold, dec.Final, dec.Tie)
+		for _, v := range dec.Votes {
+			fmt.Printf(" %s=%s", v.Model, v.Verdict)
+		}
+		fmt.Println()
+	}
+
+	// Compare the three arbiter configurations.
+	fmt.Println("\n== Arbiter comparison ==")
+	upArb, downArb, gptArb, err := b.Arbiters(rep, verifier.Method())
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, arb := range []consensus.Arbiter{upArb, downArb, gptArb} {
+		var conf eval.Confusion
+		for i, f := range facts {
+			dec, err := consensus.Decide(ctx, f, perFact[i], arb)
+			if err != nil {
+				log.Fatal(err)
+			}
+			conf.Add(dec.Gold, dec.Final, true)
+		}
+		fmt.Printf("%-16s F1(T)=%.2f F1(F)=%.2f accuracy=%.2f\n",
+			arb.Name(), conf.F1True(), conf.F1False(), conf.Accuracy())
+	}
+}

@@ -1,0 +1,80 @@
+// Error-analysis walkthrough (paper §7): collect wrong predictions, cluster
+// the models' explanations into the E1–E6 taxonomy, compute uniqueness
+// ratios, build the UpSet prediction-overlap view, and stratify DBpedia
+// error rates by topic and by fact popularity.
+//
+// Run with: go run ./examples/errorstudy
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+
+	"factcheck/internal/analysis"
+	"factcheck/internal/core"
+	"factcheck/internal/dataset"
+	"factcheck/internal/llm"
+	"factcheck/internal/strategy"
+)
+
+func main() {
+	b := core.NewBenchmark(core.Config{
+		Scale: 0.1, Small: true,
+		Models:  llm.OpenSourceModels,
+		Methods: []llm.Method{llm.MethodDKA},
+	})
+	ctx := context.Background()
+	rs, err := b.Run(ctx)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("== Error clustering (DKA, DBpedia) ==")
+	perModel := map[string]analysis.ClusterResult{}
+	for _, m := range llm.OpenSourceModels {
+		var records []analysis.ErrorRecord
+		for _, o := range rs.Get(dataset.DBpedia, llm.MethodDKA, m) {
+			if o.Correct || o.Verdict == strategy.Invalid {
+				continue
+			}
+			records = append(records, analysis.ErrorRecord{
+				Model: m, FactID: o.FactID, Explanation: o.Explanation,
+			})
+		}
+		res := analysis.ClusterErrors(records)
+		perModel[m] = res
+		fmt.Printf("%-12s total=%4d  ", m, res.Total)
+		for _, cat := range analysis.Categories {
+			fmt.Printf("%s=%-4d ", cat, res.Counts[cat])
+		}
+		fmt.Println()
+	}
+	fmt.Printf("overall unique-error ratio: %.2f\n", analysis.OverallUniqueRatio(perModel))
+	fmt.Println("(E4 geographic errors dominate, matching the paper's Table 9)")
+
+	fmt.Println("\n== UpSet: which model subsets get facts right ==")
+	perFact := rs.PerFact(dataset.DBpedia, llm.MethodDKA, llm.OpenSourceModels)
+	for _, row := range analysis.UpSet(perFact) {
+		fmt.Printf("  %-52s %5d\n", row.Label(len(llm.OpenSourceModels)), row.Count)
+	}
+
+	fmt.Println("\n== DBpedia error rate by topic (all open models pooled) ==")
+	var outs []strategy.Outcome
+	for _, m := range llm.OpenSourceModels {
+		outs = append(outs, rs.Get(dataset.DBpedia, llm.MethodDKA, m)...)
+	}
+	topicOf := map[string]string{}
+	for _, f := range b.Datasets[dataset.DBpedia].Facts {
+		topicOf[f.ID] = f.Topic
+	}
+	for _, s := range analysis.StratifyByTopic(outs, func(id string) string { return topicOf[id] }) {
+		fmt.Printf("  %-16s n=%5d error-rate=%.3f\n", s.Name, s.Total, s.ErrorRate)
+	}
+
+	fmt.Println("\n== Error rate by fact popularity (head vs tail) ==")
+	for _, s := range analysis.StratifyByPopularity(outs, 4) {
+		fmt.Printf("  %-8s n=%5d error-rate=%.3f\n", s.Name, s.Total, s.ErrorRate)
+	}
+	fmt.Println("(tail facts err more: the head-to-tail knowledge effect)")
+}

@@ -1,0 +1,41 @@
+package factcheck
+
+import (
+	"context"
+	"strings"
+	"testing"
+)
+
+// TestFacade exercises the public API end to end the way the README
+// advertises it.
+func TestFacade(t *testing.T) {
+	cfg := TestConfig()
+	cfg.Datasets = []DatasetName{FactBench}
+	cfg.Models = []string{Gemma2, Mistral}
+	cfg.Methods = []Method{MethodDKA, MethodGIVF}
+	b := New(cfg)
+
+	rs, err := b.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	table := b.Table5(rs)
+	for _, want := range []string{"FactBench", "DKA", "GIV-F", "Gemma2", "Mistral"} {
+		if !strings.Contains(table, want) {
+			t.Errorf("Table5 missing %q", want)
+		}
+	}
+	if len(rs.Get(FactBench, MethodDKA, Gemma2)) == 0 {
+		t.Error("no outcomes via facade")
+	}
+}
+
+func TestFacadeDefaults(t *testing.T) {
+	if DefaultConfig().Scale != 1.0 {
+		t.Error("default scale not 1.0")
+	}
+	tc := TestConfig()
+	if !tc.Small || tc.Scale <= 0 || tc.Scale > 0.2 {
+		t.Errorf("test config implausible: %+v", tc)
+	}
+}

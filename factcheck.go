@@ -1,0 +1,82 @@
+// Package factcheck is the public facade of the FactCheck benchmark — a Go
+// reproduction of "Benchmarking Large Language Models for Knowledge Graph
+// Validation" (Shami, Marchesin, Silvello; EDBT 2026).
+//
+// The benchmark evaluates (simulated) LLMs on knowledge-graph fact
+// validation along the paper's three axes:
+//
+//   - internal knowledge: DKA, GIV-Z and GIV-F prompting strategies;
+//   - external evidence: a four-phase RAG pipeline over a synthetic
+//     web corpus served by a mock search API;
+//   - multi-model consensus: majority voting with tie-breaking arbiters.
+//
+// Quick start:
+//
+//	b := factcheck.New(factcheck.Config{Scale: 0.1})
+//	rs, err := b.Run(context.Background())
+//	if err != nil { ... }
+//	fmt.Println(b.Table5(rs))
+//
+// The heavy lifting lives in internal packages (world generation, datasets,
+// corpus, search, RAG, simulated models, metrics, analysis); this package
+// re-exports the orchestration surface a downstream user needs.
+package factcheck
+
+import (
+	"factcheck/internal/core"
+	"factcheck/internal/dataset"
+	"factcheck/internal/llm"
+)
+
+// Config parameterises a benchmark run. The zero value (filled by New)
+// reproduces the paper's full-scale setup.
+type Config = core.Config
+
+// Benchmark is a fully wired FactCheck instance: world, datasets, corpus,
+// search engine, RAG pipeline and model registry.
+type Benchmark = core.Benchmark
+
+// ResultSet holds the outcomes of a verification grid run.
+type ResultSet = core.ResultSet
+
+// ConsensusReport holds the multi-model consensus analysis.
+type ConsensusReport = core.ConsensusReport
+
+// Method names a verification strategy.
+type Method = llm.Method
+
+// The benchmark's verification strategies.
+const (
+	MethodDKA  = llm.MethodDKA
+	MethodGIVZ = llm.MethodGIVZ
+	MethodGIVF = llm.MethodGIVF
+	MethodRAG  = llm.MethodRAG
+)
+
+// DatasetName identifies one of the three benchmark datasets.
+type DatasetName = dataset.Name
+
+// The benchmark datasets.
+const (
+	FactBench = dataset.FactBench
+	YAGO      = dataset.YAGO
+	DBpedia   = dataset.DBpedia
+)
+
+// Model names of the paper's evaluation (§4.2, §5).
+const (
+	Gemma2    = llm.Gemma2
+	Qwen25    = llm.Qwen25
+	Llama31   = llm.Llama31
+	Mistral   = llm.Mistral
+	GPT4oMini = llm.GPT4oMini
+)
+
+// New builds a benchmark instance for the configuration.
+func New(cfg Config) *Benchmark { return core.NewBenchmark(cfg) }
+
+// DefaultConfig returns the paper's full-scale configuration.
+func DefaultConfig() Config { return core.DefaultConfig() }
+
+// TestConfig returns a fast, small configuration for experimentation.
+func TestConfig() Config { return core.TestConfig() }

@@ -1,0 +1,206 @@
+package accuracy
+
+import (
+	"context"
+	"math"
+	"testing"
+
+	"factcheck/internal/dataset"
+	"factcheck/internal/llm"
+	"factcheck/internal/strategy"
+	"factcheck/internal/world"
+)
+
+func fixture(t *testing.T) *dataset.Dataset {
+	t.Helper()
+	w := world.New(world.SmallConfig())
+	return dataset.Build(w, dataset.FactBench, 0.3)
+}
+
+func TestWilsonInterval(t *testing.T) {
+	lo, hi := Wilson(80, 100, 0.95)
+	if lo >= 0.8 || hi <= 0.8 {
+		t.Errorf("Wilson(80/100) = [%f, %f], must contain 0.8", lo, hi)
+	}
+	if hi-lo > 0.2 {
+		t.Errorf("interval too wide: %f", hi-lo)
+	}
+	// Extreme proportion: interval stays inside [0,1] and is asymmetric.
+	lo, hi = Wilson(99, 100, 0.95)
+	if hi > 1 || lo < 0 {
+		t.Errorf("Wilson(99/100) out of range: [%f, %f]", lo, hi)
+	}
+	if lo > 0.99 {
+		t.Errorf("lower bound %f too tight for n=100", lo)
+	}
+	// Degenerate inputs.
+	if lo, hi = Wilson(0, 0, 0.95); lo != 0 || hi != 1 {
+		t.Errorf("Wilson(0/0) = [%f, %f], want [0, 1]", lo, hi)
+	}
+}
+
+func TestWilsonWidthShrinksWithN(t *testing.T) {
+	_, hi1 := Wilson(8, 10, 0.95)
+	lo1, _ := Wilson(8, 10, 0.95)
+	lo2, hi2 := Wilson(800, 1000, 0.95)
+	if (hi2 - lo2) >= (hi1 - lo1) {
+		t.Error("interval did not shrink with larger n")
+	}
+}
+
+func TestOracleAnnotator(t *testing.T) {
+	d := fixture(t)
+	o := Oracle{}
+	for _, f := range d.Facts[:20] {
+		label, cost, err := o.Annotate(context.Background(), f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if label != f.Gold {
+			t.Fatal("oracle mislabeled")
+		}
+		if cost.Time < 2*60*1e9 || cost.Tokens != 0 {
+			t.Errorf("oracle cost implausible: %+v", cost)
+		}
+	}
+}
+
+func TestSRSWithOracleCoversTruth(t *testing.T) {
+	d := fixture(t)
+	mu := d.Stats().GoldAccuracy
+	est, err := SRS(context.Background(), d, Oracle{}, 200, 0.95, "seed-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.SampleSize != 200 {
+		t.Errorf("sample size %d", est.SampleSize)
+	}
+	if !est.Contains(mu) {
+		t.Errorf("interval [%f, %f] misses true mu %f", est.Lower, est.Upper, mu)
+	}
+	if math.Abs(est.MuHat-mu) > 0.1 {
+		t.Errorf("estimate %f far from %f", est.MuHat, mu)
+	}
+	if est.Cost.Time <= 0 {
+		t.Error("no cost accounted")
+	}
+}
+
+func TestSRSDeterministic(t *testing.T) {
+	d := fixture(t)
+	a, err := SRS(context.Background(), d, Oracle{}, 50, 0.95, "seed-x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := SRS(context.Background(), d, Oracle{}, 50, 0.95, "seed-x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.MuHat != b.MuHat || a.Cost != b.Cost {
+		t.Error("SRS not deterministic")
+	}
+	c, err := SRS(context.Background(), d, Oracle{}, 50, 0.95, "seed-y")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.MuHat == c.MuHat && a.Lower == c.Lower {
+		t.Log("different seeds produced identical estimates (possible, unlikely)")
+	}
+}
+
+func TestStratifiedWithOracle(t *testing.T) {
+	d := fixture(t)
+	mu := d.Stats().GoldAccuracy
+	est, err := Stratified(context.Background(), d, Oracle{}, 200, 0.95, "seed-2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.Method != "stratified" {
+		t.Error("method label wrong")
+	}
+	if !est.Contains(mu) {
+		t.Errorf("stratified interval [%f, %f] misses %f", est.Lower, est.Upper, mu)
+	}
+	// Every predicate stratum contributes at least one annotation.
+	preds := map[string]bool{}
+	for _, f := range d.Facts {
+		preds[f.Relation.Name] = true
+	}
+	if est.SampleSize < len(preds) {
+		t.Errorf("sample %d smaller than stratum count %d", est.SampleSize, len(preds))
+	}
+}
+
+func TestLLMAnnotatorEstimate(t *testing.T) {
+	d := fixture(t)
+	mu := d.Stats().GoldAccuracy
+	a := &LLMAnnotator{Model: llm.MustNew(llm.Gemma2), Verifier: strategy.GIV{FewShot: true}}
+	est, err := SRS(context.Background(), d, a, 300, 0.95, "seed-3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// LLM annotation is biased but should land within 0.2 of the truth and
+	// cost orders of magnitude less time than the expert.
+	if math.Abs(est.MuHat-mu) > 0.2 {
+		t.Errorf("LLM estimate %f too far from %f", est.MuHat, mu)
+	}
+	if est.Cost.Tokens == 0 {
+		t.Error("LLM annotation reported no tokens")
+	}
+	oracle, err := SRS(context.Background(), d, Oracle{}, 300, 0.95, "seed-3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.Cost.Time >= oracle.Cost.Time/10 {
+		t.Errorf("LLM annotation (%.0fs) not ≥10x cheaper than expert (%.0fs)",
+			est.Cost.Time.Seconds(), oracle.Cost.Time.Seconds())
+	}
+}
+
+func TestAnnotatorNames(t *testing.T) {
+	if (Oracle{}).Name() != "human-expert" {
+		t.Error("oracle name wrong")
+	}
+	a := &LLMAnnotator{Model: llm.MustNew(llm.Mistral), Verifier: strategy.DKA{}}
+	if a.Name() != "mistral:7b/DKA" {
+		t.Errorf("annotator name %q", a.Name())
+	}
+}
+
+func TestRequiredSampleSize(t *testing.T) {
+	n := RequiredSampleSize(0.05, 0.95)
+	if n < 380 || n > 390 {
+		t.Errorf("n for ±5%% at 95%% = %d, want ~385", n)
+	}
+	if RequiredSampleSize(0, 0.95) != 0 {
+		t.Error("zero margin should return 0")
+	}
+	if RequiredSampleSize(0.05, 0.99) <= n {
+		t.Error("higher confidence must need more samples")
+	}
+}
+
+func TestEstimateHelpers(t *testing.T) {
+	e := Estimate{Lower: 0.4, Upper: 0.6}
+	if math.Abs(e.MarginOfError()-0.1) > 1e-9 {
+		t.Errorf("margin %f", e.MarginOfError())
+	}
+	if !e.Contains(0.5) || e.Contains(0.7) {
+		t.Error("Contains wrong")
+	}
+}
+
+func TestSRSFullCensus(t *testing.T) {
+	d := fixture(t)
+	est, err := SRS(context.Background(), d, Oracle{}, 0, 0.95, "census")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.SampleSize != len(d.Facts) {
+		t.Errorf("census size %d != %d", est.SampleSize, len(d.Facts))
+	}
+	mu := d.Stats().GoldAccuracy
+	if math.Abs(est.MuHat-mu) > 1e-9 {
+		t.Errorf("census estimate %f != %f", est.MuHat, mu)
+	}
+}

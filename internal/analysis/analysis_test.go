@@ -1,0 +1,191 @@
+package analysis
+
+import (
+	"testing"
+
+	"factcheck/internal/llm"
+	"factcheck/internal/strategy"
+)
+
+func geoRecord(model, id string) ErrorRecord {
+	return ErrorRecord{Model: model, FactID: id,
+		Explanation: "The stated place conflicts with the known location or nationality of Person " + id + "."}
+}
+
+func genreRecord(model, id string) ErrorRecord {
+	return ErrorRecord{Model: model, FactID: id,
+		Explanation: "The genre classification of Work " + id + " does not include the asserted category."}
+}
+
+func relRecord(model, id string) ErrorRecord {
+	return ErrorRecord{Model: model, FactID: id,
+		Explanation: "The marital or personal relationship between A and B is not supported for " + id + "."}
+}
+
+func TestClusterErrorsCategorises(t *testing.T) {
+	var recs []ErrorRecord
+	for i := 0; i < 8; i++ {
+		recs = append(recs, geoRecord("m", "geo"+itoa(i)))
+	}
+	for i := 0; i < 6; i++ {
+		recs = append(recs, genreRecord("m", "gen"+itoa(i)))
+	}
+	for i := 0; i < 5; i++ {
+		recs = append(recs, relRecord("m", "rel"+itoa(i)))
+	}
+	res := ClusterErrors(recs)
+	if res.Total != len(recs) {
+		t.Fatalf("Total = %d, want %d", res.Total, len(recs))
+	}
+	if res.Counts[E4Geographic] < 6 {
+		t.Errorf("E4 = %d, want >= 6 (geo errors dominate)", res.Counts[E4Geographic])
+	}
+	if res.Counts[E5Genre] < 4 {
+		t.Errorf("E5 = %d, want >= 4", res.Counts[E5Genre])
+	}
+	if res.Counts[E2Relationship] < 3 {
+		t.Errorf("E2 = %d, want >= 3", res.Counts[E2Relationship])
+	}
+	for id, cat := range res.Assignments {
+		switch {
+		case id[:3] == "geo" && cat != E4Geographic:
+			t.Errorf("fact %s assigned %s, want E4", id, cat)
+		case id[:3] == "gen" && cat != E5Genre:
+			t.Errorf("fact %s assigned %s, want E5", id, cat)
+		}
+	}
+}
+
+func TestClusterErrorsEmpty(t *testing.T) {
+	res := ClusterErrors(nil)
+	if res.Total != 0 || len(res.Counts) != 0 {
+		t.Errorf("empty clustering = %+v", res)
+	}
+}
+
+func TestUniqueRatio(t *testing.T) {
+	// fact shared by both models + one unique fact each, all geo.
+	perModel := map[string]ClusterResult{
+		"a": {Assignments: map[string]ErrorCategory{"f1": E4Geographic, "f2": E4Geographic}},
+		"b": {Assignments: map[string]ErrorCategory{"f1": E4Geographic, "f3": E4Geographic}},
+	}
+	ratios := UniqueRatio(perModel)
+	if got := ratios[E4Geographic]; got != 2.0/3 {
+		t.Errorf("unique ratio = %f, want 2/3", got)
+	}
+	if got := OverallUniqueRatio(perModel); got != 2.0/3 {
+		t.Errorf("overall unique ratio = %f, want 2/3", got)
+	}
+}
+
+func TestOverallUniqueRatioEmpty(t *testing.T) {
+	if got := OverallUniqueRatio(nil); got != 0 {
+		t.Errorf("empty unique ratio = %f", got)
+	}
+}
+
+func outcome(model, fact string, correct bool) strategy.Outcome {
+	v := strategy.False
+	if correct {
+		v = strategy.True
+	}
+	return strategy.Outcome{
+		Model: model, FactID: fact, Verdict: v, Gold: true, Correct: correct,
+		Claim: llm.Claim{Popularity: 0.5},
+	}
+}
+
+func TestUpSet(t *testing.T) {
+	perFact := [][]strategy.Outcome{
+		{outcome("a", "f1", true), outcome("b", "f1", true)},   // both
+		{outcome("a", "f2", true), outcome("b", "f2", false)},  // a only
+		{outcome("a", "f3", false), outcome("b", "f3", false)}, // none
+		{outcome("a", "f4", true), outcome("b", "f4", true)},   // both
+	}
+	rows := UpSet(perFact)
+	if len(rows) != 3 {
+		t.Fatalf("got %d rows: %+v", len(rows), rows)
+	}
+	if rows[0].Count != 2 || len(rows[0].Members) != 2 {
+		t.Errorf("top row = %+v, want both-models with count 2", rows[0])
+	}
+	if rows[0].Label(2) != "all" {
+		t.Errorf("label = %q, want all", rows[0].Label(2))
+	}
+	foundNone := false
+	for _, r := range rows {
+		if len(r.Members) == 0 {
+			foundNone = true
+			if r.Label(2) != "none" || r.Count != 1 {
+				t.Errorf("none row = %+v", r)
+			}
+		}
+	}
+	if !foundNone {
+		t.Error("missing none row")
+	}
+}
+
+func TestStratifyByTopic(t *testing.T) {
+	outs := []strategy.Outcome{
+		outcome("a", "f1", true), outcome("a", "f2", false),
+		outcome("a", "f3", true), outcome("a", "f4", true),
+	}
+	topics := map[string]string{"f1": "Education", "f2": "Transportation", "f3": "Education", "f4": "Transportation"}
+	strata := StratifyByTopic(outs, func(id string) string { return topics[id] })
+	if len(strata) != 2 {
+		t.Fatalf("got %d strata", len(strata))
+	}
+	byName := map[string]Stratum{}
+	for _, s := range strata {
+		byName[s.Name] = s
+	}
+	if byName["Education"].ErrorRate != 0 {
+		t.Errorf("Education error rate = %f, want 0", byName["Education"].ErrorRate)
+	}
+	if byName["Transportation"].ErrorRate != 0.5 {
+		t.Errorf("Transportation error rate = %f, want 0.5", byName["Transportation"].ErrorRate)
+	}
+}
+
+func TestStratifyByPopularity(t *testing.T) {
+	var outs []strategy.Outcome
+	for i := 0; i < 40; i++ {
+		o := outcome("a", "f"+itoa(i), i%4 != 0)
+		o.Claim.Popularity = float64(i) / 40
+		outs = append(outs, o)
+	}
+	strata := StratifyByPopularity(outs, 4)
+	if len(strata) != 4 {
+		t.Fatalf("got %d bands", len(strata))
+	}
+	total := 0
+	for _, s := range strata {
+		total += s.Total
+	}
+	if total != len(outs) {
+		t.Errorf("band totals sum to %d, want %d", total, len(outs))
+	}
+	if strata[0].Name != "tail" || strata[3].Name != "head" {
+		t.Errorf("band names = %s..%s", strata[0].Name, strata[3].Name)
+	}
+}
+
+func TestStratifyByPopularityDefaultBands(t *testing.T) {
+	outs := []strategy.Outcome{outcome("a", "f1", true)}
+	if got := StratifyByPopularity(outs, 0); len(got) != 4 {
+		t.Errorf("default bands = %d, want 4", len(got))
+	}
+}
+
+func itoa(i int) string {
+	if i == 0 {
+		return "0"
+	}
+	var b []byte
+	for i > 0 {
+		b = append([]byte{byte('0' + i%10)}, b...)
+		i /= 10
+	}
+	return string(b)
+}

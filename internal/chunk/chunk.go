@@ -1,0 +1,68 @@
+// Package chunk implements phase 4b of the RAG pipeline: segmenting
+// documents into smaller overlapping passages with a sliding-window
+// strategy (paper §3.2 / Table 4, "Sliding Window (size = 3)"). Windows are
+// measured in sentences, sliding one sentence at a time, so consecutive
+// chunks overlap by size-1 sentences.
+package chunk
+
+import "strings"
+
+// DefaultWindow is the paper's configured sliding-window size (Table 4).
+const DefaultWindow = 3
+
+// Chunk is one overlapping passage of a document.
+type Chunk struct {
+	// DocID identifies the source document.
+	DocID string
+	// Seq is the chunk's position within the document (0-based).
+	Seq int
+	// Text is the passage content.
+	Text string
+}
+
+// SplitSentences performs lightweight sentence segmentation on '.', '!' and
+// '?' boundaries. It is deliberately simple: the synthetic corpus never
+// contains abbreviations with internal periods.
+func SplitSentences(s string) []string {
+	var out []string
+	var cur strings.Builder
+	for _, r := range s {
+		cur.WriteRune(r)
+		if r == '.' || r == '!' || r == '?' {
+			sent := strings.TrimSpace(cur.String())
+			if sent != "" {
+				out = append(out, sent)
+			}
+			cur.Reset()
+		}
+	}
+	if tail := strings.TrimSpace(cur.String()); tail != "" {
+		out = append(out, tail)
+	}
+	return out
+}
+
+// Sliding splits text into overlapping windows of `window` sentences,
+// advancing one sentence per chunk. A document shorter than the window
+// yields a single chunk containing the whole text. Empty text yields nil.
+func Sliding(docID, text string, window int) []Chunk {
+	if window <= 0 {
+		window = DefaultWindow
+	}
+	sents := SplitSentences(text)
+	if len(sents) == 0 {
+		return nil
+	}
+	if len(sents) <= window {
+		return []Chunk{{DocID: docID, Seq: 0, Text: strings.Join(sents, " ")}}
+	}
+	out := make([]Chunk, 0, len(sents)-window+1)
+	for i := 0; i+window <= len(sents); i++ {
+		out = append(out, Chunk{
+			DocID: docID,
+			Seq:   i,
+			Text:  strings.Join(sents[i:i+window], " "),
+		})
+	}
+	return out
+}

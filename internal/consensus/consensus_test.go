@@ -1,0 +1,251 @@
+package consensus
+
+import (
+	"context"
+	"testing"
+
+	"factcheck/internal/dataset"
+	"factcheck/internal/llm"
+	"factcheck/internal/strategy"
+	"factcheck/internal/world"
+)
+
+func votes(vs ...strategy.Verdict) []Vote {
+	out := make([]Vote, len(vs))
+	for i, v := range vs {
+		out[i] = Vote{Model: "m" + string(rune('0'+i)), Verdict: v}
+	}
+	return out
+}
+
+func TestMajorityRule(t *testing.T) {
+	T, F, I := strategy.True, strategy.False, strategy.Invalid
+	tests := []struct {
+		vs      []Vote
+		verdict bool
+		tie     bool
+	}{
+		{votes(T, T, T, T), true, false},
+		{votes(T, T, T, F), true, false},
+		{votes(T, T, F, F), false, true},
+		{votes(T, F, F, F), false, false},
+		{votes(F, F, F, F), false, false},
+		// Invalid votes count as 0 ("false") per the paper's formula.
+		{votes(T, T, I, F), false, true},
+		{votes(T, T, T, I), true, false},
+	}
+	for i, tc := range tests {
+		v, tie := Majority(tc.vs)
+		if v != tc.verdict || tie != tc.tie {
+			t.Errorf("case %d: Majority = (%v, %v), want (%v, %v)", i, v, tie, tc.verdict, tc.tie)
+		}
+	}
+}
+
+func TestMajorityOddPanelNoTies(t *testing.T) {
+	T, F := strategy.True, strategy.False
+	if _, tie := Majority(votes(T, T, F)); tie {
+		t.Error("odd panel produced a tie")
+	}
+	if v, _ := Majority(votes(F, F, T)); v {
+		t.Error("odd panel majority wrong")
+	}
+}
+
+type fixture struct {
+	d    *dataset.Dataset
+	outs map[string][]strategy.Outcome
+}
+
+func setup(t *testing.T) *fixture {
+	t.Helper()
+	w := world.New(world.SmallConfig())
+	d := dataset.Build(w, dataset.FactBench, 0.05)
+	fx := &fixture{d: d, outs: map[string][]strategy.Outcome{}}
+	ctx := context.Background()
+	for _, name := range llm.OpenSourceModels {
+		m := llm.MustNew(name)
+		for _, f := range d.Facts {
+			o, err := strategy.DKA{}.Verify(ctx, m, f)
+			if err != nil {
+				t.Fatal(err)
+			}
+			fx.outs[name] = append(fx.outs[name], o)
+		}
+	}
+	return fx
+}
+
+func (fx *fixture) perFact() [][]strategy.Outcome {
+	per := make([][]strategy.Outcome, len(fx.d.Facts))
+	for i := range fx.d.Facts {
+		for _, name := range llm.OpenSourceModels {
+			per[i] = append(per[i], fx.outs[name][i])
+		}
+	}
+	return per
+}
+
+func TestDecideNoTieNeedsNoArbiter(t *testing.T) {
+	fx := setup(t)
+	per := fx.perFact()
+	ctx := context.Background()
+	for i, outs := range per {
+		_, tie := Majority(votesOf(outs))
+		if tie {
+			continue
+		}
+		dec, err := Decide(ctx, fx.d.Facts[i], outs, nil)
+		if err != nil {
+			t.Fatalf("Decide without arbiter on non-tie failed: %v", err)
+		}
+		if dec.Tie {
+			t.Error("decision marked tie on clear majority")
+		}
+		if dec.LatencySeconds <= 0 {
+			t.Error("no consensus latency")
+		}
+		return
+	}
+}
+
+func TestDecideTieUsesArbiter(t *testing.T) {
+	fx := setup(t)
+	per := fx.perFact()
+	ctx := context.Background()
+	judge := llm.MustNew(llm.Gemma2Big)
+	arb := &ModelArbiter{Label: "agg-cons-up", Judge: judge, Verifier: strategy.DKA{}}
+	foundTie := false
+	for i, outs := range per {
+		_, tie := Majority(votesOf(outs))
+		if !tie {
+			continue
+		}
+		foundTie = true
+		base, err := Decide(ctx, fx.d.Facts[i], outs, arb)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !base.Tie {
+			t.Error("tie not flagged")
+		}
+		if base.Final != base.ArbiterVerdict {
+			t.Error("tie decision does not follow the arbiter")
+		}
+		// Latency must include the arbiter call on top of the slowest model.
+		maxLat := 0.0
+		for _, o := range outs {
+			if s := o.Latency.Seconds(); s > maxLat {
+				maxLat = s
+			}
+		}
+		if base.LatencySeconds <= maxLat {
+			t.Error("arbiter latency not added")
+		}
+		break
+	}
+	if !foundTie {
+		t.Skip("no ties in this sample")
+	}
+}
+
+func TestDecideTieWithoutArbiterFails(t *testing.T) {
+	fx := setup(t)
+	per := fx.perFact()
+	for i, outs := range per {
+		if _, tie := Majority(votesOf(outs)); tie {
+			if _, err := Decide(context.Background(), fx.d.Facts[i], outs, nil); err == nil {
+				t.Error("tie without arbiter accepted")
+			}
+			return
+		}
+	}
+	t.Skip("no ties in this sample")
+}
+
+func TestDecideRejectsMismatchedFact(t *testing.T) {
+	fx := setup(t)
+	per := fx.perFact()
+	if _, err := Decide(context.Background(), fx.d.Facts[1], per[0], nil); err == nil {
+		t.Error("mismatched outcomes accepted")
+	}
+}
+
+func votesOf(outs []strategy.Outcome) []Vote {
+	vs := make([]Vote, len(outs))
+	for i, o := range outs {
+		vs[i] = Vote{Model: o.Model, Verdict: o.Verdict}
+	}
+	return vs
+}
+
+func TestAlignmentReport(t *testing.T) {
+	fx := setup(t)
+	rep := Alignment(fx.perFact())
+	if len(rep.CA) != len(llm.OpenSourceModels) {
+		t.Fatalf("CA for %d models, want %d", len(rep.CA), len(llm.OpenSourceModels))
+	}
+	for m, ca := range rep.CA {
+		if ca < 0.5 || ca > 1 {
+			t.Errorf("CA[%s] = %f, implausible", m, ca)
+		}
+	}
+	if rep.TieRate < 0 || rep.TieRate > 0.6 {
+		t.Errorf("tie rate = %f, implausible", rep.TieRate)
+	}
+	up := rep.MostConsistent(true)
+	down := rep.MostConsistent(false)
+	if up == "" || down == "" {
+		t.Fatal("consistency extremes empty")
+	}
+	if rep.CA[up] < rep.CA[down] {
+		t.Errorf("most consistent %s (%.3f) below least consistent %s (%.3f)",
+			up, rep.CA[up], down, rep.CA[down])
+	}
+}
+
+func TestAlignmentEmpty(t *testing.T) {
+	rep := Alignment(nil)
+	if rep.TieRate != 0 || len(rep.CA) != 0 {
+		t.Errorf("empty alignment = %+v", rep)
+	}
+}
+
+func TestConsensusMitigatesWorstModel(t *testing.T) {
+	// The paper: consensus "mitigates the impact of weaker ones". The
+	// consensus accuracy must be at least the worst individual accuracy.
+	fx := setup(t)
+	per := fx.perFact()
+	ctx := context.Background()
+	judge := llm.MustNew(llm.GPT4oMini)
+	arb := &ModelArbiter{Label: "agg-gpt-4o-mini", Judge: judge, Verifier: strategy.DKA{}}
+
+	correct := 0
+	for i, outs := range per {
+		dec, err := Decide(ctx, fx.d.Facts[i], outs, arb)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if dec.Final == dec.Gold {
+			correct++
+		}
+	}
+	consAcc := float64(correct) / float64(len(per))
+
+	worst := 1.0
+	for _, name := range llm.OpenSourceModels {
+		c := 0
+		for _, o := range fx.outs[name] {
+			if o.Correct {
+				c++
+			}
+		}
+		acc := float64(c) / float64(len(fx.outs[name]))
+		if acc < worst {
+			worst = acc
+		}
+	}
+	if consAcc < worst {
+		t.Errorf("consensus accuracy %.3f below worst individual %.3f", consAcc, worst)
+	}
+}

@@ -1,0 +1,269 @@
+// Package core is the FactCheck benchmark orchestrator: it wires the
+// synthetic world, datasets, corpus, search engine, RAG pipeline and
+// simulated models together, runs the full evaluation grid
+// (dataset × method × model), and renders every table and figure of the
+// paper's evaluation section.
+package core
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+
+	"factcheck/internal/consensus"
+	"factcheck/internal/corpus"
+	"factcheck/internal/dataset"
+	"factcheck/internal/llm"
+	"factcheck/internal/rag"
+	"factcheck/internal/search"
+	"factcheck/internal/strategy"
+	"factcheck/internal/world"
+)
+
+// Config parameterises a benchmark run.
+type Config struct {
+	// Scale multiplies the published dataset sizes (1.0 = full benchmark).
+	Scale float64
+	// WorldConfig sizes the synthetic universe; zero value selects
+	// world.DefaultConfig (or SmallConfig when Small is set).
+	WorldConfig world.Config
+	// Small selects the miniature test world.
+	Small bool
+	// Models to evaluate; defaults to llm.BenchmarkModels.
+	Models []string
+	// Methods to evaluate; defaults to llm.AllMethods.
+	Methods []llm.Method
+	// Datasets to evaluate; defaults to dataset.AllNames.
+	Datasets []dataset.Name
+	// Parallelism bounds concurrent fact verifications per cell; defaults
+	// to GOMAXPROCS.
+	Parallelism int
+}
+
+// DefaultConfig returns the full-benchmark configuration.
+func DefaultConfig() Config { return Config{Scale: 1.0} }
+
+// TestConfig returns a fast, small configuration for tests.
+func TestConfig() Config { return Config{Scale: 0.05, Small: true} }
+
+func (c *Config) fill() {
+	if c.Scale == 0 {
+		c.Scale = 1.0
+	}
+	if c.WorldConfig.Persons == 0 {
+		if c.Small {
+			c.WorldConfig = world.SmallConfig()
+		} else {
+			c.WorldConfig = world.DefaultConfig()
+		}
+	}
+	if len(c.Models) == 0 {
+		c.Models = llm.BenchmarkModels
+	}
+	if len(c.Methods) == 0 {
+		c.Methods = llm.AllMethods
+	}
+	if len(c.Datasets) == 0 {
+		c.Datasets = dataset.AllNames
+	}
+	if c.Parallelism <= 0 {
+		c.Parallelism = runtime.GOMAXPROCS(0)
+	}
+}
+
+// Benchmark is a fully wired FactCheck instance.
+type Benchmark struct {
+	Config   Config
+	World    *world.World
+	Datasets map[dataset.Name]*dataset.Dataset
+	Corpus   *corpus.Generator
+	Engine   *search.Engine
+	Pipeline *rag.Pipeline
+
+	models map[string]llm.Model
+}
+
+// NewBenchmark builds all substrates for the configuration.
+func NewBenchmark(cfg Config) *Benchmark {
+	cfg.fill()
+	w := world.New(cfg.WorldConfig)
+	ds := map[dataset.Name]*dataset.Dataset{}
+	var all []*dataset.Dataset
+	for _, n := range cfg.Datasets {
+		d := dataset.Build(w, n, cfg.Scale)
+		ds[n] = d
+		all = append(all, d)
+	}
+	gen := corpus.NewGenerator(w)
+	eng := search.NewEngine(gen, all...)
+	b := &Benchmark{
+		Config:   cfg,
+		World:    w,
+		Datasets: ds,
+		Corpus:   gen,
+		Engine:   eng,
+		Pipeline: rag.New(eng),
+		models:   map[string]llm.Model{},
+	}
+	return b
+}
+
+// Model returns (and caches) the named simulated model.
+func (b *Benchmark) Model(name string) (llm.Model, error) {
+	if m, ok := b.models[name]; ok {
+		return m, nil
+	}
+	m, err := llm.New(name)
+	if err != nil {
+		return nil, err
+	}
+	b.models[name] = m
+	return m, nil
+}
+
+// Verifier returns the verifier for a method, wired to the benchmark's RAG
+// pipeline when needed.
+func (b *Benchmark) Verifier(m llm.Method) (strategy.Verifier, error) {
+	return strategy.ForMethod(m, b.Pipeline)
+}
+
+// Cell identifies one (dataset, method, model) evaluation cell.
+type Cell struct {
+	Dataset dataset.Name
+	Method  llm.Method
+	Model   string
+}
+
+// ResultSet holds the outcomes of a benchmark run, indexed by cell. Within
+// a cell, outcomes are ordered like the dataset's fact slice, so the i-th
+// outcomes of different models refer to the same fact.
+type ResultSet struct {
+	Config   Config
+	Outcomes map[Cell][]strategy.Outcome
+}
+
+// Get returns the outcomes for a cell (nil when absent).
+func (r *ResultSet) Get(d dataset.Name, m llm.Method, model string) []strategy.Outcome {
+	return r.Outcomes[Cell{Dataset: d, Method: m, Model: model}]
+}
+
+// PerFact regroups a cell list of model names into per-fact outcome slices:
+// result[i][j] is model j's outcome on fact i.
+func (r *ResultSet) PerFact(d dataset.Name, m llm.Method, models []string) [][]strategy.Outcome {
+	var per [][]strategy.Outcome
+	for j, name := range models {
+		outs := r.Get(d, m, name)
+		if outs == nil {
+			return nil
+		}
+		if per == nil {
+			per = make([][]strategy.Outcome, len(outs))
+		}
+		for i := range outs {
+			if j == 0 {
+				per[i] = make([]strategy.Outcome, 0, len(models))
+			}
+			per[i] = append(per[i], outs[i])
+		}
+	}
+	return per
+}
+
+// Run executes the full grid of the configuration.
+func (b *Benchmark) Run(ctx context.Context) (*ResultSet, error) {
+	rs := &ResultSet{Config: b.Config, Outcomes: map[Cell][]strategy.Outcome{}}
+	for _, dn := range b.Config.Datasets {
+		for _, method := range b.Config.Methods {
+			for _, modelName := range b.Config.Models {
+				outs, err := b.RunCell(ctx, dn, method, modelName)
+				if err != nil {
+					return nil, err
+				}
+				rs.Outcomes[Cell{Dataset: dn, Method: method, Model: modelName}] = outs
+			}
+		}
+	}
+	return rs, nil
+}
+
+// RunCell verifies every fact of one dataset with one model and method,
+// fanning out across Parallelism workers. Outcomes preserve fact order.
+func (b *Benchmark) RunCell(ctx context.Context, dn dataset.Name, method llm.Method, modelName string) ([]strategy.Outcome, error) {
+	d, ok := b.Datasets[dn]
+	if !ok {
+		return nil, fmt.Errorf("core: dataset %q not built", dn)
+	}
+	m, err := b.Model(modelName)
+	if err != nil {
+		return nil, err
+	}
+	v, err := b.Verifier(method)
+	if err != nil {
+		return nil, err
+	}
+	outs := make([]strategy.Outcome, len(d.Facts))
+	errs := make([]error, len(d.Facts))
+
+	sem := make(chan struct{}, b.Config.Parallelism)
+	var wg sync.WaitGroup
+	for i, f := range d.Facts {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int, f *dataset.Fact) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			outs[i], errs[i] = v.Verify(ctx, m, f)
+		}(i, f)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return outs, nil
+}
+
+// Arbiters builds the paper's three tie-breaking configurations for a
+// (dataset, method) cell: the upgraded most-consistent model, the upgraded
+// least-consistent model, and GPT-4o mini.
+func (b *Benchmark) Arbiters(rep consensus.AlignmentReport, method llm.Method) (up, down, commercial consensus.Arbiter, err error) {
+	v, err := b.Verifier(method)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	mk := func(label, base string) (consensus.Arbiter, error) {
+		name := base
+		if up, ok := llm.Upgrade[base]; ok {
+			name = up
+		}
+		judge, err := b.Model(name)
+		if err != nil {
+			return nil, err
+		}
+		return &consensus.ModelArbiter{Label: label, Judge: judge, Verifier: v}, nil
+	}
+	up, err = mk("agg-cons-up", rep.MostConsistent(true))
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	down, err = mk("agg-cons-down", rep.MostConsistent(false))
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	judge, err := b.Model(llm.GPT4oMini)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	commercial = &consensus.ModelArbiter{Label: "agg-gpt-4o-mini", Judge: judge, Verifier: v}
+	return up, down, commercial, nil
+}
+
+// FactByID resolves a fact across all built datasets.
+func (b *Benchmark) FactByID(id string) (*dataset.Fact, bool) {
+	return b.Engine.Fact(id)
+}

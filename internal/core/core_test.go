@@ -1,0 +1,376 @@
+package core
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"factcheck/internal/dataset"
+	"factcheck/internal/llm"
+	"factcheck/internal/strategy"
+)
+
+// testBenchmark builds one small benchmark per test binary run; the grid run
+// is shared because it is the expensive part.
+var (
+	sharedBench *Benchmark
+	sharedRS    *ResultSet
+)
+
+func benchFixture(t *testing.T) (*Benchmark, *ResultSet) {
+	t.Helper()
+	if sharedBench == nil {
+		sharedBench = NewBenchmark(TestConfig())
+		rs, err := sharedBench.Run(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		sharedRS = rs
+	}
+	return sharedBench, sharedRS
+}
+
+func TestConfigDefaults(t *testing.T) {
+	cfg := Config{}
+	cfg.fill()
+	if cfg.Scale != 1.0 {
+		t.Errorf("default scale = %f", cfg.Scale)
+	}
+	if len(cfg.Models) != 5 || len(cfg.Methods) != 4 || len(cfg.Datasets) != 3 {
+		t.Errorf("defaults incomplete: %d models, %d methods, %d datasets",
+			len(cfg.Models), len(cfg.Methods), len(cfg.Datasets))
+	}
+	if cfg.Parallelism <= 0 {
+		t.Error("parallelism not set")
+	}
+}
+
+func TestRunGridComplete(t *testing.T) {
+	b, rs := benchFixture(t)
+	for _, dn := range b.Config.Datasets {
+		want := len(b.Datasets[dn].Facts)
+		for _, method := range b.Config.Methods {
+			for _, m := range b.Config.Models {
+				outs := rs.Get(dn, method, m)
+				if len(outs) != want {
+					t.Fatalf("%s/%s/%s has %d outcomes, want %d", dn, method, m, len(outs), want)
+				}
+				for i, o := range outs {
+					if o.FactID != b.Datasets[dn].Facts[i].ID {
+						t.Fatalf("outcome %d misaligned with fact order", i)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestRunDeterministicAcrossParallelism(t *testing.T) {
+	cfg := TestConfig()
+	cfg.Datasets = []dataset.Name{dataset.FactBench}
+	cfg.Models = []string{llm.Gemma2}
+	cfg.Methods = []llm.Method{llm.MethodDKA}
+
+	cfg.Parallelism = 1
+	b1 := NewBenchmark(cfg)
+	rs1, err := b1.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Parallelism = 8
+	b2 := NewBenchmark(cfg)
+	rs2, err := b2.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := rs1.Get(dataset.FactBench, llm.MethodDKA, llm.Gemma2)
+	b := rs2.Get(dataset.FactBench, llm.MethodDKA, llm.Gemma2)
+	for i := range a {
+		if a[i].Verdict != b[i].Verdict || a[i].Latency != b[i].Latency {
+			t.Fatalf("outcome %d differs across parallelism", i)
+		}
+	}
+}
+
+func TestPerFactRegrouping(t *testing.T) {
+	b, rs := benchFixture(t)
+	models := []string{llm.Gemma2, llm.Mistral}
+	per := rs.PerFact(dataset.FactBench, llm.MethodDKA, models)
+	if len(per) != len(b.Datasets[dataset.FactBench].Facts) {
+		t.Fatalf("per-fact rows = %d", len(per))
+	}
+	for i, row := range per {
+		if len(row) != 2 {
+			t.Fatalf("row %d has %d outcomes", i, len(row))
+		}
+		if row[0].FactID != row[1].FactID {
+			t.Fatal("row mixes facts")
+		}
+		if row[0].Model != llm.Gemma2 || row[1].Model != llm.Mistral {
+			t.Fatal("model order not preserved")
+		}
+	}
+	if rs.PerFact(dataset.FactBench, llm.MethodDKA, []string{"missing"}) != nil {
+		t.Error("PerFact with unknown model should return nil")
+	}
+}
+
+func TestMetricsAggregation(t *testing.T) {
+	_, rs := benchFixture(t)
+	outs := rs.Get(dataset.FactBench, llm.MethodDKA, llm.Gemma2)
+	cm := Metrics(outs)
+	if cm.F1True <= 0 || cm.F1True > 1 {
+		t.Errorf("F1True = %f", cm.F1True)
+	}
+	if cm.ThetaMean <= 0 {
+		t.Error("no latency aggregated")
+	}
+	if cm.PromptTokens <= 0 || cm.CompletionTokens <= 0 {
+		t.Error("no token accounting")
+	}
+	if cm.Confusion.Total() != len(outs) {
+		t.Error("confusion total mismatch")
+	}
+}
+
+func TestTableRenderersProduceOutput(t *testing.T) {
+	b, rs := benchFixture(t)
+	rep, err := b.RunAllConsensus(context.Background(), rs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checks := []struct {
+		name string
+		out  string
+		want []string
+	}{
+		{"table2", b.Table2(), []string{"FactBench", "YAGO", "DBpedia", "Gold Accuracy"}},
+		{"table3", b.Table3(50), []string{"Question Generation", "Fetch documents"}},
+		{"table4", b.Table4(), []string{"Relevance Threshold", "Sliding Window"}},
+		{"table5", b.Table5(rs), []string{"DKA", "GIV-Z", "GIV-F", "RAG", "Mean", "F1(T)"}},
+		{"table6", b.Table6(rep), []string{"Ties", "Gemma2"}},
+		{"table7", b.Table7(rep), []string{"agg-cons-up", "agg-cons-down", "agg-gpt-4o-mini"}},
+		{"table8", b.Table8(rs), []string{"Execution time"}},
+		{"table9", b.Table9(rs, llm.MethodDKA), []string{"E1", "E4", "Uniq.Ratio"}},
+		{"figure4", b.Figure4(rs), []string{"all", "intersections"}},
+	}
+	for _, c := range checks {
+		for _, w := range c.want {
+			if !strings.Contains(c.out, w) {
+				t.Errorf("%s output missing %q", c.name, w)
+			}
+		}
+	}
+}
+
+func TestFigure2Structure(t *testing.T) {
+	b, rs := benchFixture(t)
+	fig := b.ComputeFigure2(rs, nil)
+	wantSeries := len(b.Config.Models) * len(b.Config.Methods)
+	if len(fig.ByTrue) != wantSeries || len(fig.ByFalse) != wantSeries {
+		t.Fatalf("series = %d/%d, want %d", len(fig.ByTrue), len(fig.ByFalse), wantSeries)
+	}
+	for i := 1; i < len(fig.ByTrue); i++ {
+		if fig.ByTrue[i].F1True > fig.ByTrue[i-1].F1True {
+			t.Fatal("ByTrue not sorted")
+		}
+	}
+	if fig.GuessTrue <= 0.4 || fig.GuessTrue >= 0.8 {
+		t.Errorf("guess rate (T) = %f, want ~0.62", fig.GuessTrue)
+	}
+	if fig.GuessFalse <= 0.15 || fig.GuessFalse >= 0.45 {
+		t.Errorf("guess rate (F) = %f, want ~0.29", fig.GuessFalse)
+	}
+	if !strings.Contains(fig.String(), "guess rate") {
+		t.Error("rendering missing guess rate")
+	}
+}
+
+func TestFigure3ParetoNonEmpty(t *testing.T) {
+	b, rs := benchFixture(t)
+	fig := b.ComputeFigure3(rs)
+	if len(fig.PointsTrue) == 0 || len(fig.FrontierTrue) == 0 {
+		t.Fatal("empty Pareto analysis")
+	}
+	if len(fig.FrontierTrue) > len(fig.PointsTrue) {
+		t.Error("frontier larger than point set")
+	}
+	// DKA points must dominate the low-cost end: the cheapest frontier
+	// point should be a DKA configuration.
+	cheapest := fig.FrontierTrue[0]
+	if !strings.Contains(cheapest.Label, "DKA") {
+		t.Errorf("cheapest frontier point = %s, want a DKA config", cheapest.Label)
+	}
+}
+
+func TestConsensusCellStructure(t *testing.T) {
+	b, rs := benchFixture(t)
+	cell, err := b.RunConsensus(context.Background(), rs, dataset.FactBench, llm.MethodDKA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cell.Results) != 3 {
+		t.Fatalf("consensus results for %d arbiters, want 3", len(cell.Results))
+	}
+	for _, label := range ArbiterLabels {
+		conf, ok := cell.Results[label]
+		if !ok {
+			t.Fatalf("missing arbiter %s", label)
+		}
+		if conf.Total() != len(b.Datasets[dataset.FactBench].Facts) {
+			t.Errorf("%s judged %d facts", label, conf.Total())
+		}
+	}
+	if cell.Alignment.TieRate < 0 || cell.Alignment.TieRate > 1 {
+		t.Error("tie rate out of range")
+	}
+	if cell.Latency <= 0 {
+		t.Error("no consensus latency")
+	}
+}
+
+func TestRAGStats(t *testing.T) {
+	b, _ := benchFixture(t)
+	st := b.ComputeRAGStats(30)
+	if st.Facts == 0 || st.Documents == 0 {
+		t.Fatal("empty RAG stats")
+	}
+	if st.TextCoverage < 0.80 || st.TextCoverage > 0.95 {
+		t.Errorf("text coverage = %.2f, want ~0.87", st.TextCoverage)
+	}
+	if st.Questions.PerFactAvg < 9 || st.Questions.PerFactAvg > 10 {
+		t.Errorf("questions per fact = %.2f, want ~9.67", st.Questions.PerFactAvg)
+	}
+	tierSum := st.Questions.HighTier + st.Questions.MediumTier + st.Questions.LowTier
+	if tierSum < 0.999 || tierSum > 1.001 {
+		t.Errorf("tiers sum to %f", tierSum)
+	}
+	if !strings.Contains(st.String(), "text coverage") {
+		t.Error("stats rendering incomplete")
+	}
+}
+
+func TestTopicStrata(t *testing.T) {
+	b, rs := benchFixture(t)
+	strata := b.TopicStrata(rs, dataset.DBpedia, llm.MethodDKA)
+	if len(strata) < 3 {
+		t.Fatalf("only %d topic strata", len(strata))
+	}
+	total := 0
+	for _, s := range strata {
+		total += s.Total
+	}
+	models := len(b.Config.Models) - 1 // open-source only
+	if want := len(b.Datasets[dataset.DBpedia].Facts) * models; total != want {
+		t.Errorf("strata cover %d outcomes, want %d", total, want)
+	}
+}
+
+func TestPaperShapeFindings(t *testing.T) {
+	// The headline qualitative findings of the paper must hold even on the
+	// small test benchmark.
+	b, rs := benchFixture(t)
+
+	// Finding 1: GIV-F >= DKA for open-source models on FactBench F1(T).
+	for _, m := range []string{llm.Gemma2, llm.Mistral} {
+		dka := Metrics(rs.Get(dataset.FactBench, llm.MethodDKA, m))
+		givf := Metrics(rs.Get(dataset.FactBench, llm.MethodGIVF, m))
+		if givf.F1True < dka.F1True-0.05 {
+			t.Errorf("%s: GIV-F F1(T) %.2f below DKA %.2f", m, givf.F1True, dka.F1True)
+		}
+	}
+
+	// Finding 2: RAG lifts FactBench F1(F) substantially over DKA.
+	for _, m := range []string{llm.Gemma2, llm.GPT4oMini} {
+		dka := Metrics(rs.Get(dataset.FactBench, llm.MethodDKA, m))
+		ragM := Metrics(rs.Get(dataset.FactBench, llm.MethodRAG, m))
+		if ragM.F1False <= dka.F1False {
+			t.Errorf("%s: RAG F1(F) %.2f not above DKA %.2f", m, ragM.F1False, dka.F1False)
+		}
+	}
+
+	// YAGO positive bias: F1(F) near zero for every model and method.
+	for _, m := range b.Config.Models {
+		for _, method := range b.Config.Methods {
+			cm := Metrics(rs.Get(dataset.YAGO, method, m))
+			if cm.F1False > 0.35 {
+				t.Errorf("YAGO %s/%s F1(F) = %.2f, want near zero", m, method, cm.F1False)
+			}
+		}
+	}
+
+	// Finding 4: RAG costs a multiple of DKA.
+	for _, m := range []string{llm.Gemma2, llm.Mistral} {
+		dka := Metrics(rs.Get(dataset.FactBench, llm.MethodDKA, m))
+		ragM := Metrics(rs.Get(dataset.FactBench, llm.MethodRAG, m))
+		if ragM.ThetaMean < 4*dka.ThetaMean {
+			t.Errorf("%s: RAG theta %.2f not >> DKA %.2f", m, ragM.ThetaMean, dka.ThetaMean)
+		}
+	}
+
+	// GPT-4o mini: weak internal F1(T) vs the best open model.
+	gptDKA := Metrics(rs.Get(dataset.FactBench, llm.MethodDKA, llm.GPT4oMini))
+	gemmaDKA := Metrics(rs.Get(dataset.FactBench, llm.MethodDKA, llm.Gemma2))
+	if gptDKA.F1True >= gemmaDKA.F1True {
+		t.Errorf("GPT-4o mini DKA F1(T) %.2f not below Gemma2 %.2f", gptDKA.F1True, gemmaDKA.F1True)
+	}
+}
+
+func TestRunCellErrors(t *testing.T) {
+	b, _ := benchFixture(t)
+	ctx := context.Background()
+	if _, err := b.RunCell(ctx, "NoSuchDataset", llm.MethodDKA, llm.Gemma2); err == nil {
+		t.Error("unknown dataset accepted")
+	}
+	if _, err := b.RunCell(ctx, dataset.FactBench, llm.MethodDKA, "no-model"); err == nil {
+		t.Error("unknown model accepted")
+	}
+	if _, err := b.RunCell(ctx, dataset.FactBench, "no-method", llm.Gemma2); err == nil {
+		t.Error("unknown method accepted")
+	}
+}
+
+func TestRunHonoursCancellation(t *testing.T) {
+	cfg := TestConfig()
+	cfg.Datasets = []dataset.Name{dataset.FactBench}
+	b := NewBenchmark(cfg)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := b.Run(ctx); err == nil {
+		t.Error("cancelled run succeeded")
+	}
+}
+
+func TestFactByID(t *testing.T) {
+	b, _ := benchFixture(t)
+	f := b.Datasets[dataset.YAGO].Facts[0]
+	got, ok := b.FactByID(f.ID)
+	if !ok || got != f {
+		t.Error("FactByID failed")
+	}
+	if _, ok := b.FactByID("nope"); ok {
+		t.Error("unknown fact resolved")
+	}
+}
+
+func TestInvalidOutcomesCountedInConfusion(t *testing.T) {
+	_, rs := benchFixture(t)
+	// GIV-Z on Llama is the least conformant cell; invalid verdicts are
+	// plausible. Whatever the count, the confusion must account for all.
+	outs := rs.Get(dataset.DBpedia, llm.MethodGIVZ, llm.Llama31)
+	cm := Metrics(outs)
+	valid, invalid := 0, 0
+	for _, o := range outs {
+		if o.Verdict == strategy.Invalid {
+			invalid++
+		} else {
+			valid++
+		}
+	}
+	if cm.Confusion.Invalid() != invalid {
+		t.Errorf("confusion invalid = %d, counted %d", cm.Confusion.Invalid(), invalid)
+	}
+	if cm.Confusion.Total() != valid+invalid {
+		t.Error("confusion total mismatch")
+	}
+}

@@ -1,0 +1,367 @@
+// Package corpus synthesises the per-fact web document collections that
+// substitute for the paper's 2M+ Google-SERP crawl (§4.1). For every
+// benchmark fact it deterministically generates a pool of documents with
+// the published macro-statistics — count distribution (mean ≈154.5, median
+// 160, max 337, some facts with 0), ≈13% empty-extraction rate, and a share
+// of original-KG source pages (Wikipedia-style) that the pipeline must
+// filter to avoid circular verification.
+//
+// Document *stance* (supports / refutes / neutral / unrelated) is assigned
+// at generation time from the fact's gold label and the dataset's evidence
+// quality, so retrieval behaviour emerges from corpus composition exactly as
+// it does from the real web: true facts are mostly corroborated, corrupted
+// facts are contradicted by pages stating the true value, and
+// schema-diverse DBpedia facts attract noisier pools.
+package corpus
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"factcheck/internal/dataset"
+	"factcheck/internal/det"
+	"factcheck/internal/kg"
+	"factcheck/internal/verbalize"
+)
+
+// Stance classifies what a document says about the asserted fact.
+type Stance int
+
+// Document stances.
+const (
+	// StanceUnrelated documents share no assertion with the fact.
+	StanceUnrelated Stance = iota
+	// StanceNeutral documents mention the subject without asserting or
+	// denying the fact (the paper's E1 "context missing details" case).
+	StanceNeutral
+	// StanceSupport documents assert the fact.
+	StanceSupport
+	// StanceRefute documents contradict the fact (usually by asserting the
+	// true value instead).
+	StanceRefute
+)
+
+// String returns the stance name.
+func (s Stance) String() string {
+	switch s {
+	case StanceSupport:
+		return "support"
+	case StanceRefute:
+		return "refute"
+	case StanceNeutral:
+		return "neutral"
+	default:
+		return "unrelated"
+	}
+}
+
+// Document is one synthetic webpage of a fact's retrieval pool. Metadata is
+// materialised eagerly; full text is generated lazily via Generator.Text to
+// keep full-corpus statistics cheap (2M documents are never held at once).
+type Document struct {
+	ID     string
+	URL    string
+	Host   string
+	Title  string
+	Stance Stance
+	// Empty marks extraction failures: the page was retrieved but yielded
+	// no text (≈13% of the corpus).
+	Empty bool
+	// FromSKG marks pages originating from the KG's own source set (e.g.
+	// Wikipedia for DBpedia facts); these must be filtered before use.
+	FromSKG bool
+	// Seq is the document's index within its fact pool.
+	Seq int
+	// FactID is the owning fact.
+	FactID string
+}
+
+// hosts is the pool of synthetic publishers. The first entry is the
+// KG-source host (Wikipedia stand-in) used for FromSKG pages.
+var hosts = []string{
+	"en.wikipedia.org",
+	"factsarchive.net",
+	"encyclo-reference.org",
+	"worldrecordsdaily.com",
+	"the-chronicle-herald.net",
+	"biograph-online.org",
+	"knowledge-hub.io",
+	"openfacts.example.org",
+	"daily-gazette.net",
+	"historic-registry.org",
+	"culture-index.net",
+	"sports-ledger.com",
+}
+
+// WorldView is the narrow interface corpus needs from the generating world:
+// the set of true objects for a (subject, relation) pair, consulted when
+// writing refutation documents that state the true value.
+type WorldView interface {
+	TrueObjects(sLocal, relName string) map[string]bool
+}
+
+// EvidenceProfile sets the per-document probability that a pool document
+// supports or refutes a fact, split by the fact's gold label. The gap
+// between (SupportTrue, RefuteFalse) and their cross terms controls how
+// discriminative web evidence is for the dataset: FactBench and YAGO facts
+// attract clean corroboration, while DBpedia's schema-diverse tail facts
+// yield thin, partly contradictory evidence — the paper's finding 2.
+type EvidenceProfile struct {
+	SupportTrue  float64 // P(doc supports | fact true)
+	RefuteTrue   float64 // P(doc refutes | fact true)  — stray misinformation
+	SupportFalse float64 // P(doc supports | fact false) — echo of the error
+	RefuteFalse  float64 // P(doc refutes | fact false) — pages with the true value
+}
+
+// Generator produces document pools. It is stateless apart from the
+// configuration; all randomness is keyed by fact and document identity.
+type Generator struct {
+	// World supplies true values for refutation documents. May be nil, in
+	// which case refutations use explicit negation only.
+	World WorldView
+	// Evidence maps dataset name -> evidence profile.
+	Evidence map[dataset.Name]EvidenceProfile
+	// EmptyRate is the extraction-failure probability (paper: 0.13).
+	EmptyRate float64
+	// SKGRate is the fraction of pool documents that come from the KG's own
+	// source pages and must be filtered out.
+	SKGRate float64
+	// MeanDocs / StdDocs parameterise the per-fact pool-size distribution
+	// (paper: mean 154.51, median 160, max 337).
+	MeanDocs float64
+	StdDocs  float64
+	MaxDocs  int
+}
+
+// NewGenerator returns a Generator calibrated to the paper's published
+// corpus statistics. w may be nil (refutations then rely on explicit
+// negation sentences only).
+func NewGenerator(w WorldView) *Generator {
+	return &Generator{
+		World: w,
+		Evidence: map[dataset.Name]EvidenceProfile{
+			// FactBench facts are popular head knowledge: clean, plentiful
+			// corroboration and contradiction.
+			dataset.FactBench: {SupportTrue: 0.07, RefuteTrue: 0.006, SupportFalse: 0.008, RefuteFalse: 0.06},
+			// YAGO's rare false facts are crowd-annotation misses: the web
+			// largely *echoes* them (SupportFalse > RefuteFalse), which is
+			// why RAG cannot rescue F1(F) on YAGO.
+			dataset.YAGO: {SupportTrue: 0.12, RefuteTrue: 0.004, SupportFalse: 0.04, RefuteFalse: 0.012},
+			// DBpedia's schema-diverse tail facts attract thin evidence.
+			dataset.DBpedia: {SupportTrue: 0.026, RefuteTrue: 0.006, SupportFalse: 0.006, RefuteFalse: 0.024},
+		},
+		EmptyRate: 0.13,
+		SKGRate:   0.06,
+		MeanDocs:  155,
+		StdDocs:   58,
+		MaxDocs:   337,
+	}
+}
+
+// PoolSize returns the number of documents in the fact's pool. Popular
+// facts attract slightly larger pools; a small fraction of facts retrieve
+// nothing (paper: min d_t = 0).
+func (g *Generator) PoolSize(f *dataset.Fact) int {
+	if det.Bool(0.004, "pool-zero", f.ID) {
+		return 0
+	}
+	mean := g.MeanDocs * (0.97 + 0.25*f.Popularity)
+	n := det.Gaussian(mean, g.StdDocs, "pool-size", f.ID)
+	if n < 1 {
+		n = 1
+	}
+	if n > float64(g.MaxDocs) {
+		n = float64(g.MaxDocs)
+	}
+	return int(math.Round(n))
+}
+
+// stanceMix returns the per-document probabilities of (support, refute,
+// neutral) for the fact; the remainder is unrelated noise.
+func (g *Generator) stanceMix(f *dataset.Fact) (support, refute, neutral float64) {
+	ep, ok := g.Evidence[f.Dataset]
+	if !ok {
+		ep = EvidenceProfile{SupportTrue: 0.15, RefuteTrue: 0.01, SupportFalse: 0.01, RefuteFalse: 0.12}
+	}
+	pop := 0.5 + 0.5*f.Popularity // tail facts have thinner evidence
+	if f.Gold {
+		support = ep.SupportTrue * pop
+		refute = ep.RefuteTrue
+	} else {
+		support = ep.SupportFalse
+		refute = ep.RefuteFalse * pop
+	}
+	neutral = 0.35
+	return support, refute, neutral
+}
+
+// Docs generates the full metadata pool for the fact.
+func (g *Generator) Docs(f *dataset.Fact) []*Document {
+	n := g.PoolSize(f)
+	out := make([]*Document, 0, n)
+	ps, pr, pn := g.stanceMix(f)
+	for i := 0; i < n; i++ {
+		out = append(out, g.doc(f, i, ps, pr, pn))
+	}
+	return out
+}
+
+func (g *Generator) doc(f *dataset.Fact, i int, ps, pr, pn float64) *Document {
+	id := fmt.Sprintf("%s-d%04d", f.ID, i)
+	u := det.Uniform("stance", id)
+	var st Stance
+	switch {
+	case u < ps:
+		st = StanceSupport
+	case u < ps+pr:
+		st = StanceRefute
+	case u < ps+pr+pn:
+		st = StanceNeutral
+	default:
+		st = StanceUnrelated
+	}
+	fromSKG := det.Bool(g.SKGRate, "skg", id)
+	host := hosts[1+det.IntN(len(hosts)-1, "host", id)]
+	if fromSKG {
+		host = hosts[0]
+		// KG source pages always support the KG's (possibly wrong) claim —
+		// that is precisely the circularity the filter exists to break.
+		st = StanceSupport
+	}
+	empty := det.Bool(g.EmptyRate, "empty", id)
+	title := g.title(f, st, id)
+	return &Document{
+		ID:      id,
+		URL:     fmt.Sprintf("https://%s/%s/%s", host, slug(f.Subject.Label), fmt.Sprintf("p%04d", i)),
+		Host:    host,
+		Title:   title,
+		Stance:  st,
+		Empty:   empty,
+		FromSKG: fromSKG,
+		Seq:     i,
+		FactID:  f.ID,
+	}
+}
+
+func (g *Generator) title(f *dataset.Fact, st Stance, id string) string {
+	switch st {
+	case StanceSupport, StanceRefute:
+		return fmt.Sprintf("%s and %s: the record", f.Subject.Label, f.Object.Label)
+	case StanceNeutral:
+		return fmt.Sprintf("%s - profile and notes", f.Subject.Label)
+	default:
+		fillers := []string{"Regional news roundup", "Archive digest", "Weekly miscellany", "Site index", "Community bulletin"}
+		return fillers[det.IntN(len(fillers), "title", id)]
+	}
+}
+
+// Text lazily generates the document body. Empty documents return "".
+// Support documents contain the asserted sentence; refute documents assert
+// the true value (when the world knows one) and explicitly contradict the
+// claim; neutral documents mention the subject only.
+func (g *Generator) Text(f *dataset.Fact, d *Document) string {
+	if d.Empty {
+		return ""
+	}
+	var b strings.Builder
+	sentence := verbalize.Sentence(f)
+	filler := func(k string) string {
+		subj := f.Subject.Label
+		options := []string{
+			subj + " has been covered by several publications over the years.",
+			"Archivists consider the records about " + subj + " largely consistent.",
+			"This page is part of a curated collection of reference material.",
+			"Readers frequently consult this entry for background information.",
+			subj + " appears in multiple regional registries.",
+		}
+		return options[det.IntN(len(options), "filler", d.ID, k)]
+	}
+	switch d.Stance {
+	case StanceSupport:
+		b.WriteString(sentence)
+		b.WriteString(" ")
+		b.WriteString("Multiple records agree on this point. ")
+		b.WriteString(filler("a"))
+	case StanceRefute:
+		trueObj := g.trueObjectLabel(f)
+		if trueObj != "" {
+			b.WriteString(fmt.Sprintf("%s %s %s. ", f.Subject.Label, f.Relation.Phrase, trueObj))
+		}
+		b.WriteString(fmt.Sprintf("Contrary to some claims, it is not the case that %s %s %s. ",
+			f.Subject.Label, f.Relation.Phrase, f.Object.Label))
+		b.WriteString(filler("b"))
+	case StanceNeutral:
+		b.WriteString(fmt.Sprintf("%s is discussed in this article. ", f.Subject.Label))
+		b.WriteString(filler("c"))
+		b.WriteString(" ")
+		b.WriteString(filler("d"))
+	default:
+		b.WriteString("General interest material unrelated to the query. ")
+		b.WriteString(filler("e"))
+	}
+	return b.String()
+}
+
+// trueObjectLabel returns the label of a true object for the fact's
+// (subject, relation), or "" when the world records none — e.g. the subject
+// of a corrupted-subject negative may genuinely lack the relation. When
+// several true objects exist the lexicographically smallest is used so the
+// generated text is deterministic.
+func (g *Generator) trueObjectLabel(f *dataset.Fact) string {
+	if g.World == nil {
+		return ""
+	}
+	objs := g.World.TrueObjects(kg.LocalName(f.Subject.IRI), f.Relation.Name)
+	best := ""
+	for local := range objs {
+		if best == "" || local < best {
+			best = local
+		}
+	}
+	return strings.ReplaceAll(best, "_", " ")
+}
+
+// Meta summarises a fact's pool without generating text.
+type Meta struct {
+	Count   int
+	Empty   int
+	Support int
+	Refute  int
+	Neutral int
+	SKG     int
+}
+
+// MetaFor computes pool metadata for the fact.
+func (g *Generator) MetaFor(f *dataset.Fact) Meta {
+	var m Meta
+	for _, d := range g.Docs(f) {
+		m.Count++
+		if d.Empty {
+			m.Empty++
+		}
+		if d.FromSKG {
+			m.SKG++
+		}
+		switch d.Stance {
+		case StanceSupport:
+			m.Support++
+		case StanceRefute:
+			m.Refute++
+		case StanceNeutral:
+			m.Neutral++
+		}
+	}
+	return m
+}
+
+func slug(s string) string {
+	s = strings.ToLower(strings.ReplaceAll(s, " ", "-"))
+	var b strings.Builder
+	for _, r := range s {
+		if (r >= 'a' && r <= 'z') || (r >= '0' && r <= '9') || r == '-' {
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}

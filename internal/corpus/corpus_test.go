@@ -1,0 +1,230 @@
+package corpus
+
+import (
+	"strings"
+	"testing"
+
+	"factcheck/internal/dataset"
+	"factcheck/internal/world"
+)
+
+func fixture(t *testing.T) (*world.World, map[dataset.Name]*dataset.Dataset, *Generator) {
+	t.Helper()
+	w := world.New(world.SmallConfig())
+	ds := dataset.Universe(w, 0.2)
+	return w, ds, NewGenerator(w)
+}
+
+func TestDocsDeterministic(t *testing.T) {
+	_, ds, g := fixture(t)
+	f := ds[dataset.FactBench].Facts[0]
+	a := g.Docs(f)
+	b := g.Docs(f)
+	if len(a) != len(b) {
+		t.Fatalf("pool sizes differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].ID != b[i].ID || a[i].Stance != b[i].Stance || a[i].Empty != b[i].Empty {
+			t.Fatalf("doc %d differs", i)
+		}
+	}
+}
+
+func TestPoolSizeDistribution(t *testing.T) {
+	_, ds, g := fixture(t)
+	var total, maxN int
+	minN := 1 << 30
+	n := 0
+	for _, d := range ds {
+		for _, f := range d.Facts {
+			c := g.PoolSize(f)
+			total += c
+			if c < minN {
+				minN = c
+			}
+			if c > maxN {
+				maxN = c
+			}
+			n++
+		}
+	}
+	mean := float64(total) / float64(n)
+	if mean < 120 || mean > 180 {
+		t.Errorf("mean pool size = %.1f, want ~155", mean)
+	}
+	if maxN > 337 {
+		t.Errorf("max pool size = %d, want <= 337", maxN)
+	}
+}
+
+func TestEmptyRate(t *testing.T) {
+	_, ds, g := fixture(t)
+	empty, total := 0, 0
+	for _, f := range ds[dataset.DBpedia].Facts {
+		m := g.MetaFor(f)
+		empty += m.Empty
+		total += m.Count
+	}
+	rate := float64(empty) / float64(total)
+	if rate < 0.10 || rate > 0.16 {
+		t.Errorf("empty rate = %.3f, want ~0.13", rate)
+	}
+}
+
+func TestStanceCompositionTracksGold(t *testing.T) {
+	_, ds, g := fixture(t)
+	var supTrue, refTrue, supFalse, refFalse, nTrue, nFalse int
+	for _, f := range ds[dataset.FactBench].Facts {
+		m := g.MetaFor(f)
+		if f.Gold {
+			supTrue += m.Support - m.SKG // SKG docs are forced support
+			refTrue += m.Refute
+			nTrue += m.Count
+		} else {
+			supFalse += m.Support - m.SKG
+			refFalse += m.Refute
+			nFalse += m.Count
+		}
+	}
+	if nTrue == 0 || nFalse == 0 {
+		t.Fatal("degenerate dataset")
+	}
+	if float64(supTrue)/float64(nTrue) <= float64(refTrue)/float64(nTrue) {
+		t.Error("true facts are not predominantly supported")
+	}
+	if float64(refFalse)/float64(nFalse) <= float64(supFalse)/float64(nFalse) {
+		t.Error("false facts are not predominantly refuted")
+	}
+}
+
+func TestSupportTextContainsAssertion(t *testing.T) {
+	_, ds, g := fixture(t)
+	f := ds[dataset.FactBench].Facts[0]
+	found := false
+	for _, d := range g.Docs(f) {
+		if d.Stance != StanceSupport || d.Empty {
+			continue
+		}
+		txt := g.Text(f, d)
+		if !strings.Contains(txt, f.Subject.Label) || !strings.Contains(txt, f.Object.Label) {
+			t.Fatalf("support doc %s does not assert the fact: %q", d.ID, txt)
+		}
+		found = true
+	}
+	if !found {
+		t.Skip("fact has no non-empty support docs; other tests cover composition")
+	}
+}
+
+func TestRefuteTextContradicts(t *testing.T) {
+	_, ds, g := fixture(t)
+	checked := 0
+	for _, f := range ds[dataset.FactBench].Facts {
+		if f.Gold {
+			continue
+		}
+		for _, d := range g.Docs(f) {
+			if d.Stance != StanceRefute || d.Empty {
+				continue
+			}
+			txt := g.Text(f, d)
+			if !strings.Contains(txt, "not the case that") {
+				t.Fatalf("refute doc %s lacks explicit contradiction: %q", d.ID, txt)
+			}
+			checked++
+		}
+		if checked > 20 {
+			break
+		}
+	}
+	if checked == 0 {
+		t.Fatal("no refute docs found for any false fact")
+	}
+}
+
+func TestEmptyDocsHaveNoText(t *testing.T) {
+	_, ds, g := fixture(t)
+	f := ds[dataset.FactBench].Facts[1]
+	for _, d := range g.Docs(f) {
+		if d.Empty && g.Text(f, d) != "" {
+			t.Fatalf("empty doc %s has text", d.ID)
+		}
+	}
+}
+
+func TestSKGDocsUseWikipediaHost(t *testing.T) {
+	_, ds, g := fixture(t)
+	for _, f := range ds[dataset.FactBench].Facts[:20] {
+		for _, d := range g.Docs(f) {
+			if d.FromSKG && d.Host != "en.wikipedia.org" {
+				t.Fatalf("SKG doc %s on host %s", d.ID, d.Host)
+			}
+			if !d.FromSKG && d.Host == "en.wikipedia.org" {
+				t.Fatalf("non-SKG doc %s on the KG source host", d.ID)
+			}
+		}
+	}
+}
+
+func TestDocURLsWellFormed(t *testing.T) {
+	_, ds, g := fixture(t)
+	f := ds[dataset.YAGO].Facts[0]
+	for _, d := range g.Docs(f) {
+		if !strings.HasPrefix(d.URL, "https://"+d.Host+"/") {
+			t.Fatalf("URL %q does not match host %q", d.URL, d.Host)
+		}
+	}
+}
+
+func TestMetaMatchesDocs(t *testing.T) {
+	_, ds, g := fixture(t)
+	f := ds[dataset.DBpedia].Facts[0]
+	m := g.MetaFor(f)
+	docs := g.Docs(f)
+	if m.Count != len(docs) {
+		t.Fatalf("meta count %d != docs %d", m.Count, len(docs))
+	}
+	sup := 0
+	for _, d := range docs {
+		if d.Stance == StanceSupport {
+			sup++
+		}
+	}
+	if m.Support != sup {
+		t.Fatalf("meta support %d != counted %d", m.Support, sup)
+	}
+}
+
+func TestNilWorldGenerator(t *testing.T) {
+	_, ds, _ := fixture(t)
+	g := NewGenerator(nil)
+	var f *dataset.Fact
+	for _, ff := range ds[dataset.FactBench].Facts {
+		if !ff.Gold {
+			f = ff
+			break
+		}
+	}
+	// Text generation must not panic and refutations must still contradict.
+	for _, d := range g.Docs(f) {
+		if d.Stance == StanceRefute && !d.Empty {
+			if txt := g.Text(f, d); !strings.Contains(txt, "not the case") {
+				t.Fatalf("nil-world refutation lacks negation: %q", txt)
+			}
+			return
+		}
+	}
+}
+
+func TestStanceString(t *testing.T) {
+	if StanceSupport.String() != "support" || StanceRefute.String() != "refute" ||
+		StanceNeutral.String() != "neutral" || StanceUnrelated.String() != "unrelated" {
+		t.Error("stance names wrong")
+	}
+}
+
+func TestSlug(t *testing.T) {
+	if got := slug("Alexander III of Russia"); got != "alexander-iii-of-russia" {
+		t.Errorf("slug = %q", got)
+	}
+}

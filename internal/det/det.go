@@ -1,0 +1,80 @@
+// Package det provides deterministic pseudo-randomness keyed by string
+// parts. Every stochastic decision in the benchmark (does a model know a
+// fact, is a document empty, how long did a call take) flows through this
+// package, so results are bit-reproducible across runs and machines.
+package det
+
+import (
+	"hash/fnv"
+	"math"
+	"math/rand/v2"
+)
+
+// Hash64 hashes the given parts (with separators) into a 64-bit key. The
+// raw FNV-1a sum is passed through a splitmix64 finaliser: FNV's high bits
+// barely change across inputs sharing a long prefix (e.g. sequential
+// document ids), and Uniform consumes the high bits.
+func Hash64(parts ...string) uint64 {
+	h := fnv.New64a()
+	for _, p := range parts {
+		h.Write([]byte(p))
+		h.Write([]byte{0x1f})
+	}
+	return mix64(h.Sum64())
+}
+
+// mix64 is the splitmix64 finaliser, a full-avalanche bijection.
+func mix64(h uint64) uint64 {
+	h ^= h >> 30
+	h *= 0xbf58476d1ce4e5b9
+	h ^= h >> 27
+	h *= 0x94d049bb133111eb
+	h ^= h >> 31
+	return h
+}
+
+// Uniform returns a deterministic uniform sample in [0,1) keyed by parts.
+func Uniform(parts ...string) float64 {
+	k := Hash64(parts...)
+	// Use the top 53 bits for a full-precision float64 mantissa.
+	return float64(k>>11) / float64(1<<53)
+}
+
+// Bool returns true with probability p, keyed by parts.
+func Bool(p float64, parts ...string) bool {
+	return Uniform(parts...) < p
+}
+
+// IntN returns a deterministic integer in [0,n) keyed by parts.
+// It panics if n <= 0.
+func IntN(n int, parts ...string) int {
+	if n <= 0 {
+		panic("det: IntN with non-positive n")
+	}
+	return int(Hash64(parts...) % uint64(n))
+}
+
+// Source returns a rand source seeded from parts, for longer deterministic
+// streams (dataset generation, corpus synthesis).
+func Source(parts ...string) *rand.Rand {
+	k := Hash64(parts...)
+	return rand.New(rand.NewPCG(k, k^0x9e3779b97f4a7c15))
+}
+
+// Gaussian returns a deterministic sample from N(mean, stddev) keyed by
+// parts, via the Box-Muller transform over two derived uniforms.
+func Gaussian(mean, stddev float64, parts ...string) float64 {
+	u1 := Uniform(append(parts, "g1")...)
+	u2 := Uniform(append(parts, "g2")...)
+	if u1 < 1e-12 {
+		u1 = 1e-12
+	}
+	z := math.Sqrt(-2*math.Log(u1)) * math.Cos(2*math.Pi*u2)
+	return mean + stddev*z
+}
+
+// Jitter multiplies base by a deterministic factor in [1-amp, 1+amp].
+func Jitter(base, amp float64, parts ...string) float64 {
+	u := Uniform(parts...)
+	return base * (1 - amp + 2*amp*u)
+}

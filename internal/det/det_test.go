@@ -1,0 +1,156 @@
+package det
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestHash64Deterministic(t *testing.T) {
+	a := Hash64("x", "y")
+	b := Hash64("x", "y")
+	if a != b {
+		t.Fatalf("Hash64 not deterministic: %d != %d", a, b)
+	}
+}
+
+func TestHash64SeparatorMatters(t *testing.T) {
+	// ("ab","c") must differ from ("a","bc"): the separator byte prevents
+	// concatenation collisions.
+	if Hash64("ab", "c") == Hash64("a", "bc") {
+		t.Fatal("separator does not prevent concatenation collision")
+	}
+}
+
+func TestUniformRange(t *testing.T) {
+	f := func(a, b string) bool {
+		u := Uniform(a, b)
+		return u >= 0 && u < 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestUniformWellDistributedOnSequentialKeys guards against the FNV
+// high-bit clustering bug: sequential ids must produce well-spread values.
+func TestUniformWellDistributedOnSequentialKeys(t *testing.T) {
+	const n = 2000
+	var below float64
+	var sum float64
+	for i := 0; i < n; i++ {
+		u := Uniform("doc", "fact-000123-d"+itoa(i))
+		sum += u
+		if u < 0.10 {
+			below++
+		}
+	}
+	mean := sum / n
+	if mean < 0.45 || mean > 0.55 {
+		t.Errorf("mean of sequential-key uniforms = %.3f, want ~0.5", mean)
+	}
+	frac := below / n
+	if frac < 0.06 || frac > 0.15 {
+		t.Errorf("fraction below 0.10 = %.3f, want ~0.10", frac)
+	}
+}
+
+func itoa(i int) string {
+	if i == 0 {
+		return "0"
+	}
+	var b []byte
+	for i > 0 {
+		b = append([]byte{byte('0' + i%10)}, b...)
+		i /= 10
+	}
+	return string(b)
+}
+
+func TestBoolProbability(t *testing.T) {
+	const n = 5000
+	hits := 0
+	for i := 0; i < n; i++ {
+		if Bool(0.3, "bool-test", itoa(i)) {
+			hits++
+		}
+	}
+	got := float64(hits) / n
+	if math.Abs(got-0.3) > 0.03 {
+		t.Errorf("Bool(0.3) frequency = %.3f, want ~0.30", got)
+	}
+}
+
+func TestBoolEdgeCases(t *testing.T) {
+	if Bool(0, "never") {
+		t.Error("Bool(0) returned true")
+	}
+	if !Bool(1.1, "always") {
+		t.Error("Bool(>1) returned false")
+	}
+}
+
+func TestIntNRangeAndPanic(t *testing.T) {
+	f := func(s string) bool {
+		v := IntN(7, s)
+		return v >= 0 && v < 7
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("IntN(0) did not panic")
+		}
+	}()
+	IntN(0, "boom")
+}
+
+func TestSourceDeterministicStream(t *testing.T) {
+	r1 := Source("seed")
+	r2 := Source("seed")
+	for i := 0; i < 10; i++ {
+		if a, b := r1.Uint64(), r2.Uint64(); a != b {
+			t.Fatalf("stream diverged at %d: %d != %d", i, a, b)
+		}
+	}
+	r3 := Source("other-seed")
+	same := true
+	r1b := Source("seed")
+	for i := 0; i < 10; i++ {
+		if r1b.Uint64() != r3.Uint64() {
+			same = false
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical streams")
+	}
+}
+
+func TestGaussianMoments(t *testing.T) {
+	const n = 4000
+	var sum, sumsq float64
+	for i := 0; i < n; i++ {
+		x := Gaussian(10, 2, "gauss", itoa(i))
+		sum += x
+		sumsq += x * x
+	}
+	mean := sum / n
+	variance := sumsq/n - mean*mean
+	if math.Abs(mean-10) > 0.15 {
+		t.Errorf("Gaussian mean = %.3f, want ~10", mean)
+	}
+	if math.Abs(math.Sqrt(variance)-2) > 0.2 {
+		t.Errorf("Gaussian stddev = %.3f, want ~2", math.Sqrt(variance))
+	}
+}
+
+func TestJitterBounds(t *testing.T) {
+	f := func(s string) bool {
+		v := Jitter(100, 0.2, s)
+		return v >= 80 && v <= 120
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

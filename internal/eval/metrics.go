@@ -1,0 +1,272 @@
+// Package eval implements the benchmark's performance metrics (paper §4.3):
+// class-wise F1 scores for the True and False labels, Consensus Alignment
+// (CA_M), IQR-filtered mean response time, and the Pareto-frontier analysis
+// of the cost/effectiveness trade-off (Figure 3).
+package eval
+
+import (
+	"math"
+	"sort"
+	"time"
+)
+
+// Confusion is a binary confusion matrix with extra buckets for invalid
+// (format-failing) responses, split by gold class. Invalid responses count
+// against recall of their gold class but are never predictions of either
+// class.
+type Confusion struct {
+	TP, FP, TN, FN            int
+	InvalidTrue, InvalidFalse int
+}
+
+// Add records one prediction. pred is meaningful only when valid.
+func (c *Confusion) Add(gold bool, pred bool, valid bool) {
+	if !valid {
+		if gold {
+			c.InvalidTrue++
+		} else {
+			c.InvalidFalse++
+		}
+		return
+	}
+	switch {
+	case gold && pred:
+		c.TP++
+	case gold && !pred:
+		c.FN++
+	case !gold && pred:
+		c.FP++
+	default:
+		c.TN++
+	}
+}
+
+// Invalid returns the total count of invalid responses.
+func (c Confusion) Invalid() int { return c.InvalidTrue + c.InvalidFalse }
+
+// Total returns the number of recorded predictions including invalid ones.
+func (c Confusion) Total() int {
+	return c.TP + c.FP + c.TN + c.FN + c.Invalid()
+}
+
+// PrecisionTrue returns precision of the "True" class.
+func (c Confusion) PrecisionTrue() float64 { return ratio(c.TP, c.TP+c.FP) }
+
+// RecallTrue returns recall of the "True" class; invalid responses on
+// gold-true facts are missed positives.
+func (c Confusion) RecallTrue() float64 {
+	return ratio(c.TP, c.TP+c.FN+c.InvalidTrue)
+}
+
+// PrecisionFalse returns precision of the "False" class.
+func (c Confusion) PrecisionFalse() float64 { return ratio(c.TN, c.TN+c.FN) }
+
+// RecallFalse returns recall of the "False" class.
+func (c Confusion) RecallFalse() float64 {
+	return ratio(c.TN, c.TN+c.FP+c.InvalidFalse)
+}
+
+// F1True returns the F1 score of the "True" class (paper's F1(T)).
+func (c Confusion) F1True() float64 {
+	return f1(c.PrecisionTrue(), c.RecallTrue())
+}
+
+// F1False returns the F1 score of the "False" class (paper's F1(F)).
+func (c Confusion) F1False() float64 {
+	return f1(c.PrecisionFalse(), c.RecallFalse())
+}
+
+// Accuracy returns plain accuracy over valid and invalid responses.
+func (c Confusion) Accuracy() float64 {
+	return ratio(c.TP+c.TN, c.Total())
+}
+
+// F1 returns the class-wise F1 for class c ∈ {true, false}, matching the
+// paper's F1(c) notation.
+func (c Confusion) F1(class bool) float64 {
+	if class {
+		return c.F1True()
+	}
+	return c.F1False()
+}
+
+func f1(p, r float64) float64 {
+	if p+r == 0 {
+		return 0
+	}
+	return 2 * p * r / (p + r)
+}
+
+func ratio(num, den int) float64 {
+	if den == 0 {
+		return 0
+	}
+	return float64(num) / float64(den)
+}
+
+// Prediction is the minimal view of one model response used by the metric
+// computations.
+type Prediction struct {
+	Gold  bool
+	Pred  bool
+	Valid bool
+}
+
+// ConfusionFrom aggregates predictions into a confusion matrix.
+func ConfusionFrom(preds []Prediction) Confusion {
+	var c Confusion
+	for _, p := range preds {
+		c.Add(p.Gold, p.Pred, p.Valid)
+	}
+	return c
+}
+
+// ConsensusAlignment computes CA_M (paper §4.3): the fraction of facts on
+// which a model's prediction equals the majority vote. Both slices must be
+// index-aligned.
+func ConsensusAlignment(model []bool, majority []bool) float64 {
+	if len(model) == 0 || len(model) != len(majority) {
+		return 0
+	}
+	agree := 0
+	for i := range model {
+		if model[i] == majority[i] {
+			agree++
+		}
+	}
+	return float64(agree) / float64(len(model))
+}
+
+// IQRFilter removes outliers outside [Q1-1.5*IQR, Q3+1.5*IQR], returning
+// the filtered sample (paper §4.3 response-time protocol).
+func IQRFilter(xs []float64) []float64 {
+	if len(xs) < 4 {
+		return append([]float64(nil), xs...)
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	q1 := Percentile(sorted, 25)
+	q3 := Percentile(sorted, 75)
+	iqr := q3 - q1
+	lo, hi := q1-1.5*iqr, q3+1.5*iqr
+	var out []float64
+	for _, x := range xs {
+		if x >= lo && x <= hi {
+			out = append(out, x)
+		}
+	}
+	return out
+}
+
+// Percentile computes the p-th percentile (0-100) of a *sorted* sample by
+// linear interpolation.
+func Percentile(sorted []float64, p float64) float64 {
+	if len(sorted) == 0 {
+		return math.NaN()
+	}
+	if len(sorted) == 1 {
+		return sorted[0]
+	}
+	rank := p / 100 * float64(len(sorted)-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := rank - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// MeanResponseTime returns the IQR-filtered mean of the durations in
+// seconds (the paper's θ̄).
+func MeanResponseTime(ds []time.Duration) float64 {
+	if len(ds) == 0 {
+		return 0
+	}
+	xs := make([]float64, len(ds))
+	for i, d := range ds {
+		xs[i] = d.Seconds()
+	}
+	xs = IQRFilter(xs)
+	if len(xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// Mean returns the arithmetic mean (0 for empty input).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// Stddev returns the population standard deviation.
+func Stddev(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	m := Mean(xs)
+	v := 0.0
+	for _, x := range xs {
+		v += (x - m) * (x - m)
+	}
+	return math.Sqrt(v / float64(len(xs)))
+}
+
+// ParetoPoint is one configuration in the cost/effectiveness plane of the
+// paper's Figure 3.
+type ParetoPoint struct {
+	Label string
+	// Cost is θ̄ in seconds (lower is better).
+	Cost float64
+	// Score is the effectiveness metric, e.g. F1(F) (higher is better).
+	Score float64
+}
+
+// ParetoFrontier returns the subset of points not dominated by any other
+// point (a point dominates another when it is no slower and no worse, and
+// strictly better in at least one dimension), sorted by ascending cost.
+func ParetoFrontier(points []ParetoPoint) []ParetoPoint {
+	var out []ParetoPoint
+	for i, p := range points {
+		dominated := false
+		for j, q := range points {
+			if i == j {
+				continue
+			}
+			if q.Cost <= p.Cost && q.Score >= p.Score &&
+				(q.Cost < p.Cost || q.Score > p.Score) {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			out = append(out, p)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Cost != out[j].Cost {
+			return out[i].Cost < out[j].Cost
+		}
+		return out[i].Score > out[j].Score
+	})
+	return out
+}
+
+// GuessRate returns the expected F1 of random guessing for a class with
+// prevalence mu, guessing "true" with probability q (Figure 2's red line
+// uses q = 0.5... the paper's guess rate reflects the class distribution).
+// For class T with prevalence mu: precision = mu, recall = q.
+func GuessRate(mu, q float64) float64 {
+	return f1(mu, q)
+}

@@ -1,0 +1,254 @@
+package eval
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestConfusionBasics(t *testing.T) {
+	var c Confusion
+	c.Add(true, true, true)   // TP
+	c.Add(true, false, true)  // FN
+	c.Add(false, true, true)  // FP
+	c.Add(false, false, true) // TN
+	c.Add(true, false, false) // invalid on gold-true
+	if c.TP != 1 || c.FN != 1 || c.FP != 1 || c.TN != 1 {
+		t.Fatalf("confusion = %+v", c)
+	}
+	if c.Invalid() != 1 || c.InvalidTrue != 1 {
+		t.Fatalf("invalid accounting wrong: %+v", c)
+	}
+	if c.Total() != 5 {
+		t.Errorf("Total = %d, want 5", c.Total())
+	}
+	if got := c.PrecisionTrue(); got != 0.5 {
+		t.Errorf("PrecisionTrue = %f, want 0.5", got)
+	}
+	// Recall(T) = TP / (TP + FN + invalidTrue) = 1/3.
+	if got := c.RecallTrue(); math.Abs(got-1.0/3) > 1e-9 {
+		t.Errorf("RecallTrue = %f, want 1/3", got)
+	}
+	if got := c.Accuracy(); got != 0.4 {
+		t.Errorf("Accuracy = %f, want 0.4", got)
+	}
+}
+
+func TestF1HandComputed(t *testing.T) {
+	// 80 TP, 20 FN, 30 FP, 70 TN.
+	c := Confusion{TP: 80, FN: 20, FP: 30, TN: 70}
+	pT, rT := 80.0/110, 80.0/100
+	wantT := 2 * pT * rT / (pT + rT)
+	if got := c.F1True(); math.Abs(got-wantT) > 1e-9 {
+		t.Errorf("F1True = %f, want %f", got, wantT)
+	}
+	pF, rF := 70.0/90, 70.0/100
+	wantF := 2 * pF * rF / (pF + rF)
+	if got := c.F1False(); math.Abs(got-wantF) > 1e-9 {
+		t.Errorf("F1False = %f, want %f", got, wantF)
+	}
+	if c.F1(true) != c.F1True() || c.F1(false) != c.F1False() {
+		t.Error("F1(class) accessor inconsistent")
+	}
+}
+
+func TestF1EdgeCases(t *testing.T) {
+	var empty Confusion
+	if empty.F1True() != 0 || empty.F1False() != 0 {
+		t.Error("empty confusion F1 not 0")
+	}
+	perfect := Confusion{TP: 10, TN: 10}
+	if perfect.F1True() != 1 || perfect.F1False() != 1 {
+		t.Error("perfect predictions F1 not 1")
+	}
+}
+
+func TestF1RangeProperty(t *testing.T) {
+	f := func(tp, fp, tn, fn uint8) bool {
+		c := Confusion{TP: int(tp), FP: int(fp), TN: int(tn), FN: int(fn)}
+		t1, t2 := c.F1True(), c.F1False()
+		return t1 >= 0 && t1 <= 1 && t2 >= 0 && t2 <= 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConfusionFrom(t *testing.T) {
+	preds := []Prediction{
+		{Gold: true, Pred: true, Valid: true},
+		{Gold: false, Pred: false, Valid: true},
+		{Gold: false, Pred: true, Valid: true},
+		{Gold: true, Pred: false, Valid: false},
+	}
+	c := ConfusionFrom(preds)
+	if c.TP != 1 || c.TN != 1 || c.FP != 1 || c.InvalidTrue != 1 {
+		t.Errorf("ConfusionFrom = %+v", c)
+	}
+}
+
+func TestConsensusAlignment(t *testing.T) {
+	model := []bool{true, false, true, true}
+	maj := []bool{true, true, true, false}
+	if got := ConsensusAlignment(model, maj); got != 0.5 {
+		t.Errorf("CA = %f, want 0.5", got)
+	}
+	if got := ConsensusAlignment(nil, nil); got != 0 {
+		t.Errorf("CA(empty) = %f, want 0", got)
+	}
+	if got := ConsensusAlignment([]bool{true}, []bool{true, false}); got != 0 {
+		t.Errorf("CA(mismatched) = %f, want 0", got)
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	sorted := []float64{1, 2, 3, 4, 5}
+	if got := Percentile(sorted, 50); got != 3 {
+		t.Errorf("P50 = %f, want 3", got)
+	}
+	if got := Percentile(sorted, 0); got != 1 {
+		t.Errorf("P0 = %f, want 1", got)
+	}
+	if got := Percentile(sorted, 100); got != 5 {
+		t.Errorf("P100 = %f, want 5", got)
+	}
+	if got := Percentile(sorted, 25); got != 2 {
+		t.Errorf("P25 = %f, want 2", got)
+	}
+	if got := Percentile([]float64{7}, 50); got != 7 {
+		t.Errorf("P50 single = %f, want 7", got)
+	}
+	if !math.IsNaN(Percentile(nil, 50)) {
+		t.Error("P50 of empty not NaN")
+	}
+}
+
+func TestIQRFilterRemovesOutliers(t *testing.T) {
+	xs := []float64{1, 1.1, 0.9, 1.2, 1.0, 0.95, 1.05, 50}
+	out := IQRFilter(xs)
+	for _, x := range out {
+		if x == 50 {
+			t.Fatal("outlier survived IQR filter")
+		}
+	}
+	if len(out) != len(xs)-1 {
+		t.Errorf("filtered %d values, want 1", len(xs)-len(out))
+	}
+}
+
+func TestIQRFilterSmallSamples(t *testing.T) {
+	xs := []float64{5, 500, 2}
+	out := IQRFilter(xs)
+	if len(out) != 3 {
+		t.Error("small samples must pass through unfiltered")
+	}
+}
+
+func TestIQRFilterPreservesCleanData(t *testing.T) {
+	f := func(seed uint8) bool {
+		var xs []float64
+		for i := 0; i < 30; i++ {
+			xs = append(xs, 1+0.01*float64((int(seed)+i*7)%13))
+		}
+		return len(IQRFilter(xs)) == len(xs)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMeanResponseTime(t *testing.T) {
+	ds := []time.Duration{
+		100 * time.Millisecond, 110 * time.Millisecond, 105 * time.Millisecond,
+		95 * time.Millisecond, 102 * time.Millisecond, 98 * time.Millisecond,
+		10 * time.Second, // outlier, removed by IQR
+	}
+	got := MeanResponseTime(ds)
+	if got < 0.09 || got > 0.12 {
+		t.Errorf("theta-bar = %f, want ~0.10", got)
+	}
+	if MeanResponseTime(nil) != 0 {
+		t.Error("empty input not 0")
+	}
+}
+
+func TestMeanAndStddev(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if got := Mean(xs); got != 5 {
+		t.Errorf("Mean = %f, want 5", got)
+	}
+	if got := Stddev(xs); math.Abs(got-2) > 1e-9 {
+		t.Errorf("Stddev = %f, want 2", got)
+	}
+	if Mean(nil) != 0 || Stddev(nil) != 0 {
+		t.Error("empty stats not 0")
+	}
+}
+
+func TestParetoFrontier(t *testing.T) {
+	pts := []ParetoPoint{
+		{Label: "fast-weak", Cost: 0.2, Score: 0.5},
+		{Label: "slow-strong", Cost: 2.5, Score: 0.9},
+		{Label: "mid", Cost: 0.8, Score: 0.75},
+		{Label: "dominated", Cost: 1.0, Score: 0.6}, // dominated by mid
+		{Label: "also-dominated", Cost: 3.0, Score: 0.85},
+	}
+	front := ParetoFrontier(pts)
+	want := map[string]bool{"fast-weak": true, "mid": true, "slow-strong": true}
+	if len(front) != len(want) {
+		t.Fatalf("frontier size %d, want %d: %v", len(front), len(want), front)
+	}
+	for i, p := range front {
+		if !want[p.Label] {
+			t.Errorf("unexpected frontier member %s", p.Label)
+		}
+		if i > 0 && front[i].Cost < front[i-1].Cost {
+			t.Error("frontier not sorted by cost")
+		}
+	}
+}
+
+func TestParetoFrontierProperty(t *testing.T) {
+	// No frontier point may dominate another frontier point.
+	f := func(seeds []uint8) bool {
+		if len(seeds) < 2 {
+			return true
+		}
+		var pts []ParetoPoint
+		for i, s := range seeds {
+			pts = append(pts, ParetoPoint{
+				Label: string(rune('a' + i%26)),
+				Cost:  float64(s%17) / 4,
+				Score: float64(s%23) / 23,
+			})
+		}
+		front := ParetoFrontier(pts)
+		for i, p := range front {
+			for j, q := range front {
+				if i != j && q.Cost <= p.Cost && q.Score >= p.Score &&
+					(q.Cost < p.Cost || q.Score > p.Score) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGuessRate(t *testing.T) {
+	// The paper's baselines: mu=0.80 with q=0.5 gives F1(T)~0.62,
+	// and the false class (prevalence 0.20) gives ~0.29.
+	if got := GuessRate(0.80, 0.5); math.Abs(got-0.615) > 0.01 {
+		t.Errorf("GuessRate(T) = %f, want ~0.62", got)
+	}
+	if got := GuessRate(0.20, 0.5); math.Abs(got-0.286) > 0.01 {
+		t.Errorf("GuessRate(F) = %f, want ~0.29", got)
+	}
+	if GuessRate(0, 0) != 0 {
+		t.Error("degenerate guess rate not 0")
+	}
+}

@@ -1,0 +1,213 @@
+package kg
+
+import (
+	"sort"
+	"sync"
+)
+
+// Graph is an in-memory triple store with SPO, POS and OSP indexes. It is
+// safe for concurrent readers and writers. The store backs both the
+// synthetic world snapshot (ground truth) and the benchmark datasets'
+// auxiliary metadata (labels, comments, types).
+type Graph struct {
+	mu sync.RWMutex
+
+	spo map[IRI]map[IRI][]Term   // subject -> predicate -> objects
+	pos map[IRI]map[string][]IRI // predicate -> object key -> subjects
+	osp map[string]map[IRI][]IRI // object key -> subject -> predicates
+
+	keys map[string]bool // triple identity set for O(1) Contains
+	size int
+}
+
+// NewGraph returns an empty graph.
+func NewGraph() *Graph {
+	return &Graph{
+		spo:  map[IRI]map[IRI][]Term{},
+		pos:  map[IRI]map[string][]IRI{},
+		osp:  map[string]map[IRI][]IRI{},
+		keys: map[string]bool{},
+	}
+}
+
+// Add inserts t. It reports whether the triple was new.
+func (g *Graph) Add(t Triple) bool {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	k := t.Key()
+	if g.keys[k] {
+		return false
+	}
+	g.keys[k] = true
+	g.size++
+
+	ps := g.spo[t.S]
+	if ps == nil {
+		ps = map[IRI][]Term{}
+		g.spo[t.S] = ps
+	}
+	ps[t.P] = append(ps[t.P], t.O)
+
+	ok := t.O.Key()
+	os := g.pos[t.P]
+	if os == nil {
+		os = map[string][]IRI{}
+		g.pos[t.P] = os
+	}
+	os[ok] = append(os[ok], t.S)
+
+	ss := g.osp[ok]
+	if ss == nil {
+		ss = map[IRI][]IRI{}
+		g.osp[ok] = ss
+	}
+	ss[t.S] = append(ss[t.S], t.P)
+	return true
+}
+
+// AddAll inserts every triple in ts and returns the number newly added.
+func (g *Graph) AddAll(ts []Triple) int {
+	n := 0
+	for _, t := range ts {
+		if g.Add(t) {
+			n++
+		}
+	}
+	return n
+}
+
+// Len returns the number of distinct triples stored.
+func (g *Graph) Len() int {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	return g.size
+}
+
+// Contains reports whether the exact triple is present.
+func (g *Graph) Contains(t Triple) bool {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	return g.keys[t.Key()]
+}
+
+// Objects returns all objects of (s, p, ?).
+func (g *Graph) Objects(s, p IRI) []Term {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	ps := g.spo[s]
+	if ps == nil {
+		return nil
+	}
+	out := make([]Term, len(ps[p]))
+	copy(out, ps[p])
+	return out
+}
+
+// Subjects returns all subjects of (?, p, o).
+func (g *Graph) Subjects(p IRI, o Term) []IRI {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	os := g.pos[p]
+	if os == nil {
+		return nil
+	}
+	out := make([]IRI, len(os[o.Key()]))
+	copy(out, os[o.Key()])
+	return out
+}
+
+// Predicates returns all predicates linking s to o.
+func (g *Graph) Predicates(s IRI, o Term) []IRI {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	ss := g.osp[o.Key()]
+	if ss == nil {
+		return nil
+	}
+	out := make([]IRI, len(ss[s]))
+	copy(out, ss[s])
+	return out
+}
+
+// PredicatesOf returns the sorted distinct predicates appearing on subject s.
+func (g *Graph) PredicatesOf(s IRI) []IRI {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	ps := g.spo[s]
+	out := make([]IRI, 0, len(ps))
+	for p := range ps {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// SubjectsAll returns the sorted distinct subjects in the graph.
+func (g *Graph) SubjectsAll() []IRI {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	out := make([]IRI, 0, len(g.spo))
+	for s := range g.spo {
+		out = append(out, s)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Triples returns every stored triple, sorted by (S, P, O) for determinism.
+func (g *Graph) Triples() []Triple {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	out := make([]Triple, 0, g.size)
+	for s, ps := range g.spo {
+		for p, objs := range ps {
+			for _, o := range objs {
+				out = append(out, Triple{S: s, P: p, O: o})
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].S != out[j].S {
+			return out[i].S < out[j].S
+		}
+		if out[i].P != out[j].P {
+			return out[i].P < out[j].P
+		}
+		return out[i].O.Key() < out[j].O.Key()
+	})
+	return out
+}
+
+// Label returns the rdfs:label of s, or the IRI local name when no label
+// triple exists.
+func (g *Graph) Label(s IRI) string {
+	for _, o := range g.Objects(s, RDFSLabel) {
+		if o.Kind == KindLiteral {
+			return o.Value
+		}
+	}
+	return LocalName(s)
+}
+
+// Types returns the rdf:type objects of s.
+func (g *Graph) Types(s IRI) []IRI {
+	var out []IRI
+	for _, o := range g.Objects(s, RDFType) {
+		if o.IsIRI() {
+			out = append(out, o.IRI)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// OutDegree returns the number of triples with subject s.
+func (g *Graph) OutDegree(s IRI) int {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	n := 0
+	for _, objs := range g.spo[s] {
+		n += len(objs)
+	}
+	return n
+}

@@ -1,0 +1,285 @@
+package kg
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestTermString(t *testing.T) {
+	tests := []struct {
+		term Term
+		want string
+	}{
+		{NewIRITerm("http://example.org/a"), "<http://example.org/a>"},
+		{NewLiteral("hello"), `"hello"`},
+		{NewLangLiteral("hello", "en"), `"hello"@en`},
+		{NewTypedLiteral("42", NSXSD+"integer"), `"42"^^<http://www.w3.org/2001/XMLSchema#integer>`},
+		{NewLiteral(`with "quotes" and \slash`), `"with \"quotes\" and \\slash"`},
+	}
+	for _, tc := range tests {
+		if got := tc.term.String(); got != tc.want {
+			t.Errorf("Term.String() = %s, want %s", got, tc.want)
+		}
+	}
+}
+
+func TestTermKeyDistinguishesKinds(t *testing.T) {
+	iri := NewIRITerm("x")
+	lit := NewLiteral("x")
+	if iri.Key() == lit.Key() {
+		t.Error("IRI and literal with same text share a key")
+	}
+	en := NewLangLiteral("x", "en")
+	de := NewLangLiteral("x", "de")
+	if en.Key() == de.Key() {
+		t.Error("language tags not part of literal key")
+	}
+}
+
+func TestLocalName(t *testing.T) {
+	tests := []struct{ in, want string }{
+		{"http://dbpedia.org/resource/Paris", "Paris"},
+		{"http://www.w3.org/2000/01/rdf-schema#label", "label"},
+		{"urn:world:Alexander_III", "Alexander_III"},
+		{"noslash", "noslash"},
+	}
+	for _, tc := range tests {
+		if got := LocalName(IRI(tc.in)); got != tc.want {
+			t.Errorf("LocalName(%q) = %q, want %q", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestNamespacesExpandCompactRoundTrip(t *testing.T) {
+	ns := NewNamespaces()
+	tests := []struct{ curie, iri string }{
+		{"dbr:Paris", NSDBpediaResource + "Paris"},
+		{"dbo:birthPlace", NSDBpediaOntology + "birthPlace"},
+		{"yago:isMarriedTo", NSYAGOResource + "isMarriedTo"},
+		{"rdfs:label", NSRDFS + "label"},
+	}
+	for _, tc := range tests {
+		if got := ns.Expand(tc.curie); string(got) != tc.iri {
+			t.Errorf("Expand(%q) = %q, want %q", tc.curie, got, tc.iri)
+		}
+		if got := ns.Compact(IRI(tc.iri)); got != tc.curie {
+			t.Errorf("Compact(%q) = %q, want %q", tc.iri, got, tc.curie)
+		}
+	}
+}
+
+func TestNamespacesUnknown(t *testing.T) {
+	ns := NewNamespaces()
+	if got := ns.Expand("unknown:thing"); got != "unknown:thing" {
+		t.Errorf("Expand of unknown prefix = %q", got)
+	}
+	if got := ns.Compact("http://other.example/x"); got != "http://other.example/x" {
+		t.Errorf("Compact of unknown namespace = %q", got)
+	}
+	if got := ns.Expand("nocolon"); got != "nocolon" {
+		t.Errorf("Expand without colon = %q", got)
+	}
+}
+
+func TestNamespacesPrefersLongestMatch(t *testing.T) {
+	ns := NewNamespaces()
+	ns.Register("ex", "http://example.org/")
+	ns.Register("exsub", "http://example.org/sub/")
+	if got := ns.Compact("http://example.org/sub/x"); got != "exsub:x" {
+		t.Errorf("Compact = %q, want exsub:x", got)
+	}
+}
+
+func TestGraphAddContains(t *testing.T) {
+	g := NewGraph()
+	tr := NewTriple("s", "p", "o")
+	if !g.Add(tr) {
+		t.Fatal("first Add returned false")
+	}
+	if g.Add(tr) {
+		t.Fatal("duplicate Add returned true")
+	}
+	if g.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", g.Len())
+	}
+	if !g.Contains(tr) {
+		t.Fatal("Contains missing the triple")
+	}
+	if g.Contains(NewTriple("s", "p", "other")) {
+		t.Fatal("Contains reports absent triple")
+	}
+}
+
+func TestGraphIndexes(t *testing.T) {
+	g := NewGraph()
+	g.AddAll([]Triple{
+		NewTriple("a", "knows", "b"),
+		NewTriple("a", "knows", "c"),
+		NewTriple("b", "knows", "c"),
+		NewTriple("a", "likes", "c"),
+	})
+	if objs := g.Objects("a", "knows"); len(objs) != 2 {
+		t.Errorf("Objects(a, knows) = %d, want 2", len(objs))
+	}
+	if subs := g.Subjects("knows", NewIRITerm("c")); len(subs) != 2 {
+		t.Errorf("Subjects(knows, c) = %d, want 2", len(subs))
+	}
+	if preds := g.Predicates("a", NewIRITerm("c")); len(preds) != 2 {
+		t.Errorf("Predicates(a, c) = %d, want 2", len(preds))
+	}
+	if got := g.PredicatesOf("a"); !reflect.DeepEqual(got, []IRI{"knows", "likes"}) {
+		t.Errorf("PredicatesOf(a) = %v", got)
+	}
+	if got := g.SubjectsAll(); !reflect.DeepEqual(got, []IRI{"a", "b"}) {
+		t.Errorf("SubjectsAll = %v", got)
+	}
+	if got := g.OutDegree("a"); got != 3 {
+		t.Errorf("OutDegree(a) = %d, want 3", got)
+	}
+}
+
+func TestGraphLabelAndTypes(t *testing.T) {
+	g := NewGraph()
+	g.Add(Triple{S: "urn:x:Paris", P: RDFSLabel, O: NewLangLiteral("Paris", "en")})
+	g.Add(Triple{S: "urn:x:Paris", P: RDFType, O: NewIRITerm("urn:x:City")})
+	if got := g.Label("urn:x:Paris"); got != "Paris" {
+		t.Errorf("Label = %q", got)
+	}
+	if got := g.Label("urn:x/Unlabeled_Thing"); got != "Unlabeled_Thing" {
+		t.Errorf("fallback Label = %q", got)
+	}
+	if got := g.Types("urn:x:Paris"); len(got) != 1 || got[0] != "urn:x:City" {
+		t.Errorf("Types = %v", got)
+	}
+}
+
+func TestGraphTriplesSortedDeterministic(t *testing.T) {
+	g := NewGraph()
+	g.AddAll([]Triple{
+		NewTriple("b", "p", "x"),
+		NewTriple("a", "q", "y"),
+		NewTriple("a", "p", "z"),
+	})
+	ts := g.Triples()
+	want := []string{
+		`<a> <p> <z> .`,
+		`<a> <q> <y> .`,
+		`<b> <p> <x> .`,
+	}
+	for i, tr := range ts {
+		if tr.String() != want[i] {
+			t.Errorf("Triples()[%d] = %s, want %s", i, tr.String(), want[i])
+		}
+	}
+}
+
+func TestNTriplesRoundTrip(t *testing.T) {
+	in := []Triple{
+		NewTriple("http://ex/s", "http://ex/p", "http://ex/o"),
+		{S: "http://ex/s", P: RDFSLabel, O: NewLangLiteral("a label with spaces", "en")},
+		{S: "http://ex/s", P: "http://ex/v", O: NewTypedLiteral("3.14", NSXSD+"double")},
+		{S: "http://ex/s", P: RDFSComment, O: NewLiteral(`escape "this" and \that`)},
+	}
+	var buf bytes.Buffer
+	if err := WriteNTriples(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+	out, err := ReadNTriples(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(in, out) {
+		t.Fatalf("round trip mismatch:\n in=%v\nout=%v", in, out)
+	}
+}
+
+func TestNTriplesRoundTripProperty(t *testing.T) {
+	f := func(sRaw, pRaw, val, lang string) bool {
+		s := IRI("http://ex/" + sanitizeIRIPart(sRaw))
+		p := IRI("http://ex/" + sanitizeIRIPart(pRaw))
+		tr := Triple{S: s, P: p, O: NewLiteral(val)}
+		var buf bytes.Buffer
+		if err := WriteNTriples(&buf, []Triple{tr}); err != nil {
+			return false
+		}
+		out, err := ReadNTriples(&buf)
+		if err != nil || len(out) != 1 {
+			return false
+		}
+		return reflect.DeepEqual(out[0], tr)
+	}
+	cfg := &quick.Config{MaxCount: 200}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func sanitizeIRIPart(s string) string {
+	var b strings.Builder
+	for _, r := range s {
+		if r > 0x20 && r != '<' && r != '>' && r != '"' && r < 0x7f {
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}
+
+func TestNTriplesParseErrors(t *testing.T) {
+	bad := []string{
+		`<s> <p> .`,               // missing object
+		`<s> <p> <o>`,             // missing dot
+		`<s> <p> "unterminated .`, // bad literal
+		`_:b0 <p> <o> .`,          // blank node subject
+		`<s> <p> _:b1 .`,          // blank node object
+		`<s> <p> <o> . trailing`,  // trailing garbage
+		`<s <p> <o> .`,            // unterminated IRI
+		`<s> <p> "v"^^notaniri .`, // bad datatype
+	}
+	for _, line := range bad {
+		if _, err := ReadNTriples(strings.NewReader(line)); err == nil {
+			t.Errorf("ReadNTriples(%q) succeeded, want error", line)
+		}
+	}
+}
+
+func TestNTriplesSkipsCommentsAndBlanks(t *testing.T) {
+	src := "# a comment\n\n<http://ex/s> <http://ex/p> <http://ex/o> .\n   \n"
+	out, err := ReadNTriples(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 1 {
+		t.Fatalf("parsed %d triples, want 1", len(out))
+	}
+}
+
+func TestParseErrorReportsLine(t *testing.T) {
+	src := "<http://ex/s> <http://ex/p> <http://ex/o> .\nbroken line\n"
+	_, err := ReadNTriples(strings.NewReader(src))
+	pe, ok := err.(*ParseError)
+	if !ok {
+		t.Fatalf("error type %T, want *ParseError", err)
+	}
+	if pe.Line != 2 {
+		t.Errorf("error line = %d, want 2", pe.Line)
+	}
+}
+
+func TestGraphConcurrentAccess(t *testing.T) {
+	g := NewGraph()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 500; i++ {
+			g.Add(NewTriple(IRI("s"+string(rune('a'+i%26))), "p", IRI("o"+string(rune(i)))))
+		}
+	}()
+	for i := 0; i < 500; i++ {
+		g.Len()
+		g.Objects("sa", "p")
+	}
+	<-done
+}

@@ -1,0 +1,331 @@
+// Package kgcheck implements the *internal KG-based* fact-checking family
+// the paper contrasts with FactCheck's external-evidence approach (Table 1:
+// KStream, KLinker, PredPath — coherence-based methods that score a triple
+// by the graph patterns around it). They are built here as baselines so the
+// benchmark can quantify the trade-off the paper describes: internal
+// methods are fast and self-contained but "rely entirely on the underlying
+// KG, which may contain errors or be incomplete; thus, they cannot be used
+// to assess the accuracy of the KG itself" (§2.1).
+//
+// Both checkers operate leave-one-out: the triple under test is never used
+// as evidence for itself.
+//
+//   - Linker (Relational Knowledge Linker-style): scores a triple by the
+//     best bounded-length path connecting subject to object, with longer
+//     and higher-degree paths contributing less — a specificity-weighted
+//     reachability measure.
+//   - PredPath (discriminative predicate-path style): learns, per relation,
+//     which two-edge path signatures distinguish positive examples from
+//     type-consistent corruptions, then scores a triple by the weighted
+//     signatures it matches.
+package kgcheck
+
+import (
+	"math"
+	"math/rand/v2"
+	"sort"
+
+	"factcheck/internal/dataset"
+	"factcheck/internal/det"
+	"factcheck/internal/kg"
+	"factcheck/internal/world"
+)
+
+// Checker scores the plausibility of a statement in [0,1] using only the
+// KG itself.
+type Checker interface {
+	// Name identifies the checker.
+	Name() string
+	// Score returns the truth score of (s, rel, o), never using the triple
+	// itself as evidence.
+	Score(s, o *world.Entity, rel *world.Relation) float64
+}
+
+// graphView is an adjacency view over the world's true facts, with typed
+// edges in both directions ("rel" forward, "~rel" inverse).
+type graphView struct {
+	adj map[kg.IRI][]edge
+	// has indexes exact edges for leave-one-out checks.
+	has map[string]bool
+}
+
+type edge struct {
+	rel string // "~"-prefixed when traversed inversely
+	to  kg.IRI
+}
+
+func buildView(w *world.World) *graphView {
+	v := &graphView{adj: map[kg.IRI][]edge{}, has: map[string]bool{}}
+	for _, f := range w.Facts {
+		v.adj[f.S.IRI] = append(v.adj[f.S.IRI], edge{rel: f.Relation.Name, to: f.O.IRI})
+		v.adj[f.O.IRI] = append(v.adj[f.O.IRI], edge{rel: "~" + f.Relation.Name, to: f.S.IRI})
+		v.has[edgeKey(f.S.IRI, f.Relation.Name, f.O.IRI)] = true
+	}
+	return v
+}
+
+func edgeKey(s kg.IRI, rel string, o kg.IRI) string {
+	return string(s) + "|" + rel + "|" + string(o)
+}
+
+// Linker is the Knowledge-Linker-style path checker.
+type Linker struct {
+	view *graphView
+	// MaxLen bounds path length (edges); the original uses shortest
+	// specificity-weighted paths, 2–3 edges suffice on this vocabulary.
+	MaxLen int
+}
+
+// NewLinker builds the checker over the world's fact graph.
+func NewLinker(w *world.World) *Linker {
+	return &Linker{view: buildView(w), MaxLen: 3}
+}
+
+// Name implements Checker.
+func (l *Linker) Name() string { return "KLinker" }
+
+// Score implements Checker: the best path's specificity, where each hop
+// through a node of degree d multiplies the score by 1/log2(2+d) — highly
+// connected hub nodes carry little evidence. The direct edge (the triple
+// itself) is excluded.
+func (l *Linker) Score(s, o *world.Entity, rel *world.Relation) float64 {
+	type state struct {
+		node  kg.IRI
+		score float64
+		depth int
+	}
+	best := 0.0
+	// Iterative deepening DFS with score pruning.
+	var dfs func(st state, visited map[kg.IRI]bool)
+	dfs = func(st state, visited map[kg.IRI]bool) {
+		if st.score <= best || st.depth > l.MaxLen {
+			return
+		}
+		for _, e := range l.view.adj[st.node] {
+			// Leave-one-out: skip the asserted edge in either direction.
+			if st.node == s.IRI && e.to == o.IRI && (e.rel == rel.Name) {
+				continue
+			}
+			if st.node == o.IRI && e.to == s.IRI && e.rel == "~"+rel.Name {
+				continue
+			}
+			if visited[e.to] {
+				continue
+			}
+			deg := float64(len(l.view.adj[e.to]))
+			sc := st.score / math.Log2(2+deg)
+			if e.to == o.IRI {
+				if sc > best {
+					best = sc
+				}
+				continue
+			}
+			if st.depth+1 < l.MaxLen {
+				visited[e.to] = true
+				dfs(state{node: e.to, score: sc, depth: st.depth + 1}, visited)
+				delete(visited, e.to)
+			}
+		}
+	}
+	dfs(state{node: s.IRI, score: 1, depth: 0}, map[kg.IRI]bool{s.IRI: true})
+	return best
+}
+
+// PredPath is the discriminative predicate-path checker: per relation it
+// fits weights over two-edge path signatures from positive examples and
+// type-consistent negative samples, then scores by the sum of matched
+// signature weights squashed to [0,1].
+type PredPath struct {
+	w    *world.World
+	view *graphView
+	// weights maps relation -> path signature -> weight.
+	weights map[string]map[string]float64
+	// TrainPerRelation bounds training examples per relation.
+	TrainPerRelation int
+}
+
+// NewPredPath trains the checker on the world's fact graph.
+func NewPredPath(w *world.World) *PredPath {
+	p := &PredPath{
+		w:                w,
+		view:             buildView(w),
+		weights:          map[string]map[string]float64{},
+		TrainPerRelation: 150,
+	}
+	p.train()
+	return p
+}
+
+// Name implements Checker.
+func (p *PredPath) Name() string { return "PredPath" }
+
+// signatures returns the two-edge path signatures ("relA/relB") connecting
+// s to o, excluding the direct asserted edge.
+func (p *PredPath) signatures(s, o kg.IRI, rel string) []string {
+	var sigs []string
+	for _, e1 := range p.view.adj[s] {
+		if e1.to == o {
+			// One-edge paths other than the asserted relation are signals
+			// too (e.g. deathPlace edge when checking birthPlace).
+			if e1.rel != rel {
+				sigs = append(sigs, e1.rel)
+			}
+			continue
+		}
+		for _, e2 := range p.view.adj[e1.to] {
+			if e2.to == o {
+				sigs = append(sigs, e1.rel+"/"+e2.rel)
+			}
+		}
+	}
+	sort.Strings(sigs)
+	return sigs
+}
+
+// train fits per-relation signature weights: w(sig) = log odds of the
+// signature under positives vs negatives (add-one smoothed).
+func (p *PredPath) train() {
+	byRel := p.w.FactsByRelation()
+	for relName, facts := range byRel {
+		rng := det.Source("predpath-train", relName)
+		n := len(facts)
+		if n > p.TrainPerRelation {
+			n = p.TrainPerRelation
+		}
+		pos := map[string]float64{}
+		neg := map[string]float64{}
+		for i := 0; i < n; i++ {
+			f := facts[rng.IntN(len(facts))]
+			for _, sig := range p.signatures(f.S.IRI, f.O.IRI, relName) {
+				pos[sig]++
+			}
+			// Type-consistent corruption as the negative example (the
+			// counterexample-aware variant of Kim & Choi).
+			if cf, ok := p.w.Corrupt(f, world.CorruptObject, rng); ok {
+				for _, sig := range p.signatures(cf.S.IRI, cf.O.IRI, relName) {
+					neg[sig]++
+				}
+			}
+		}
+		weights := map[string]float64{}
+		for sig, pc := range pos {
+			nc := neg[sig]
+			weights[sig] = math.Log((pc + 1) / (nc + 1))
+		}
+		for sig, nc := range neg {
+			if _, seen := pos[sig]; !seen {
+				weights[sig] = math.Log(1 / (nc + 1))
+			}
+		}
+		p.weights[relName] = weights
+	}
+}
+
+// Score implements Checker.
+func (p *PredPath) Score(s, o *world.Entity, rel *world.Relation) float64 {
+	weights := p.weights[rel.Name]
+	if weights == nil {
+		return 0
+	}
+	sum := 0.0
+	for _, sig := range p.signatures(s.IRI, o.IRI, rel.Name) {
+		sum += weights[sig]
+	}
+	return 1 / (1 + math.Exp(-sum))
+}
+
+// Evaluation of a checker over a dataset at a decision threshold.
+type Evaluation struct {
+	Checker        string
+	Threshold      float64
+	TP, FP, TN, FN int
+}
+
+// F1True returns the F1 of the "true" class.
+func (e Evaluation) F1True() float64 {
+	p := safeDiv(e.TP, e.TP+e.FP)
+	r := safeDiv(e.TP, e.TP+e.FN)
+	return f1(p, r)
+}
+
+// F1False returns the F1 of the "false" class.
+func (e Evaluation) F1False() float64 {
+	p := safeDiv(e.TN, e.TN+e.FN)
+	r := safeDiv(e.TN, e.TN+e.FP)
+	return f1(p, r)
+}
+
+// Accuracy returns plain accuracy.
+func (e Evaluation) Accuracy() float64 {
+	return safeDiv(e.TP+e.TN, e.TP+e.TN+e.FP+e.FN)
+}
+
+func safeDiv(a, b int) float64 {
+	if b == 0 {
+		return 0
+	}
+	return float64(a) / float64(b)
+}
+
+func f1(p, r float64) float64 {
+	if p+r == 0 {
+		return 0
+	}
+	return 2 * p * r / (p + r)
+}
+
+// Evaluate scores every fact of d and classifies at the threshold.
+func Evaluate(c Checker, d *dataset.Dataset, threshold float64) Evaluation {
+	ev := Evaluation{Checker: c.Name(), Threshold: threshold}
+	for _, f := range d.Facts {
+		pred := c.Score(f.Subject, f.Object, f.Relation) >= threshold
+		switch {
+		case f.Gold && pred:
+			ev.TP++
+		case f.Gold && !pred:
+			ev.FN++
+		case !f.Gold && pred:
+			ev.FP++
+		default:
+			ev.TN++
+		}
+	}
+	return ev
+}
+
+// BestThreshold sweeps thresholds on a sample and returns the accuracy-
+// maximising one (the unsupervised tuning the original methods perform on
+// held-out data).
+func BestThreshold(c Checker, d *dataset.Dataset, sample int, rng *rand.Rand) float64 {
+	facts := d.Facts
+	if sample > 0 && len(facts) > sample {
+		idx := rng.Perm(len(facts))[:sample]
+		sampled := make([]*dataset.Fact, sample)
+		for i, j := range idx {
+			sampled[i] = facts[j]
+		}
+		facts = sampled
+	}
+	type scored struct {
+		s    float64
+		gold bool
+	}
+	var ss []scored
+	for _, f := range facts {
+		ss = append(ss, scored{s: c.Score(f.Subject, f.Object, f.Relation), gold: f.Gold})
+	}
+	best, bestAcc := 0.5, -1.0
+	for _, th := range []float64{0.05, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9} {
+		correct := 0
+		for _, x := range ss {
+			if (x.s >= th) == x.gold {
+				correct++
+			}
+		}
+		acc := float64(correct) / float64(len(ss))
+		if acc > bestAcc {
+			best, bestAcc = th, acc
+		}
+	}
+	return best
+}

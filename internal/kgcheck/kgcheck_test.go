@@ -1,0 +1,162 @@
+package kgcheck
+
+import (
+	"testing"
+
+	"factcheck/internal/dataset"
+	"factcheck/internal/det"
+	"factcheck/internal/world"
+)
+
+func fixture(t *testing.T) (*world.World, *dataset.Dataset) {
+	t.Helper()
+	w := world.New(world.SmallConfig())
+	return w, dataset.Build(w, dataset.FactBench, 0.3)
+}
+
+func TestLinkerScoreRange(t *testing.T) {
+	w, d := fixture(t)
+	l := NewLinker(w)
+	for _, f := range d.Facts[:50] {
+		s := l.Score(f.Subject, f.Object, f.Relation)
+		if s < 0 || s > 1 {
+			t.Fatalf("score %f out of range", s)
+		}
+	}
+}
+
+func TestLinkerLeaveOneOut(t *testing.T) {
+	// A fact whose entities are otherwise unconnected must not score via
+	// its own edge. Construct the check over real facts: scoring must never
+	// return the maximum 1.0 that a direct edge would produce (since the
+	// direct edge is excluded and all other paths pass through degree>0
+	// nodes with log penalties).
+	w, d := fixture(t)
+	l := NewLinker(w)
+	for _, f := range d.Facts[:100] {
+		if !f.Gold {
+			continue
+		}
+		if s := l.Score(f.Subject, f.Object, f.Relation); s >= 0.999 {
+			t.Fatalf("fact %s scored %f — direct edge leaked", f.ID, s)
+		}
+	}
+}
+
+func TestLinkerDiscriminates(t *testing.T) {
+	// True facts must score higher on average than corrupted ones: the
+	// subject's neighbourhood genuinely touches the object.
+	w, d := fixture(t)
+	l := NewLinker(w)
+	var sumT, sumF float64
+	var nT, nF int
+	for _, f := range d.Facts {
+		s := l.Score(f.Subject, f.Object, f.Relation)
+		if f.Gold {
+			sumT += s
+			nT++
+		} else {
+			sumF += s
+			nF++
+		}
+	}
+	if nT == 0 || nF == 0 {
+		t.Fatal("degenerate dataset")
+	}
+	meanT, meanF := sumT/float64(nT), sumF/float64(nF)
+	if meanT <= meanF {
+		t.Errorf("linker does not discriminate: true %.4f <= false %.4f", meanT, meanF)
+	}
+}
+
+func TestPredPathScoreRange(t *testing.T) {
+	w, d := fixture(t)
+	p := NewPredPath(w)
+	for _, f := range d.Facts[:50] {
+		s := p.Score(f.Subject, f.Object, f.Relation)
+		if s < 0 || s > 1 {
+			t.Fatalf("score %f out of range", s)
+		}
+	}
+}
+
+func TestPredPathDiscriminates(t *testing.T) {
+	w, d := fixture(t)
+	p := NewPredPath(w)
+	var sumT, sumF float64
+	var nT, nF int
+	for _, f := range d.Facts {
+		s := p.Score(f.Subject, f.Object, f.Relation)
+		if f.Gold {
+			sumT += s
+			nT++
+		} else {
+			sumF += s
+			nF++
+		}
+	}
+	meanT, meanF := sumT/float64(nT), sumF/float64(nF)
+	if meanT <= meanF {
+		t.Errorf("predpath does not discriminate: true %.4f <= false %.4f", meanT, meanF)
+	}
+}
+
+func TestPredPathUnknownRelation(t *testing.T) {
+	w, _ := fixture(t)
+	p := NewPredPath(w)
+	fake := &world.Relation{Name: "noSuchRelation", Domain: world.TypePerson, Range: world.TypeCity}
+	s := w.ByType(world.TypePerson)[0]
+	o := w.ByType(world.TypeCity)[0]
+	if got := p.Score(s, o, fake); got != 0 {
+		t.Errorf("unknown relation score = %f, want 0", got)
+	}
+}
+
+func TestEvaluateConfusion(t *testing.T) {
+	w, d := fixture(t)
+	l := NewLinker(w)
+	ev := Evaluate(l, d, 0.1)
+	if got := ev.TP + ev.FP + ev.TN + ev.FN; got != len(d.Facts) {
+		t.Fatalf("evaluation covers %d facts, want %d", got, len(d.Facts))
+	}
+	if ev.Checker != "KLinker" {
+		t.Errorf("checker name %q", ev.Checker)
+	}
+	if ev.Accuracy() < 0 || ev.Accuracy() > 1 {
+		t.Error("accuracy out of range")
+	}
+	if f1 := ev.F1True(); f1 < 0 || f1 > 1 {
+		t.Error("F1True out of range")
+	}
+}
+
+func TestBestThresholdImproves(t *testing.T) {
+	w, d := fixture(t)
+	p := NewPredPath(w)
+	rng := det.Source("threshold-test")
+	th := BestThreshold(p, d, 150, rng)
+	if th <= 0 || th >= 1 {
+		t.Fatalf("threshold %f out of range", th)
+	}
+	tuned := Evaluate(p, d, th)
+	// The tuned threshold must beat at least one arbitrary extreme.
+	lo := Evaluate(p, d, 0.05)
+	hi := Evaluate(p, d, 0.95)
+	if tuned.Accuracy() < lo.Accuracy() && tuned.Accuracy() < hi.Accuracy() {
+		t.Errorf("tuned accuracy %.3f below both extremes (%.3f, %.3f)",
+			tuned.Accuracy(), lo.Accuracy(), hi.Accuracy())
+	}
+}
+
+func TestCheckersDeterministic(t *testing.T) {
+	w, d := fixture(t)
+	l1, l2 := NewLinker(w), NewLinker(w)
+	p1, p2 := NewPredPath(w), NewPredPath(w)
+	f := d.Facts[0]
+	if l1.Score(f.Subject, f.Object, f.Relation) != l2.Score(f.Subject, f.Object, f.Relation) {
+		t.Error("linker not deterministic")
+	}
+	if p1.Score(f.Subject, f.Object, f.Relation) != p2.Score(f.Subject, f.Object, f.Relation) {
+		t.Error("predpath not deterministic")
+	}
+}

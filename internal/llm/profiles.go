@@ -1,0 +1,213 @@
+package llm
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Model names used throughout the benchmark, matching the paper's setup
+// (§4.2, §5): four open-source 7–9B models, their larger tie-breaking
+// variants, and the commercial reference model.
+const (
+	Gemma2     = "gemma2:9b"
+	Qwen25     = "qwen2.5:7b"
+	Llama31    = "llama3.1:8b"
+	Mistral    = "mistral:7b"
+	GPT4oMini  = "gpt-4o-mini"
+	Gemma2Big  = "gemma2:27b"
+	Qwen25Big  = "qwen2.5:14b"
+	Llama31Big = "llama3.1:70b"
+	MistralBig = "mistral-nemo:12b"
+)
+
+// OpenSourceModels lists the ensemble's base models in presentation order.
+var OpenSourceModels = []string{Gemma2, Qwen25, Llama31, Mistral}
+
+// BenchmarkModels lists every model column of Table 5.
+var BenchmarkModels = []string{Gemma2, Qwen25, Llama31, Mistral, GPT4oMini}
+
+// Upgrade maps each base model to its higher-parameter variant used for
+// consensus tie-breaking (paper §5).
+var Upgrade = map[string]string{
+	Gemma2:  Gemma2Big,
+	Qwen25:  Qwen25Big,
+	Llama31: Llama31Big,
+	Mistral: MistralBig,
+}
+
+// profiles holds the behavioural calibration of every simulated model. The
+// numbers are fitted so the benchmark reproduces the *shape* of the paper's
+// Tables 5–8: who wins where, the YAGO positive-class bias, GPT-4o mini's
+// internal-knowledge weakness and RAG strength, and the latency ordering
+// DKA < GIV-Z < GIV-F << RAG.
+var profiles = map[string]Profile{
+	Gemma2: {
+		Name: Gemma2, Params: 9,
+		Coverage: 1.15, Accuracy: 0.93, TruePrior: 0.62,
+		ContextSkill: 0.93, TrustContext: 0.96,
+		PromptTPS: 1200, GenTPS: 340, Overhead: 0.11,
+		Methods: map[Method]MethodMod{
+			MethodDKA:  {Conformance: 1},
+			MethodGIVZ: {AccShift: -0.02, Flip: 0.02, Conformance: 0.86},
+			MethodGIVF: {AccShift: 0.05, PriorShift: 0.03, GoldNudge: 0.15, Conformance: 0.93},
+			MethodRAG:  {Conformance: 1},
+		},
+		Datasets: map[string]DatasetMod{
+			"FactBench": {CoverageScale: 1.0, ReadNoise: 0.02},
+			"YAGO":      {CoverageScale: 0.93, PriorShift: -0.22, ReadNoise: 0.03},
+			"DBpedia":   {CoverageScale: 0.62, PriorShift: 0.10, ReadNoise: 0.22},
+		},
+	},
+	Qwen25: {
+		Name: Qwen25, Params: 7,
+		Coverage: 0.85, Accuracy: 0.88, TruePrior: 0.10,
+		ContextSkill: 0.91, TrustContext: 0.96,
+		PromptTPS: 1400, GenTPS: 420, Overhead: 0.09,
+		Methods: map[Method]MethodMod{
+			MethodDKA:  {Conformance: 1},
+			MethodGIVZ: {PriorShift: -0.05, Flip: 0.02, Conformance: 0.82},
+			MethodGIVF: {AccShift: 0.06, PriorShift: 0.12, GoldNudge: 0.30, Conformance: 0.9},
+			MethodRAG:  {Conformance: 1},
+		},
+		Datasets: map[string]DatasetMod{
+			"FactBench": {CoverageScale: 1.0, ReadNoise: 0.03},
+			"YAGO":      {CoverageScale: 0.8, PriorShift: 0.02, AccShift: -0.35, ReadNoise: 0.03},
+			"DBpedia":   {CoverageScale: 0.62, PriorShift: 0.23, ReadNoise: 0.08},
+		},
+	},
+	Llama31: {
+		Name: Llama31, Params: 8,
+		Coverage: 0.95, Accuracy: 0.90, TruePrior: 0.55,
+		ContextSkill: 0.83, TrustContext: 0.93,
+		PromptTPS: 1100, GenTPS: 280, Overhead: 0.13,
+		Methods: map[Method]MethodMod{
+			MethodDKA:  {Conformance: 1},
+			MethodGIVZ: {AccShift: -0.25, PriorShift: -0.35, Flip: 0.05, Conformance: 0.78},
+			MethodGIVF: {AccShift: 0.04, PriorShift: 0.05, GoldNudge: 0.25, Conformance: 0.88},
+			MethodRAG:  {Conformance: 1},
+		},
+		Datasets: map[string]DatasetMod{
+			"FactBench": {CoverageScale: 1.0, ReadNoise: 0.05},
+			"YAGO":      {CoverageScale: 0.9, PriorShift: -0.29, ReadNoise: 0.06},
+			"DBpedia":   {CoverageScale: 0.62, PriorShift: 0.11, ReadNoise: 0.20},
+		},
+	},
+	Mistral: {
+		Name: Mistral, Params: 7,
+		Coverage: 0.90, Accuracy: 0.90, TruePrior: 0.45,
+		ContextSkill: 0.92, TrustContext: 0.97,
+		PromptTPS: 2100, GenTPS: 520, Overhead: 0.08,
+		Methods: map[Method]MethodMod{
+			MethodDKA:  {Conformance: 1},
+			MethodGIVZ: {PriorShift: 0.33, Flip: 0.02, Conformance: 0.84},
+			MethodGIVF: {AccShift: 0.05, PriorShift: 0.30, GoldNudge: 0.25, Conformance: 0.92},
+			MethodRAG:  {Conformance: 1},
+		},
+		Datasets: map[string]DatasetMod{
+			"FactBench": {CoverageScale: 1.0, ReadNoise: 0.02},
+			"YAGO":      {CoverageScale: 0.7, PriorShift: -0.27, ReadNoise: 0.02},
+			"DBpedia":   {CoverageScale: 0.62, PriorShift: 0.18, ReadNoise: 0.12},
+		},
+	},
+	GPT4oMini: {
+		Name: GPT4oMini, Params: 8, // undisclosed; the paper treats it as small
+		Coverage: 0.80, Accuracy: 0.90, TruePrior: 0.10,
+		ContextSkill: 0.96, TrustContext: 0.98,
+		PromptTPS: 1800, GenTPS: 450, Overhead: 0.10,
+		Methods: map[Method]MethodMod{
+			MethodDKA:  {Conformance: 1},
+			MethodGIVZ: {PriorShift: -0.03, Conformance: 0.95},
+			MethodGIVF: {AccShift: 0.02, GoldNudge: 0.02, Conformance: 0.97},
+			MethodRAG:  {Conformance: 1},
+		},
+		Datasets: map[string]DatasetMod{
+			"FactBench": {CoverageScale: 1.0, ReadNoise: 0.01},
+			"YAGO":      {CoverageScale: 0.75, PriorShift: -0.05, ReadNoise: 0.02},
+			"DBpedia":   {CoverageScale: 0.62, PriorShift: 0.145, ReadNoise: 0.06},
+		},
+	},
+
+	// Higher-parameter tie-breaking variants: broader coverage and accuracy,
+	// slower token rates. They inherit their base model's priors.
+	Gemma2Big: {
+		Name: Gemma2Big, Params: 27,
+		Coverage: 1.3, Accuracy: 0.95, TruePrior: 0.60,
+		ContextSkill: 0.95, TrustContext: 0.96,
+		PromptTPS: 600, GenTPS: 160, Overhead: 0.2,
+		Methods:  conformantMethods(),
+		Datasets: defaultDatasetMods(),
+	},
+	Qwen25Big: {
+		Name: Qwen25Big, Params: 14,
+		Coverage: 1.0, Accuracy: 0.91, TruePrior: 0.38,
+		ContextSkill: 0.93, TrustContext: 0.96,
+		PromptTPS: 900, GenTPS: 250, Overhead: 0.15,
+		Methods:  conformantMethods(),
+		Datasets: defaultDatasetMods(),
+	},
+	Llama31Big: {
+		Name: Llama31Big, Params: 70,
+		Coverage: 1.35, Accuracy: 0.95, TruePrior: 0.55,
+		ContextSkill: 0.93, TrustContext: 0.95,
+		PromptTPS: 260, GenTPS: 70, Overhead: 0.35,
+		Methods:  conformantMethods(),
+		Datasets: defaultDatasetMods(),
+	},
+	MistralBig: {
+		Name: MistralBig, Params: 12,
+		Coverage: 1.05, Accuracy: 0.92, TruePrior: 0.47,
+		ContextSkill: 0.94, TrustContext: 0.97,
+		PromptTPS: 1300, GenTPS: 330, Overhead: 0.12,
+		Methods:  conformantMethods(),
+		Datasets: defaultDatasetMods(),
+	},
+}
+
+// defaultDatasetMods encodes the dataset-level effects shared by all
+// models: YAGO samples popular facts (better coverage) and nudges answers
+// positive; DBpedia's tail entities and schema diversity cut coverage and
+// inflate the positive prior (annotators kept mostly-true facts).
+func defaultDatasetMods() map[string]DatasetMod {
+	return map[string]DatasetMod{
+		"FactBench": {CoverageScale: 1.0},
+		"YAGO":      {CoverageScale: 1.1, PriorShift: 0.05},
+		"DBpedia":   {CoverageScale: 0.62, PriorShift: 0.10},
+	}
+}
+
+func conformantMethods() map[Method]MethodMod {
+	return map[Method]MethodMod{
+		MethodDKA:  {Conformance: 1},
+		MethodGIVZ: {Conformance: 0.95},
+		MethodGIVF: {AccShift: 0.03, Conformance: 0.97},
+		MethodRAG:  {Conformance: 1},
+	}
+}
+
+// New returns the simulated model registered under name.
+func New(name string) (*Sim, error) {
+	p, ok := profiles[name]
+	if !ok {
+		return nil, fmt.Errorf("llm: unknown model %q (known: %v)", name, Names())
+	}
+	return NewSim(p), nil
+}
+
+// MustNew is New for static model names; it panics on unknown names.
+func MustNew(name string) *Sim {
+	m, err := New(name)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// Names returns all registered model names, sorted.
+func Names() []string {
+	out := make([]string, 0, len(profiles))
+	for n := range profiles {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,149 @@
+package llm
+
+import (
+	"context"
+	"strings"
+	"testing"
+)
+
+func TestProfileAccessor(t *testing.T) {
+	m := MustNew(Gemma2)
+	p := m.Profile()
+	if p.Name != Gemma2 || p.Coverage <= 0 || p.PromptTPS <= 0 {
+		t.Errorf("profile incomplete: %+v", p)
+	}
+}
+
+func TestMethodAndDatasetModDefaults(t *testing.T) {
+	// A bare profile (no mods) must behave with sane defaults rather than
+	// zero conformance / zero coverage scale.
+	s := NewSim(Profile{
+		Name: "bare", Params: 1,
+		Coverage: 0.5, Accuracy: 0.9, TruePrior: 0.5,
+		ContextSkill: 0.9, TrustContext: 0.9,
+		PromptTPS: 1000, GenTPS: 300, Overhead: 0.1,
+	})
+	c := claim(true)
+	c.Dataset = "SomethingElse"
+	resp, err := s.Generate(context.Background(), Request{
+		System: "s", Prompt: "p", Claim: c, Method: MethodGIVZ,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Default conformance is 1: output must be valid JSON.
+	if !strings.HasPrefix(strings.TrimSpace(resp.Text), "{") {
+		t.Errorf("default-conformance output not JSON: %q", resp.Text)
+	}
+}
+
+func TestTopicCoverageGradient(t *testing.T) {
+	// Education must be covered strictly better than Architecture and
+	// Transportation; unknown topics are neutral.
+	edu := topicCoverage("Education")
+	arch := topicCoverage("Architecture")
+	trans := topicCoverage("Transportation")
+	news := topicCoverage("News")
+	culture := topicCoverage("Culture")
+	business := topicCoverage("Business")
+	sports := topicCoverage("Sports")
+	other := topicCoverage("SomethingNew")
+	if !(edu > news && news > culture && culture > business && business > sports) {
+		t.Error("head-domain gradient violated")
+	}
+	if arch >= sports || trans >= sports {
+		t.Error("tail domains not penalised")
+	}
+	if other != 1.0 {
+		t.Errorf("unknown topic factor = %f, want 1", other)
+	}
+}
+
+func TestTopicAffectsKnowledge(t *testing.T) {
+	m := MustNew(Gemma2)
+	knowRate := func(topic string) float64 {
+		hits := 0
+		const n = 2000
+		for i := 0; i < n; i++ {
+			c := claim(true)
+			c.Key = "T|award|K" + itoa(i)
+			c.Popularity = 0.3
+			c.Topic = topic
+			if m.Knows(c) {
+				hits++
+			}
+		}
+		return float64(hits) / n
+	}
+	if knowRate("Education") <= knowRate("Architecture") {
+		t.Error("education facts not better covered than architecture facts")
+	}
+}
+
+func TestReasonVocabularyPerCategory(t *testing.T) {
+	m := MustNew(Mistral)
+	ctx := context.Background()
+	wants := map[string][]string{
+		"geo":          {"place", "country", "city", "location", "geograph"},
+		"relationship": {"relationship", "marital"},
+		"role":         {"role", "team", "employer", "position"},
+		"genre":        {"genre", "categor"},
+		"identifier":   {"identifier", "award", "biograph"},
+		"other":        {"context", "recalled"},
+	}
+	for cat, keywords := range wants {
+		found := false
+		// Sample several claims per category; the model must emit a reason
+		// containing category vocabulary whenever it answers "false".
+		for i := 0; i < 60 && !found; i++ {
+			c := claim(true)
+			c.Key = "R|" + cat + "|x" + itoa(i)
+			c.Category = cat
+			c.Popularity = 0.9 // likely known -> mostly correct, some wrong
+			c.Gold = false     // a known false fact yields verdict false
+			resp, err := m.Generate(ctx, Request{System: "s", Prompt: "p", Claim: c, Method: MethodDKA})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !strings.HasPrefix(strings.ToUpper(resp.Text), "FALSE") {
+				continue
+			}
+			lower := strings.ToLower(resp.Text)
+			for _, kw := range keywords {
+				if strings.Contains(lower, kw) {
+					found = true
+					break
+				}
+			}
+		}
+		if !found {
+			t.Errorf("category %s: no reason contained its vocabulary", cat)
+		}
+	}
+}
+
+func TestSlowResponseTail(t *testing.T) {
+	// ~3% of calls are slow outliers, which the IQR filter later removes;
+	// verify the tail exists.
+	m := MustNew(Qwen25)
+	ctx := context.Background()
+	var base, maxLat float64
+	const n = 400
+	for i := 0; i < n; i++ {
+		c := claim(true)
+		c.Key = "L|homeCity|z" + itoa(i)
+		r, err := m.Generate(ctx, Request{System: "s", Prompt: "p q r s t", Claim: c, Method: MethodDKA})
+		if err != nil {
+			t.Fatal(err)
+		}
+		s := r.Usage.Latency.Seconds()
+		base += s
+		if s > maxLat {
+			maxLat = s
+		}
+	}
+	mean := base / n
+	if maxLat < 2*mean {
+		t.Errorf("no slow tail: max %.3fs vs mean %.3fs", maxLat, mean)
+	}
+}

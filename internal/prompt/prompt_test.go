@@ -1,0 +1,148 @@
+package prompt
+
+import (
+	"strings"
+	"testing"
+
+	"factcheck/internal/llm"
+)
+
+func testClaim() llm.Claim {
+	return llm.Claim{
+		Dataset:      "FactBench",
+		Sentence:     "Ada Example was born in Sampletown.",
+		SubjectLabel: "Ada Example",
+		ObjectLabel:  "Sampletown",
+		Phrase:       "was born in",
+	}
+}
+
+func TestDKAPrompt(t *testing.T) {
+	system, user := DKA(testClaim())
+	if system != DKASystem {
+		t.Error("DKA system prompt mismatch")
+	}
+	if !strings.Contains(user, "Ada Example was born in Sampletown.") {
+		t.Errorf("DKA user prompt missing sentence: %q", user)
+	}
+}
+
+func TestGIVPromptParts(t *testing.T) {
+	c := testClaim()
+	system, zero := GIV(c, false, 0)
+	if !strings.Contains(system, `{"verdict": "true" | "false"`) {
+		t.Error("GIV system prompt missing schema")
+	}
+	if !strings.Contains(zero, ConstraintsFor("FactBench")) {
+		t.Error("GIV prompt missing dataset constraints")
+	}
+	if strings.Contains(zero, "Examples:") {
+		t.Error("zero-shot prompt contains examples")
+	}
+
+	_, few := GIV(c, true, 0)
+	if !strings.Contains(few, "Examples:") {
+		t.Error("few-shot prompt missing examples")
+	}
+	for _, ex := range FewShotExamples {
+		if !strings.Contains(few, ex.Statement) {
+			t.Errorf("few-shot prompt missing example %q", ex.Statement)
+		}
+	}
+	if len(few) <= len(zero) {
+		t.Error("few-shot prompt not longer than zero-shot")
+	}
+
+	_, retry := GIV(c, false, 1)
+	if !strings.Contains(retry, "did not conform") {
+		t.Error("re-prompt missing non-compliance flag")
+	}
+}
+
+func TestConstraintsForAllDatasets(t *testing.T) {
+	for _, ds := range []string{"FactBench", "YAGO", "DBpedia"} {
+		if ConstraintsFor(ds) == "" {
+			t.Errorf("no constraints for %s", ds)
+		}
+	}
+	if ConstraintsFor("Other") != "" {
+		t.Error("constraints for unknown dataset")
+	}
+}
+
+func TestRAGPrompt(t *testing.T) {
+	chunks := []string{"First passage.", "Second passage."}
+	system, user := RAG(testClaim(), chunks)
+	if system != RAGSystem {
+		t.Error("RAG system prompt mismatch")
+	}
+	if !strings.Contains(user, "[1] First passage.") || !strings.Contains(user, "[2] Second passage.") {
+		t.Errorf("RAG prompt missing numbered chunks: %q", user)
+	}
+	if !strings.Contains(user, "Ada Example was born in Sampletown.") {
+		t.Error("RAG prompt missing statement")
+	}
+}
+
+func TestParseGIV(t *testing.T) {
+	tests := []struct {
+		in      string
+		verdict bool
+		ok      bool
+	}{
+		{`{"verdict": "true", "reason": "it holds"}`, true, true},
+		{`{"verdict": "false", "reason": "it does not"}`, false, true},
+		{`  {"verdict": "TRUE", "reason": "case-insensitive"}  `, true, true},
+		{`{"verdict": "maybe", "reason": "x"}`, false, false},
+		{`not json at all`, false, false},
+		{`{"reason": "missing verdict"}`, false, false},
+		{``, false, false},
+	}
+	for _, tc := range tests {
+		v, _, ok := ParseGIV(tc.in)
+		if ok != tc.ok || (ok && v != tc.verdict) {
+			t.Errorf("ParseGIV(%q) = (%v, %v), want (%v, %v)", tc.in, v, ok, tc.verdict, tc.ok)
+		}
+	}
+}
+
+func TestParseGIVReason(t *testing.T) {
+	_, reason, ok := ParseGIV(`{"verdict": "true", "reason": "solid evidence"}`)
+	if !ok || reason != "solid evidence" {
+		t.Errorf("reason = %q, ok = %v", reason, ok)
+	}
+}
+
+func TestParseFree(t *testing.T) {
+	tests := []struct {
+		in      string
+		verdict bool
+		reason  string
+		ok      bool
+	}{
+		{"TRUE. It matches records.", true, "It matches records.", true},
+		{"FALSE. Contradicted.", false, "Contradicted.", true},
+		{"true - lowercase works", true, "- lowercase works", true},
+		{"  FALSE: with colon", false, "with colon", true},
+		{"I think the answer is yes", false, "", false},
+		{"", false, "", false},
+	}
+	for _, tc := range tests {
+		v, r, ok := ParseFree(tc.in)
+		if ok != tc.ok || v != tc.verdict {
+			t.Errorf("ParseFree(%q) = (%v, %q, %v), want (%v, %q, %v)",
+				tc.in, v, r, ok, tc.verdict, tc.reason, tc.ok)
+		}
+		if ok && tc.reason != "" && !strings.Contains(tc.in, r) {
+			t.Errorf("reason %q not a substring of input", r)
+		}
+	}
+}
+
+func TestGIVRoundTripWithSim(t *testing.T) {
+	// A conformant simulated GIV answer must parse.
+	out := `{"verdict": "false", "reason": "The stated place conflicts with known records."}`
+	if _, _, ok := ParseGIV(out); !ok {
+		t.Error("canonical sim output does not parse")
+	}
+}

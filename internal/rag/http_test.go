@@ -1,0 +1,73 @@
+package rag
+
+import (
+	"net/http/httptest"
+	"testing"
+
+	"factcheck/internal/corpus"
+	"factcheck/internal/dataset"
+	"factcheck/internal/search"
+	"factcheck/internal/world"
+)
+
+// TestRetrieveOverHTTPMatchesInProcess runs the same pipeline against the
+// in-process engine and against the mock API over HTTP: retrieval must be
+// identical, which is the mock API's whole reason to exist (paper §4.1:
+// "identical retrieval operations across multiple experimental runs").
+func TestRetrieveOverHTTPMatchesInProcess(t *testing.T) {
+	w := world.New(world.SmallConfig())
+	d := dataset.Build(w, dataset.FactBench, 0.05)
+	gen := corpus.NewGenerator(w)
+	engine := search.NewEngine(gen, d)
+
+	srv := httptest.NewServer(search.NewAPI(engine).Handler())
+	defer srv.Close()
+
+	local := New(engine)
+	remote := New(search.NewClient(srv.URL))
+
+	for _, f := range d.Facts[:15] {
+		le, err := local.Retrieve(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		re, err := remote.Retrieve(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if le.Sentence != re.Sentence {
+			t.Fatalf("%s: sentences differ", f.ID)
+		}
+		if len(le.Docs) != len(re.Docs) {
+			t.Fatalf("%s: %d local docs vs %d remote docs", f.ID, len(le.Docs), len(re.Docs))
+		}
+		for i := range le.Docs {
+			if le.Docs[i].DocID != re.Docs[i].DocID {
+				t.Fatalf("%s: doc %d differs (%s vs %s)", f.ID, i, le.Docs[i].DocID, re.Docs[i].DocID)
+			}
+		}
+		if len(le.Chunks) != len(re.Chunks) {
+			t.Fatalf("%s: chunk counts differ", f.ID)
+		}
+		for i := range le.Chunks {
+			if le.Chunks[i].Text != re.Chunks[i].Text {
+				t.Fatalf("%s: chunk %d text differs", f.ID, i)
+			}
+		}
+	}
+}
+
+// TestRetrieveHTTPServerGone verifies error propagation when the API is
+// unreachable.
+func TestRetrieveHTTPServerGone(t *testing.T) {
+	w := world.New(world.SmallConfig())
+	d := dataset.Build(w, dataset.FactBench, 0.05)
+	srv := httptest.NewServer(nil)
+	url := srv.URL
+	srv.Close()
+
+	p := New(search.NewClient(url))
+	if _, err := p.Retrieve(d.Facts[0]); err == nil {
+		t.Fatal("retrieval against dead server succeeded")
+	}
+}

@@ -1,0 +1,299 @@
+// Package rag implements the paper's four-phase retrieval pipeline (§3.2):
+// (1) triple transformation, (2) question generation and ranking, (3)
+// document retrieval and filtering, and (4) document processing and
+// chunking. The pipeline is backed by any search.Searcher (the in-process
+// engine or the HTTP mock API) and mirrors the configuration of the paper's
+// Table 4.
+package rag
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"factcheck/internal/chunk"
+	"factcheck/internal/dataset"
+	"factcheck/internal/det"
+	"factcheck/internal/question"
+	"factcheck/internal/rerank"
+	"factcheck/internal/search"
+	"factcheck/internal/verbalize"
+)
+
+// Config mirrors the paper's Table 4 RAG parameters.
+type Config struct {
+	// NumQuestions generated per fact (k_q).
+	NumQuestions int
+	// Tau is the question relevance threshold (τ = 0.5).
+	Tau float64
+	// SelectedQuestions is the number of top questions issued as queries
+	// (paper: 3, plus the transformed triple itself).
+	SelectedQuestions int
+	// SERPSize is results per query (n_max = 100).
+	SERPSize int
+	// SelectedDocs is k_d, the documents kept after reranking (10).
+	SelectedDocs int
+	// Window is the sliding-window chunk size in sentences (3).
+	Window int
+	// MaxChunks caps the chunks passed to the model prompt.
+	MaxChunks int
+	// CandidateCap bounds how many unique documents are fetched and
+	// reranked per fact, keeping full-benchmark runs tractable.
+	CandidateCap int
+	// FilterSKG enables dropping documents from the KG's own source pages
+	// (circular-verification filter). On by default; the ablation bench
+	// turns it off.
+	FilterSKG bool
+}
+
+// DefaultConfig returns the paper's configuration.
+func DefaultConfig() Config {
+	return Config{
+		NumQuestions:      question.DefaultK,
+		Tau:               0.5,
+		SelectedQuestions: 3,
+		SERPSize:          search.DefaultSERPSize,
+		SelectedDocs:      10,
+		Window:            chunk.DefaultWindow,
+		MaxChunks:         20,
+		CandidateCap:      120,
+		FilterSKG:         true,
+	}
+}
+
+// Pipeline executes retrieval for facts. Retrieval is model-independent and
+// deterministic, so results are cached per fact: when several models verify
+// the same fact (Table 5's five columns, consensus ensembles) the pipeline
+// retrieves once.
+type Pipeline struct {
+	Searcher       search.Searcher
+	QuestionRanker rerank.Scorer
+	DocRanker      rerank.Scorer
+	Config         Config
+	// DisableCache turns off evidence caching (used by ablation benches
+	// that mutate Config between calls).
+	DisableCache bool
+
+	mu    sync.Mutex
+	cache map[string]*Evidence
+}
+
+// New builds a pipeline with the paper's default rankers and configuration.
+func New(s search.Searcher) *Pipeline {
+	return &Pipeline{
+		Searcher:       s,
+		QuestionRanker: rerank.NewQuestionRanker(),
+		DocRanker:      rerank.NewDocumentRanker(),
+		Config:         DefaultConfig(),
+	}
+}
+
+// Evidence is the retrieval result for one fact.
+type Evidence struct {
+	// Sentence is the verbalised fact (phase 1 output).
+	Sentence string
+	// Questions are the scored generated questions (phase 2 output).
+	Questions []question.Question
+	// Queries are the issued search queries (sentence + top questions).
+	Queries []string
+	// Docs are the k_d selected documents after filtering and reranking.
+	Docs []search.DocPayload
+	// Chunks are the context passages handed to the model.
+	Chunks []chunk.Chunk
+	// FilteredSKG counts documents dropped by the source filter.
+	FilteredSKG int
+	// Candidates counts the unique retrieved documents before selection.
+	Candidates int
+	// Latency is the simulated wall-clock cost of retrieval: SERP calls,
+	// document fetches and cross-encoder scoring.
+	Latency time.Duration
+}
+
+// ChunkTexts returns the chunk contents in order.
+func (e *Evidence) ChunkTexts() []string {
+	out := make([]string, len(e.Chunks))
+	for i, c := range e.Chunks {
+		out[i] = c.Text
+	}
+	return out
+}
+
+// Retrieve runs the four phases for the fact, consulting the cache first.
+func (p *Pipeline) Retrieve(f *dataset.Fact) (*Evidence, error) {
+	if !p.DisableCache {
+		p.mu.Lock()
+		if ev, ok := p.cache[f.ID]; ok {
+			p.mu.Unlock()
+			return ev, nil
+		}
+		p.mu.Unlock()
+	}
+	ev, err := p.retrieve(f)
+	if err != nil {
+		return nil, err
+	}
+	if !p.DisableCache {
+		p.mu.Lock()
+		if p.cache == nil {
+			p.cache = map[string]*Evidence{}
+		}
+		p.cache[f.ID] = ev
+		p.mu.Unlock()
+	}
+	return ev, nil
+}
+
+// ClearCache drops all cached evidence (call after changing Config).
+func (p *Pipeline) ClearCache() {
+	p.mu.Lock()
+	p.cache = nil
+	p.mu.Unlock()
+}
+
+func (p *Pipeline) retrieve(f *dataset.Fact) (*Evidence, error) {
+	cfg := p.Config
+	ev := &Evidence{}
+
+	// Phase 1: triple transformation.
+	ev.Sentence = verbalize.Sentence(f)
+
+	// Phase 2: question generation and ranking.
+	qs := question.Generate(f, cfg.NumQuestions)
+	texts := make([]string, len(qs))
+	for i := range qs {
+		texts[i] = qs[i].Text
+	}
+	ranked := rerank.Rank(p.QuestionRanker, ev.Sentence, texts)
+	for _, r := range ranked {
+		qs[r.Index].Score = r.Score
+	}
+	ev.Questions = qs
+	kept := rerank.FilterThreshold(ranked, cfg.Tau)
+	if len(kept) > cfg.SelectedQuestions {
+		kept = kept[:cfg.SelectedQuestions]
+	}
+	ev.Queries = append(ev.Queries, ev.Sentence)
+	for _, r := range kept {
+		ev.Queries = append(ev.Queries, texts[r.Index])
+	}
+
+	// Phase 3: document retrieval and filtering.
+	seen := map[string]bool{}
+	var serpItems []search.SERPItem
+	for _, q := range ev.Queries {
+		items, err := p.Searcher.Search(f.ID, q, cfg.SERPSize)
+		if err != nil {
+			return nil, fmt.Errorf("rag: search %q: %w", q, err)
+		}
+		for _, it := range items {
+			if seen[it.DocID] {
+				continue
+			}
+			seen[it.DocID] = true
+			if cfg.FilterSKG && isSKGSource(it.Host) {
+				ev.FilteredSKG++
+				continue
+			}
+			serpItems = append(serpItems, it)
+		}
+	}
+	ev.Candidates = len(serpItems)
+	if len(serpItems) > cfg.CandidateCap {
+		serpItems = serpItems[:cfg.CandidateCap]
+	}
+
+	// Phase 4a: fetch and rerank documents against the sentence.
+	type scoredDoc struct {
+		doc   search.DocPayload
+		score float64
+	}
+	var docs []scoredDoc
+	for _, it := range serpItems {
+		d, err := p.Searcher.Fetch(it.DocID)
+		if err != nil {
+			return nil, fmt.Errorf("rag: fetch %s: %w", it.DocID, err)
+		}
+		if d.Empty || d.Text == "" {
+			continue // extraction failures carry no usable evidence
+		}
+		s := p.DocRanker.Score(ev.Sentence, d.Title+" "+d.Text)
+		docs = append(docs, scoredDoc{doc: d, score: s})
+	}
+	sort.SliceStable(docs, func(i, j int) bool {
+		if docs[i].score != docs[j].score {
+			return docs[i].score > docs[j].score
+		}
+		return docs[i].doc.DocID < docs[j].doc.DocID
+	})
+	if len(docs) > cfg.SelectedDocs {
+		docs = docs[:cfg.SelectedDocs]
+	}
+
+	// Phase 4b: sliding-window chunking.
+	for _, sd := range docs {
+		ev.Docs = append(ev.Docs, sd.doc)
+		ev.Chunks = append(ev.Chunks, chunk.Sliding(sd.doc.DocID, sd.doc.Text, cfg.Window)...)
+	}
+	if len(ev.Chunks) > cfg.MaxChunks {
+		ev.Chunks = ev.Chunks[:cfg.MaxChunks]
+	}
+
+	ev.Latency = p.retrievalLatency(f, len(ev.Queries), ev.Candidates)
+	return ev, nil
+}
+
+// retrievalLatency models the wall-clock cost of phase 3 and 4: one SERP
+// round-trip per query, one fetch per candidate (amortised: fetches are
+// pipelined), and a cross-encoder pass per candidate.
+func (p *Pipeline) retrievalLatency(f *dataset.Fact, nQueries, nCandidates int) time.Duration {
+	secs := 0.20*float64(nQueries) + // SERP round-trips
+		0.004*float64(nCandidates) + // pipelined fetch + parse
+		0.0045*float64(nCandidates) // cross-encoder scoring
+	secs = det.Jitter(secs+0.25, 0.15, "rag-latency", f.ID)
+	return time.Duration(secs * float64(time.Second))
+}
+
+// isSKGSource reports whether the host belongs to S_KG, the set of original
+// KG source pages (Wikipedia for DBpedia/FactBench facts).
+func isSKGSource(host string) bool {
+	return host == "en.wikipedia.org"
+}
+
+// GenerationCost models the offline cost of building the RAG dataset for
+// one fact (paper Table 3): LLM question generation, SERP retrieval, and
+// webpage fetching.
+type GenerationCost struct {
+	QuestionGenTime   time.Duration
+	QuestionGenTokens int
+	SERPTime          time.Duration
+	FetchTime         time.Duration
+}
+
+// CostFor returns the simulated per-fact generation cost, calibrated to the
+// paper's averages (9.60 s / 672.58 tokens question generation, 3.60 s SERP
+// retrieval, 350 s document fetching).
+func CostFor(f *dataset.Fact) GenerationCost {
+	qt := det.Gaussian(9.60, 1.4, "cost-qt", f.ID)
+	tok := det.Gaussian(672.58, 85, "cost-tok", f.ID)
+	st := det.Gaussian(3.60, 0.5, "cost-serp", f.ID)
+	ft := det.Gaussian(350, 40, "cost-fetch", f.ID)
+	if qt < 1 {
+		qt = 1
+	}
+	if tok < 100 {
+		tok = 100
+	}
+	if st < 0.5 {
+		st = 0.5
+	}
+	if ft < 30 {
+		ft = 30
+	}
+	return GenerationCost{
+		QuestionGenTime:   time.Duration(qt * float64(time.Second)),
+		QuestionGenTokens: int(tok),
+		SERPTime:          time.Duration(st * float64(time.Second)),
+		FetchTime:         time.Duration(ft * float64(time.Second)),
+	}
+}

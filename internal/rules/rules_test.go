@@ -1,0 +1,215 @@
+package rules
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"factcheck/internal/dataset"
+	"factcheck/internal/llm"
+	"factcheck/internal/strategy"
+	"factcheck/internal/world"
+)
+
+func fixture(t *testing.T) (*world.World, *dataset.Dataset, *Engine) {
+	t.Helper()
+	w := world.New(world.SmallConfig())
+	d := dataset.Build(w, dataset.FactBench, 0.2)
+	return w, d, NewEngine(w)
+}
+
+func TestDomainRangeViolations(t *testing.T) {
+	w, _, e := fixture(t)
+	person := w.ByType(world.TypePerson)[0]
+	city := w.ByType(world.TypeCity)[0]
+	award := w.ByType(world.TypeAward)[0]
+	birthPlace := world.RelationByName("birthPlace")
+
+	// City as subject of birthPlace: domain violation.
+	if r := e.Check(city, birthPlace, city); r.Verdict != Violated || r.Rule != "domain" {
+		t.Errorf("domain violation not caught: %+v", r)
+	}
+	// Award as object of birthPlace: range violation.
+	if r := e.Check(person, birthPlace, award); r.Verdict != Violated || r.Rule != "range" {
+		t.Errorf("range violation not caught: %+v", r)
+	}
+}
+
+func TestIrreflexivity(t *testing.T) {
+	w, _, e := fixture(t)
+	person := w.ByType(world.TypePerson)[0]
+	married := world.RelationByName("isMarriedTo")
+	if r := e.Check(person, married, person); r.Verdict != Violated || r.Rule != "irreflexive" {
+		t.Errorf("reflexive marriage not caught: %+v", r)
+	}
+}
+
+func TestAssertedFactsEntailed(t *testing.T) {
+	w, _, e := fixture(t)
+	f := w.Facts[0]
+	if r := e.Check(f.S, f.Relation, f.O); r.Verdict != Entailed || r.Rule != "asserted" {
+		t.Errorf("asserted fact not entailed: %+v", r)
+	}
+}
+
+func TestSymmetryEntailment(t *testing.T) {
+	w, _, e := fixture(t)
+	// Find a marriage; symmetry entails the reverse even when only one
+	// direction is consulted.
+	for _, f := range w.Facts {
+		if f.Relation.Name != "isMarriedTo" {
+			continue
+		}
+		r := e.Check(f.O, f.Relation, f.S)
+		if r.Verdict != Entailed {
+			t.Errorf("symmetric marriage not entailed: %+v", r)
+		}
+		return
+	}
+	t.Skip("no marriages in small world")
+}
+
+func TestFunctionalConflict(t *testing.T) {
+	w, _, e := fixture(t)
+	// birthPlace is functional: asserting a different city conflicts.
+	for _, f := range w.Facts {
+		if f.Relation.Name != "birthPlace" {
+			continue
+		}
+		for _, other := range w.ByType(world.TypeCity) {
+			if other == f.O {
+				continue
+			}
+			r := e.Check(f.S, f.Relation, other)
+			if r.Verdict != Violated || r.Rule != "functional" {
+				t.Errorf("functional conflict not caught: %+v", r)
+			}
+			return
+		}
+	}
+	t.Fatal("no birthPlace facts")
+}
+
+func TestUnknownWhenNoEvidence(t *testing.T) {
+	w, _, e := fixture(t)
+	// A person with no playsFor fact: asserting one is neither entailed nor
+	// violated (playsFor is functional but has no recorded value).
+	team := w.ByType(world.TypeTeam)[0]
+	playsFor := world.RelationByName("playsFor")
+	for _, p := range w.ByType(world.TypePerson) {
+		if len(w.TrueObjects(localName(p), "playsFor")) > 0 {
+			continue
+		}
+		if r := e.Check(p, playsFor, team); r.Verdict != Unknown {
+			t.Errorf("unsupported playsFor decided: %+v", r)
+		}
+		return
+	}
+	t.Skip("every person plays for a team")
+}
+
+func localName(e *world.Entity) string {
+	s := string(e.IRI)
+	return s[strings.LastIndexAny(s, ":/#")+1:]
+}
+
+func TestSnapshotEvaluateIsCircularlyPerfect(t *testing.T) {
+	// With snapshot rules, gold == snapshot membership, so evaluation is
+	// (trivially) near-perfect — the circularity the paper warns about.
+	_, d, e := fixture(t)
+	st := e.Evaluate(d)
+	if st.Total != len(d.Facts) {
+		t.Fatalf("evaluated %d facts", st.Total)
+	}
+	if st.Coverage() < 0.9 {
+		t.Errorf("snapshot coverage = %.2f, want near 1", st.Coverage())
+	}
+	if st.Precision() < 0.95 {
+		t.Errorf("snapshot precision = %.2f, want near 1", st.Precision())
+	}
+}
+
+func TestStructuralModeRarelyDecides(t *testing.T) {
+	// Benchmark negatives respect domain/range constraints, so structural
+	// rules should decide (almost) nothing — the motivation for statistical
+	// validation.
+	_, d, e := fixture(t)
+	decided := 0
+	for _, f := range d.Facts {
+		if r := e.checkWithMode(f, Structural); r.Verdict != Unknown {
+			decided++
+		}
+	}
+	if frac := float64(decided) / float64(len(d.Facts)); frac > 0.02 {
+		t.Errorf("structural rules decided %.1f%% of constraint-respecting facts", 100*frac)
+	}
+}
+
+func TestAugmentedVerifierFallsThrough(t *testing.T) {
+	_, d, e := fixture(t)
+	m := llm.MustNew(llm.Gemma2)
+	inner := strategy.DKA{}
+	aug := &Augmented{Engine: e, Inner: inner, Mode: Structural}
+	if aug.Method() != llm.MethodDKA {
+		t.Error("method not transparent")
+	}
+	ctx := context.Background()
+	for _, f := range d.Facts[:20] {
+		got, err := aug.Verify(ctx, m, f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := inner.Verify(ctx, m, f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r := e.checkWithMode(f, Structural); r.Verdict == Unknown {
+			if got.Verdict != want.Verdict {
+				t.Fatalf("fall-through altered verdict on %s", f.ID)
+			}
+		}
+	}
+}
+
+func TestAugmentedVerifierSnapshotShortCircuits(t *testing.T) {
+	_, d, e := fixture(t)
+	m := llm.MustNew(llm.Gemma2)
+	aug := &Augmented{Engine: e, Inner: strategy.DKA{}, Mode: Snapshot}
+	ctx := context.Background()
+	shortCircuited := 0
+	for _, f := range d.Facts[:50] {
+		out, err := aug.Verify(ctx, m, f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if strings.HasPrefix(out.Explanation, "[rule:") {
+			shortCircuited++
+			if out.PromptTokens != 0 {
+				t.Error("rule-decided outcome charged tokens")
+			}
+			if out.Latency > ruleLatency {
+				t.Error("rule-decided outcome has model latency")
+			}
+			if !out.Correct {
+				t.Errorf("snapshot rule wrong on %s: %s", f.ID, out.Explanation)
+			}
+		}
+	}
+	if shortCircuited == 0 {
+		t.Error("snapshot mode never short-circuited")
+	}
+}
+
+func TestAugmentedVerifierUnwired(t *testing.T) {
+	_, d, _ := fixture(t)
+	m := llm.MustNew(llm.Gemma2)
+	if _, err := (&Augmented{}).Verify(context.Background(), m, d.Facts[0]); err == nil {
+		t.Error("unwired verifier accepted")
+	}
+}
+
+func TestVerdictString(t *testing.T) {
+	if Entailed.String() != "entailed" || Violated.String() != "violated" || Unknown.String() != "unknown" {
+		t.Error("verdict names wrong")
+	}
+}

@@ -1,0 +1,101 @@
+package search
+
+import (
+	"encoding/json"
+	"net/http"
+	"strconv"
+)
+
+// API is the paper's mock web-search service (§4.1): "standardized
+// endpoints that emulate conventional web search APIs while returning
+// consistent results from our dataset". Endpoints:
+//
+//	GET /search?fact_id=ID&q=QUERY&num=N  -> SERPResponse
+//	GET /document?doc_id=ID               -> DocPayload
+//	GET /facts                            -> {"fact_ids": [...]}
+//	GET /healthz                          -> {"status": "ok"}
+//
+// All responses are JSON. Unknown facts/documents return 404; missing
+// parameters return 400.
+type API struct {
+	engine *Engine
+}
+
+// NewAPI wraps an engine as an HTTP API.
+func NewAPI(e *Engine) *API { return &API{engine: e} }
+
+// SERPResponse is the /search response body.
+type SERPResponse struct {
+	FactID  string     `json:"fact_id"`
+	Query   string     `json:"query"`
+	Num     int        `json:"num"`
+	Results []SERPItem `json:"results"`
+}
+
+// Handler returns the API's HTTP handler.
+func (a *API) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /search", a.handleSearch)
+	mux.HandleFunc("GET /document", a.handleDocument)
+	mux.HandleFunc("GET /facts", a.handleFacts)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+	return mux
+}
+
+func (a *API) handleSearch(w http.ResponseWriter, r *http.Request) {
+	factID := r.URL.Query().Get("fact_id")
+	q := r.URL.Query().Get("q")
+	if factID == "" || q == "" {
+		httpError(w, http.StatusBadRequest, "fact_id and q are required")
+		return
+	}
+	n := DefaultSERPSize
+	if s := r.URL.Query().Get("num"); s != "" {
+		v, err := strconv.Atoi(s)
+		if err != nil || v <= 0 {
+			httpError(w, http.StatusBadRequest, "num must be a positive integer")
+			return
+		}
+		n = v
+	}
+	if _, ok := a.engine.Fact(factID); !ok {
+		httpError(w, http.StatusNotFound, "unknown fact "+factID)
+		return
+	}
+	items, err := a.engine.Search(factID, q, n)
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, SERPResponse{FactID: factID, Query: q, Num: n, Results: items})
+}
+
+func (a *API) handleDocument(w http.ResponseWriter, r *http.Request) {
+	docID := r.URL.Query().Get("doc_id")
+	if docID == "" {
+		httpError(w, http.StatusBadRequest, "doc_id is required")
+		return
+	}
+	doc, err := a.engine.Fetch(docID)
+	if err != nil {
+		httpError(w, http.StatusNotFound, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, doc)
+}
+
+func (a *API) handleFacts(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string][]string{"fact_ids": a.engine.FactIDs()})
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func httpError(w http.ResponseWriter, status int, msg string) {
+	writeJSON(w, status, map[string]string{"error": msg})
+}

@@ -1,0 +1,93 @@
+package search
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strconv"
+)
+
+// Client is a Searcher backed by the mock API over HTTP, letting the RAG
+// pipeline run against a remote (or test) server exactly as researchers
+// would against the paper's hosted mock API.
+type Client struct {
+	// BaseURL is the API root, e.g. "http://localhost:8080".
+	BaseURL string
+	// HTTPClient defaults to http.DefaultClient when nil.
+	HTTPClient *http.Client
+}
+
+// NewClient returns a client for the API at baseURL.
+func NewClient(baseURL string) *Client { return &Client{BaseURL: baseURL} }
+
+func (c *Client) client() *http.Client {
+	if c.HTTPClient != nil {
+		return c.HTTPClient
+	}
+	return http.DefaultClient
+}
+
+// Search implements Searcher over HTTP.
+func (c *Client) Search(factID, query string, n int) ([]SERPItem, error) {
+	if n <= 0 {
+		n = DefaultSERPSize
+	}
+	q := url.Values{}
+	q.Set("fact_id", factID)
+	q.Set("q", query)
+	q.Set("num", strconv.Itoa(n))
+	var resp SERPResponse
+	if err := c.getJSON("/search", q, &resp); err != nil {
+		return nil, err
+	}
+	return resp.Results, nil
+}
+
+// Fetch implements Searcher over HTTP.
+func (c *Client) Fetch(docID string) (DocPayload, error) {
+	q := url.Values{}
+	q.Set("doc_id", docID)
+	var doc DocPayload
+	if err := c.getJSON("/document", q, &doc); err != nil {
+		return DocPayload{}, err
+	}
+	return doc, nil
+}
+
+// FactIDs lists the fact IDs known to the server.
+func (c *Client) FactIDs() ([]string, error) {
+	var resp map[string][]string
+	if err := c.getJSON("/facts", nil, &resp); err != nil {
+		return nil, err
+	}
+	return resp["fact_ids"], nil
+}
+
+func (c *Client) getJSON(path string, q url.Values, out any) error {
+	u := c.BaseURL + path
+	if len(q) > 0 {
+		u += "?" + q.Encode()
+	}
+	resp, err := c.client().Get(u)
+	if err != nil {
+		return fmt.Errorf("search client: GET %s: %w", path, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 16<<20))
+	if err != nil {
+		return fmt.Errorf("search client: read %s: %w", path, err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		var e map[string]string
+		if json.Unmarshal(body, &e) == nil && e["error"] != "" {
+			return fmt.Errorf("search client: %s: %s (status %d)", path, e["error"], resp.StatusCode)
+		}
+		return fmt.Errorf("search client: %s: status %d", path, resp.StatusCode)
+	}
+	if err := json.Unmarshal(body, out); err != nil {
+		return fmt.Errorf("search client: decode %s: %w", path, err)
+	}
+	return nil
+}

@@ -1,0 +1,215 @@
+// Package search implements the retrieval substrate of FactCheck: an
+// inverted-scoring search engine over each fact's synthetic document pool,
+// and the paper's mock web-search API (§4.1) — an HTTP service with
+// SERP-style endpoints returning identical results across runs, plus a
+// client so the RAG pipeline can run either in-process or over HTTP.
+package search
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"factcheck/internal/corpus"
+	"factcheck/internal/dataset"
+	"factcheck/internal/det"
+	"factcheck/internal/text"
+)
+
+// SERPItem is one ranked search result, mirroring what a Google SERP entry
+// carries (URL, title, rank). Scores are engine-internal relevance values.
+type SERPItem struct {
+	DocID string  `json:"doc_id"`
+	URL   string  `json:"url"`
+	Host  string  `json:"host"`
+	Title string  `json:"title"`
+	Rank  int     `json:"rank"`
+	Score float64 `json:"score"`
+}
+
+// DocPayload is a fetched document: the mock equivalent of downloading a
+// result URL and extracting its text.
+type DocPayload struct {
+	DocID string `json:"doc_id"`
+	URL   string `json:"url"`
+	Host  string `json:"host"`
+	Title string `json:"title"`
+	Text  string `json:"text"`
+	Empty bool   `json:"empty"`
+}
+
+// Searcher is the retrieval interface consumed by the RAG pipeline. Both
+// the in-process Engine and the HTTP mock-API Client implement it.
+type Searcher interface {
+	// Search returns up to n ranked results for the query within the given
+	// fact's retrieval pool (the mock of issuing the query to Google with
+	// lr=lang_en, hl=en, gl=us, num=n).
+	Search(factID, query string, n int) ([]SERPItem, error)
+	// Fetch retrieves a result document's content.
+	Fetch(docID string) (DocPayload, error)
+}
+
+// DefaultSERPSize is the paper's n_max = 100 results per query.
+const DefaultSERPSize = 100
+
+// Engine is the in-process search engine. It lazily materialises each
+// fact's document pool (metadata + text) and caches it, bounded by
+// maxCachedFacts, since full-benchmark runs touch millions of documents.
+type Engine struct {
+	gen   *corpus.Generator
+	facts map[string]*dataset.Fact
+
+	mu    sync.Mutex
+	cache map[string][]*indexedDoc
+	order []string // FIFO eviction order
+}
+
+const maxCachedFacts = 512
+
+type indexedDoc struct {
+	doc  *corpus.Document
+	text string
+	vec  text.Vector
+}
+
+// NewEngine builds an engine over the documents of the given datasets.
+func NewEngine(gen *corpus.Generator, ds ...*dataset.Dataset) *Engine {
+	e := &Engine{
+		gen:   gen,
+		facts: map[string]*dataset.Fact{},
+		cache: map[string][]*indexedDoc{},
+	}
+	for _, d := range ds {
+		for _, f := range d.Facts {
+			e.facts[f.ID] = f
+		}
+	}
+	return e
+}
+
+// Fact resolves a fact by ID (exported for the mock API server).
+func (e *Engine) Fact(id string) (*dataset.Fact, bool) {
+	f, ok := e.facts[id]
+	return f, ok
+}
+
+// FactIDs returns all known fact IDs in sorted order.
+func (e *Engine) FactIDs() []string {
+	out := make([]string, 0, len(e.facts))
+	for id := range e.facts {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func (e *Engine) pool(factID string) ([]*indexedDoc, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if docs, ok := e.cache[factID]; ok {
+		return docs, nil
+	}
+	f, ok := e.facts[factID]
+	if !ok {
+		return nil, fmt.Errorf("search: unknown fact %q", factID)
+	}
+	raw := e.gen.Docs(f)
+	docs := make([]*indexedDoc, len(raw))
+	for i, d := range raw {
+		body := e.gen.Text(f, d)
+		docs[i] = &indexedDoc{doc: d, text: body, vec: text.Embed(d.Title + " " + body)}
+	}
+	if len(e.order) >= maxCachedFacts {
+		evict := e.order[0]
+		e.order = e.order[1:]
+		delete(e.cache, evict)
+	}
+	e.cache[factID] = docs
+	e.order = append(e.order, factID)
+	return docs, nil
+}
+
+// Search implements Searcher. Ranking is cosine relevance of the query to
+// title+body with a small deterministic tie-break jitter, mimicking the
+// opaque ordering of a web SERP.
+func (e *Engine) Search(factID, query string, n int) ([]SERPItem, error) {
+	if n <= 0 {
+		n = DefaultSERPSize
+	}
+	docs, err := e.pool(factID)
+	if err != nil {
+		return nil, err
+	}
+	qv := text.Embed(query)
+	type scored struct {
+		d *indexedDoc
+		s float64
+	}
+	items := make([]scored, 0, len(docs))
+	for _, d := range docs {
+		s := text.Cosine(qv, d.vec)
+		// SERPs rank by more than lexical relevance (authority, freshness):
+		// inject a deterministic per-(query,doc) perturbation.
+		s += 0.05 * det.Uniform("serp", query, d.doc.ID)
+		items = append(items, scored{d: d, s: s})
+	}
+	sort.SliceStable(items, func(i, j int) bool {
+		if items[i].s != items[j].s {
+			return items[i].s > items[j].s
+		}
+		return items[i].d.doc.ID < items[j].d.doc.ID
+	})
+	if len(items) > n {
+		items = items[:n]
+	}
+	out := make([]SERPItem, len(items))
+	for i, it := range items {
+		out[i] = SERPItem{
+			DocID: it.d.doc.ID,
+			URL:   it.d.doc.URL,
+			Host:  it.d.doc.Host,
+			Title: it.d.doc.Title,
+			Rank:  i + 1,
+			Score: it.s,
+		}
+	}
+	return out, nil
+}
+
+// Fetch implements Searcher.
+func (e *Engine) Fetch(docID string) (DocPayload, error) {
+	factID, ok := factIDOfDoc(docID)
+	if !ok {
+		return DocPayload{}, fmt.Errorf("search: malformed doc id %q", docID)
+	}
+	docs, err := e.pool(factID)
+	if err != nil {
+		return DocPayload{}, err
+	}
+	for _, d := range docs {
+		if d.doc.ID == docID {
+			return DocPayload{
+				DocID: d.doc.ID,
+				URL:   d.doc.URL,
+				Host:  d.doc.Host,
+				Title: d.doc.Title,
+				Text:  d.text,
+				Empty: d.doc.Empty,
+			}, nil
+		}
+	}
+	return DocPayload{}, fmt.Errorf("search: unknown document %q", docID)
+}
+
+// factIDOfDoc strips the "-dNNNN" suffix corpus.Generator appends.
+func factIDOfDoc(docID string) (string, bool) {
+	for i := len(docID) - 1; i >= 0; i-- {
+		if docID[i] == '-' {
+			if i+1 < len(docID) && docID[i+1] == 'd' {
+				return docID[:i], true
+			}
+			return "", false
+		}
+	}
+	return "", false
+}

@@ -1,0 +1,227 @@
+package search
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"factcheck/internal/corpus"
+	"factcheck/internal/dataset"
+	"factcheck/internal/verbalize"
+	"factcheck/internal/world"
+)
+
+func fixture(t *testing.T) (*Engine, *dataset.Dataset) {
+	t.Helper()
+	w := world.New(world.SmallConfig())
+	d := dataset.Build(w, dataset.FactBench, 0.2)
+	gen := corpus.NewGenerator(w)
+	return NewEngine(gen, d), d
+}
+
+func TestSearchReturnsRankedResults(t *testing.T) {
+	e, d := fixture(t)
+	f := d.Facts[0]
+	q := verbalize.Sentence(f)
+	items, err := e.Search(f.ID, q, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(items) == 0 {
+		t.Fatal("no results")
+	}
+	if len(items) > 20 {
+		t.Fatalf("got %d results, want <= 20", len(items))
+	}
+	for i, it := range items {
+		if it.Rank != i+1 {
+			t.Errorf("rank %d at position %d", it.Rank, i)
+		}
+		if i > 0 && items[i].Score > items[i-1].Score {
+			t.Errorf("scores not descending at %d", i)
+		}
+		if it.DocID == "" || it.URL == "" || it.Host == "" {
+			t.Errorf("result %d missing fields: %+v", i, it)
+		}
+	}
+}
+
+func TestSearchDeterministic(t *testing.T) {
+	e, d := fixture(t)
+	f := d.Facts[1]
+	a, _ := e.Search(f.ID, "some query", 10)
+	b, _ := e.Search(f.ID, "some query", 10)
+	if len(a) != len(b) {
+		t.Fatal("result counts differ")
+	}
+	for i := range a {
+		if a[i].DocID != b[i].DocID {
+			t.Fatalf("result %d differs", i)
+		}
+	}
+}
+
+func TestSearchUnknownFact(t *testing.T) {
+	e, _ := fixture(t)
+	if _, err := e.Search("nope-000001", "q", 10); err == nil {
+		t.Fatal("expected error for unknown fact")
+	}
+}
+
+func TestSearchRelevantFirst(t *testing.T) {
+	e, d := fixture(t)
+	f := d.Facts[2]
+	q := verbalize.Sentence(f)
+	items, err := e.Search(f.ID, q, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Top results for the assertion query should mention the subject.
+	top := items[0]
+	if !strings.Contains(top.Title, f.Subject.Label) {
+		t.Errorf("top result title %q does not mention subject %q", top.Title, f.Subject.Label)
+	}
+}
+
+func TestFetch(t *testing.T) {
+	e, d := fixture(t)
+	f := d.Facts[0]
+	items, _ := e.Search(f.ID, "anything", 5)
+	doc, err := e.Fetch(items[0].DocID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if doc.DocID != items[0].DocID || doc.URL != items[0].URL {
+		t.Error("fetched doc metadata mismatch")
+	}
+	if doc.Empty && doc.Text != "" {
+		t.Error("empty doc carries text")
+	}
+}
+
+func TestFetchErrors(t *testing.T) {
+	e, _ := fixture(t)
+	if _, err := e.Fetch("malformed"); err == nil {
+		t.Error("malformed doc id accepted")
+	}
+	if _, err := e.Fetch("unknown-000001-d0001"); err == nil {
+		t.Error("unknown fact doc accepted")
+	}
+}
+
+func TestFactIDOfDoc(t *testing.T) {
+	id, ok := factIDOfDoc("factbench-000105-d0100")
+	if !ok || id != "factbench-000105" {
+		t.Errorf("factIDOfDoc = %q, %v", id, ok)
+	}
+	if _, ok := factIDOfDoc("nodashsuffix"); ok {
+		t.Error("accepted id without doc suffix")
+	}
+	if _, ok := factIDOfDoc("fact-x9999"); ok {
+		t.Error("accepted id with non-d suffix")
+	}
+}
+
+func TestEngineCacheEviction(t *testing.T) {
+	e, d := fixture(t)
+	n := len(d.Facts)
+	if n > maxCachedFacts {
+		n = maxCachedFacts
+	}
+	for _, f := range d.Facts[:n] {
+		if _, err := e.Search(f.ID, "q", 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(e.cache) > maxCachedFacts {
+		t.Fatalf("cache grew to %d, cap %d", len(e.cache), maxCachedFacts)
+	}
+}
+
+// --- mock API over HTTP ---
+
+func apiServer(t *testing.T) (*httptest.Server, *Engine, *dataset.Dataset) {
+	t.Helper()
+	e, d := fixture(t)
+	srv := httptest.NewServer(NewAPI(e).Handler())
+	t.Cleanup(srv.Close)
+	return srv, e, d
+}
+
+func TestAPISearchAndFetch(t *testing.T) {
+	srv, eng, d := apiServer(t)
+	c := NewClient(srv.URL)
+	f := d.Facts[0]
+
+	items, err := c.Search(f.ID, "test query", 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct, _ := eng.Search(f.ID, "test query", 7)
+	if len(items) != len(direct) {
+		t.Fatalf("HTTP results %d != engine results %d", len(items), len(direct))
+	}
+	for i := range items {
+		if items[i].DocID != direct[i].DocID {
+			t.Fatalf("HTTP result %d differs from engine", i)
+		}
+	}
+
+	doc, err := c.Fetch(items[0].DocID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := eng.Fetch(items[0].DocID)
+	if doc.Text != want.Text {
+		t.Error("fetched text differs between HTTP and engine")
+	}
+}
+
+func TestAPIFactIDs(t *testing.T) {
+	srv, eng, _ := apiServer(t)
+	c := NewClient(srv.URL)
+	ids, err := c.FactIDs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ids) != len(eng.FactIDs()) {
+		t.Fatalf("HTTP fact ids %d != engine %d", len(ids), len(eng.FactIDs()))
+	}
+}
+
+func TestAPIErrorStatuses(t *testing.T) {
+	srv, _, d := apiServer(t)
+	get := func(path string) int {
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		return resp.StatusCode
+	}
+	if s := get("/search"); s != http.StatusBadRequest {
+		t.Errorf("missing params: status %d, want 400", s)
+	}
+	if s := get("/search?fact_id=unknown-1&q=x"); s != http.StatusNotFound {
+		t.Errorf("unknown fact: status %d, want 404", s)
+	}
+	if s := get("/search?fact_id=" + d.Facts[0].ID + "&q=x&num=bogus"); s != http.StatusBadRequest {
+		t.Errorf("bad num: status %d, want 400", s)
+	}
+	if s := get("/document?doc_id=unknown-000001-d0001"); s != http.StatusNotFound {
+		t.Errorf("unknown doc: status %d, want 404", s)
+	}
+	if s := get("/healthz"); s != http.StatusOK {
+		t.Errorf("healthz: status %d, want 200", s)
+	}
+}
+
+func TestClientErrorMessage(t *testing.T) {
+	srv, _, _ := apiServer(t)
+	c := NewClient(srv.URL)
+	_, err := c.Search("unknown-fact-1", "q", 5)
+	if err == nil || !strings.Contains(err.Error(), "unknown fact") {
+		t.Errorf("client error = %v, want server message propagated", err)
+	}
+}

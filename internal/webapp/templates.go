@@ -1,0 +1,132 @@
+package webapp
+
+// pageTemplates holds the server-rendered HTML of the exploration UI. One
+// define block per page, sharing the head/style fragment.
+const pageTemplates = `
+{{define "head"}}
+<!DOCTYPE html>
+<html lang="en"><head><meta charset="utf-8">
+<title>FactCheck explorer</title>
+<style>
+ body { font-family: system-ui, sans-serif; margin: 2rem auto; max-width: 72rem; color: #1a1a1a; }
+ table { border-collapse: collapse; width: 100%; margin: 1rem 0; }
+ th, td { border: 1px solid #ccc; padding: .35rem .6rem; text-align: left; font-size: .92rem; }
+ th { background: #f2f2f2; }
+ .true { color: #0a7a33; font-weight: 600; }
+ .false { color: #b3261e; font-weight: 600; }
+ .invalid { color: #8a6d00; font-weight: 600; }
+ .chunk { background: #f7f7f7; border-left: 3px solid #999; margin: .4rem 0; padding: .4rem .7rem; font-size: .88rem; }
+ nav a { margin-right: 1rem; }
+ code { background: #f2f2f2; padding: .1rem .3rem; }
+ .muted { color: #666; font-size: .85rem; }
+</style></head><body>
+<nav><a href="/">Datasets</a><a href="/errors">Error analysis</a></nav>
+{{end}}
+
+{{define "foot"}}</body></html>{{end}}
+
+{{define "index"}}
+{{template "head" .}}
+<h1>FactCheck benchmark explorer</h1>
+<p>Synthetic reproduction of the FactCheck benchmark (EDBT 2026). Pick a
+dataset to browse facts and drill into every verification stage.</p>
+<table>
+<tr><th>Dataset</th><th>Facts</th><th>Predicates</th><th>Facts/entity</th><th>Gold µ</th><th></th></tr>
+{{range .Datasets}}
+<tr>
+ <td>{{.Name}}</td>
+ <td>{{.Stats.NumFacts}}</td>
+ <td>{{.Stats.NumPredicates}}</td>
+ <td>{{printf "%.2f" .Stats.FactsPerEntity}}</td>
+ <td>{{printf "%.2f" .Stats.GoldAccuracy}}</td>
+ <td><a href="/facts?dataset={{.Name}}">browse</a></td>
+</tr>
+{{end}}
+</table>
+{{template "foot" .}}
+{{end}}
+
+{{define "facts"}}
+{{template "head" .}}
+<h1>{{.Dataset}} — facts (page {{.Page}})</h1>
+<p>
+{{if .HasPrev}}<a href="/facts?dataset={{.Dataset}}&page={{.PrevPage}}">&laquo; previous</a>{{end}}
+{{if .HasNext}}<a href="/facts?dataset={{.Dataset}}&page={{.NextPage}}">next &raquo;</a>{{end}}
+</p>
+<table>
+<tr><th>ID</th><th>Subject</th><th>Predicate</th><th>Object</th><th>Gold</th><th>Corruption</th></tr>
+{{range .Facts}}
+<tr>
+ <td><a href="/fact/{{.ID}}">{{.ID}}</a></td>
+ <td>{{.Subject.Label}}</td>
+ <td><code>{{.PredicateName}}</code></td>
+ <td>{{.Object.Label}}</td>
+ <td class="{{if .Gold}}true{{else}}false{{end}}">{{.Gold}}</td>
+ <td>{{.Corruption}}</td>
+</tr>
+{{end}}
+</table>
+{{template "foot" .}}
+{{end}}
+
+{{define "fact"}}
+{{template "head" .}}
+<h1>{{.Fact.ID}}</h1>
+<p><b>Triple:</b> <code>{{.Triple}}</code></p>
+<p><b>Verbalised (phase 1):</b> {{.Sentence}}</p>
+<p><b>Gold label:</b> <span class="{{if .Fact.Gold}}true{{else}}false{{end}}">{{.Fact.Gold}}</span>
+{{if .Fact.Corruption}} (corrupted via {{.Fact.Corruption}}){{end}}
+ &nbsp;·&nbsp; topic {{.Fact.Topic}} &nbsp;·&nbsp; popularity {{printf "%.3f" .Fact.Popularity}}</p>
+<p><b>Ontology rule check:</b> {{.Rule.Verdict}}{{if .Rule.Rule}} ({{.Rule.Rule}}: {{.Rule.Explanation}}){{end}}</p>
+
+<h2>Phase 2 — generated questions</h2>
+<table><tr><th>Question</th><th>Relevance δ</th></tr>
+{{range .Questions}}<tr><td>{{.Text}}</td><td>{{.Score}}</td></tr>{{end}}
+</table>
+<p class="muted">Queries issued: {{range .Queries}}<code>{{.}}</code> {{end}}</p>
+
+<h2>Phase 3/4 — retrieved evidence</h2>
+<p class="muted">{{.Filtered}} KG-source pages filtered (circular-verification guard).</p>
+<table><tr><th>Title</th><th>Host</th></tr>
+{{range .Docs}}<tr><td><a href="{{.URL}}">{{.Title}}</a></td><td>{{.Host}}</td></tr>{{end}}
+</table>
+{{range .Chunks}}<div class="chunk">{{.}}</div>{{end}}
+
+<h2>Model verdicts</h2>
+<table>
+<tr><th>Model</th><th>Method</th><th>Verdict</th><th>Correct</th><th>Latency</th><th>Tokens</th><th>Attempts</th><th>Reason</th></tr>
+{{range .Verdicts}}
+<tr>
+ <td>{{.Model}}</td><td>{{.Method}}</td>
+ <td class="{{.Verdict}}">{{.Verdict}}</td>
+ <td>{{if .Correct}}✓{{else}}✗{{end}}</td>
+ <td>{{.Latency}}</td><td>{{.Tokens}}</td><td>{{.Attempts}}</td>
+ <td class="muted">{{.Reason}}</td>
+</tr>
+{{end}}
+</table>
+<p><b>Open-source DKA majority:</b> {{.Majority}}{{if .Tie}} (tie — arbiter required){{end}}</p>
+{{template "foot" .}}
+{{end}}
+
+{{define "errors"}}
+{{template "head" .}}
+<h1>Error analysis — {{.Dataset}} / {{.Model}} (DKA)</h1>
+<p>
+{{$d := .Dataset}}
+Model: {{range .Models}}<a href="/errors?dataset={{$d}}&model={{.}}">{{.}}</a> {{end}}
+</p>
+<table>
+<tr>{{range .Categories}}<th>{{.}}</th>{{end}}<th>Total</th></tr>
+<tr>{{$c := .Counts}}{{range .Categories}}<td>{{index $c .}}</td>{{end}}<td>{{.Total}}</td></tr>
+</table>
+<h2>Sample errors</h2>
+<table>
+<tr><th>Fact</th><th>Category</th><th>Model explanation</th></tr>
+{{range .Samples}}
+<tr><td><a href="/fact/{{.FactID}}">{{.FactID}}</a></td><td>{{.Category}}</td><td class="muted">{{.Reason}}</td></tr>
+{{end}}
+</table>
+{{template "foot" .}}
+{{end}}
+`

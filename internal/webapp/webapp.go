@@ -1,0 +1,343 @@
+// Package webapp implements the paper's dedicated web application
+// (contribution 4, §1: "enabling users to visually explore and analyze each
+// step of the verification process, also featuring error analysis modules").
+// It serves server-rendered HTML over the benchmark instance: dataset
+// overviews, per-fact drill-downs through every pipeline stage (triple,
+// verbalisation, questions with relevance scores, retrieved documents and
+// chunks, per-model verdicts under every method, consensus votes, ontology
+// rule checks), and the error-clustering study.
+package webapp
+
+import (
+	"context"
+	"fmt"
+	"html/template"
+	"net/http"
+	"sort"
+	"strconv"
+
+	"factcheck/internal/analysis"
+	"factcheck/internal/consensus"
+	"factcheck/internal/core"
+	"factcheck/internal/dataset"
+	"factcheck/internal/llm"
+	"factcheck/internal/rules"
+	"factcheck/internal/strategy"
+)
+
+// App serves the exploration UI for one benchmark instance.
+type App struct {
+	bench *core.Benchmark
+	rules *rules.Engine
+	tmpl  *template.Template
+}
+
+// New builds the app over a benchmark instance.
+func New(b *core.Benchmark) (*App, error) {
+	t, err := template.New("webapp").Parse(pageTemplates)
+	if err != nil {
+		return nil, fmt.Errorf("webapp: parsing templates: %w", err)
+	}
+	return &App{bench: b, rules: rules.NewEngine(b.World), tmpl: t}, nil
+}
+
+// Handler returns the app's HTTP handler.
+func (a *App) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /{$}", a.handleIndex)
+	mux.HandleFunc("GET /facts", a.handleFacts)
+	mux.HandleFunc("GET /fact/{id}", a.handleFact)
+	mux.HandleFunc("GET /errors", a.handleErrors)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.WriteHeader(http.StatusOK)
+		fmt.Fprintln(w, "ok")
+	})
+	return mux
+}
+
+// --- index -------------------------------------------------------------
+
+type indexData struct {
+	Datasets []indexDataset
+}
+
+type indexDataset struct {
+	Name  dataset.Name
+	Stats dataset.Stats
+}
+
+func (a *App) handleIndex(w http.ResponseWriter, _ *http.Request) {
+	var data indexData
+	for _, n := range a.bench.Config.Datasets {
+		data.Datasets = append(data.Datasets, indexDataset{
+			Name:  n,
+			Stats: a.bench.Datasets[n].Stats(),
+		})
+	}
+	a.render(w, "index", data)
+}
+
+// --- fact list ----------------------------------------------------------
+
+const pageSize = 50
+
+type factsData struct {
+	Dataset  dataset.Name
+	Page     int
+	HasPrev  bool
+	HasNext  bool
+	PrevPage int
+	NextPage int
+	Facts    []*dataset.Fact
+	Sentence func(*dataset.Fact) string
+}
+
+func (a *App) handleFacts(w http.ResponseWriter, r *http.Request) {
+	dn := dataset.Name(r.URL.Query().Get("dataset"))
+	d, ok := a.bench.Datasets[dn]
+	if !ok {
+		http.Error(w, "unknown dataset", http.StatusNotFound)
+		return
+	}
+	page, _ := strconv.Atoi(r.URL.Query().Get("page"))
+	if page < 0 {
+		page = 0
+	}
+	start := page * pageSize
+	if start >= len(d.Facts) {
+		start = 0
+		page = 0
+	}
+	end := start + pageSize
+	if end > len(d.Facts) {
+		end = len(d.Facts)
+	}
+	a.render(w, "facts", factsData{
+		Dataset:  dn,
+		Page:     page,
+		HasPrev:  page > 0,
+		HasNext:  end < len(d.Facts),
+		PrevPage: page - 1,
+		NextPage: page + 1,
+		Facts:    d.Facts[start:end],
+	})
+}
+
+// --- fact detail ---------------------------------------------------------
+
+type verdictRow struct {
+	Model    string
+	Method   llm.Method
+	Verdict  string
+	Correct  bool
+	Latency  string
+	Tokens   int
+	Attempts int
+	Reason   string
+}
+
+type questionRow struct {
+	Text  string
+	Score string
+}
+
+type docRow struct {
+	Title string
+	Host  string
+	URL   string
+}
+
+type factData struct {
+	Fact      *dataset.Fact
+	Sentence  string
+	Triple    string
+	Rule      rules.Result
+	Questions []questionRow
+	Queries   []string
+	Docs      []docRow
+	Chunks    []string
+	Filtered  int
+	Verdicts  []verdictRow
+	Majority  string
+	Tie       bool
+}
+
+func (a *App) handleFact(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	f, ok := a.bench.FactByID(id)
+	if !ok {
+		http.Error(w, "unknown fact "+id, http.StatusNotFound)
+		return
+	}
+	ctx := r.Context()
+	claim := strategy.ClaimFor(f)
+	data := factData{
+		Fact:     f,
+		Sentence: claim.Sentence,
+		Triple:   f.Triple.String(),
+		Rule:     a.rules.CheckFact(f),
+	}
+
+	// Retrieval stages.
+	ev, err := a.bench.Pipeline.Retrieve(f)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	for _, q := range ev.Questions {
+		data.Questions = append(data.Questions, questionRow{Text: q.Text, Score: fmt.Sprintf("%.2f", q.Score)})
+	}
+	sort.Slice(data.Questions, func(i, j int) bool { return data.Questions[i].Score > data.Questions[j].Score })
+	data.Queries = ev.Queries
+	for _, d := range ev.Docs {
+		data.Docs = append(data.Docs, docRow{Title: d.Title, Host: d.Host, URL: d.URL})
+	}
+	data.Chunks = ev.ChunkTexts()
+	data.Filtered = ev.FilteredSKG
+
+	// Verdicts of every model under every method, plus the DKA majority.
+	var dkaOutcomes []strategy.Outcome
+	for _, method := range a.bench.Config.Methods {
+		v, err := a.bench.Verifier(method)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		for _, name := range a.bench.Config.Models {
+			m, err := a.bench.Model(name)
+			if err != nil {
+				http.Error(w, err.Error(), http.StatusInternalServerError)
+				return
+			}
+			out, err := v.Verify(ctx, m, f)
+			if err != nil {
+				http.Error(w, err.Error(), http.StatusInternalServerError)
+				return
+			}
+			data.Verdicts = append(data.Verdicts, verdictRow{
+				Model:    name,
+				Method:   method,
+				Verdict:  out.Verdict.String(),
+				Correct:  out.Correct,
+				Latency:  fmt.Sprintf("%.2fs", out.Latency.Seconds()),
+				Tokens:   out.PromptTokens + out.CompletionTokens,
+				Attempts: out.Attempts,
+				Reason:   out.Explanation,
+			})
+			if method == llm.MethodDKA && name != llm.GPT4oMini {
+				dkaOutcomes = append(dkaOutcomes, out)
+			}
+		}
+	}
+	if len(dkaOutcomes) > 0 {
+		votes := make([]consensus.Vote, len(dkaOutcomes))
+		for i, o := range dkaOutcomes {
+			votes[i] = consensus.Vote{Model: o.Model, Verdict: o.Verdict}
+		}
+		maj, tie := consensus.Majority(votes)
+		data.Majority = strconv.FormatBool(maj)
+		data.Tie = tie
+	}
+	a.render(w, "fact", data)
+}
+
+// --- error analysis ------------------------------------------------------
+
+type errorsData struct {
+	Dataset    dataset.Name
+	Model      string
+	Models     []string
+	Categories []analysis.ErrorCategory
+	Counts     map[analysis.ErrorCategory]int
+	Total      int
+	Samples    []errorSample
+}
+
+type errorSample struct {
+	FactID   string
+	Category analysis.ErrorCategory
+	Reason   string
+}
+
+func (a *App) handleErrors(w http.ResponseWriter, r *http.Request) {
+	dn := dataset.Name(r.URL.Query().Get("dataset"))
+	if dn == "" {
+		dn = dataset.FactBench
+	}
+	d, ok := a.bench.Datasets[dn]
+	if !ok {
+		http.Error(w, "unknown dataset", http.StatusNotFound)
+		return
+	}
+	model := r.URL.Query().Get("model")
+	if model == "" {
+		model = llm.Gemma2
+	}
+	m, err := a.bench.Model(model)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusNotFound)
+		return
+	}
+
+	// Run DKA over a bounded slice for interactivity and cluster the
+	// mistakes (the hosted app precomputes; we compute on demand).
+	facts := d.Facts
+	if len(facts) > 400 {
+		facts = facts[:400]
+	}
+	var records []analysis.ErrorRecord
+	reasons := map[string]string{}
+	for _, f := range facts {
+		out, err := (strategy.DKA{}).Verify(r.Context(), m, f)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		if out.Correct || out.Verdict == strategy.Invalid {
+			continue
+		}
+		records = append(records, analysis.ErrorRecord{Model: model, FactID: f.ID, Explanation: out.Explanation})
+		reasons[f.ID] = out.Explanation
+	}
+	res := analysis.ClusterErrors(records)
+	data := errorsData{
+		Dataset:    dn,
+		Model:      model,
+		Models:     a.bench.Config.Models,
+		Categories: analysis.Categories,
+		Counts:     res.Counts,
+		Total:      res.Total,
+	}
+	for factID, cat := range res.Assignments {
+		data.Samples = append(data.Samples, errorSample{FactID: factID, Category: cat, Reason: reasons[factID]})
+	}
+	sort.Slice(data.Samples, func(i, j int) bool {
+		if data.Samples[i].Category != data.Samples[j].Category {
+			return data.Samples[i].Category < data.Samples[j].Category
+		}
+		return data.Samples[i].FactID < data.Samples[j].FactID
+	})
+	if len(data.Samples) > 40 {
+		data.Samples = data.Samples[:40]
+	}
+	a.render(w, "errors", data)
+}
+
+func (a *App) render(w http.ResponseWriter, name string, data any) {
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	if err := a.tmpl.ExecuteTemplate(w, name, data); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+// Warm pre-verifies nothing but forces lazy model construction so the first
+// request is fast; safe to skip.
+func (a *App) Warm(ctx context.Context) error {
+	for _, name := range a.bench.Config.Models {
+		if _, err := a.bench.Model(name); err != nil {
+			return err
+		}
+	}
+	_ = ctx
+	return nil
+}

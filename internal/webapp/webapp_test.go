@@ -1,0 +1,126 @@
+package webapp
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"factcheck/internal/core"
+	"factcheck/internal/dataset"
+	"factcheck/internal/llm"
+)
+
+func server(t *testing.T) (*httptest.Server, *core.Benchmark) {
+	t.Helper()
+	b := core.NewBenchmark(core.Config{Scale: 0.05, Small: true})
+	app, err := New(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(app.Handler())
+	t.Cleanup(srv.Close)
+	return srv, b
+}
+
+func get(t *testing.T, url string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(body)
+}
+
+func TestIndexPage(t *testing.T) {
+	srv, _ := server(t)
+	code, body := get(t, srv.URL+"/")
+	if code != http.StatusOK {
+		t.Fatalf("status %d", code)
+	}
+	for _, want := range []string{"FactBench", "YAGO", "DBpedia", "Gold µ", "browse"} {
+		if !strings.Contains(body, want) {
+			t.Errorf("index missing %q", want)
+		}
+	}
+}
+
+func TestFactsPageAndPagination(t *testing.T) {
+	srv, b := server(t)
+	code, body := get(t, srv.URL+"/facts?dataset=FactBench")
+	if code != http.StatusOK {
+		t.Fatalf("status %d", code)
+	}
+	first := b.Datasets[dataset.FactBench].Facts[0]
+	if !strings.Contains(body, first.ID) {
+		t.Errorf("facts page missing first fact %s", first.ID)
+	}
+	if code, _ := get(t, srv.URL+"/facts?dataset=Nope"); code != http.StatusNotFound {
+		t.Errorf("unknown dataset status %d", code)
+	}
+	// Out-of-range page falls back to page 0.
+	if code, _ := get(t, srv.URL+"/facts?dataset=FactBench&page=9999"); code != http.StatusOK {
+		t.Errorf("overflow page status %d", code)
+	}
+}
+
+func TestFactDetailPage(t *testing.T) {
+	srv, b := server(t)
+	f := b.Datasets[dataset.FactBench].Facts[0]
+	code, body := get(t, srv.URL+"/fact/"+f.ID)
+	if code != http.StatusOK {
+		t.Fatalf("status %d: %s", code, body[:min(len(body), 200)])
+	}
+	wants := []string{
+		f.Subject.Label,           // entity surface
+		"Verbalised (phase 1)",    // pipeline stage 1
+		"generated questions",     // stage 2
+		"retrieved evidence",      // stages 3-4
+		"Model verdicts",          // verification grid
+		"Ontology rule check",     // rules extension
+		"DKA majority",            // consensus block
+		string(llm.MethodRAG),     // all methods present
+		llm.Gemma2, llm.GPT4oMini, // all models present
+	}
+	for _, w := range wants {
+		if !strings.Contains(body, w) {
+			t.Errorf("fact page missing %q", w)
+		}
+	}
+	if code, _ := get(t, srv.URL+"/fact/unknown-000001"); code != http.StatusNotFound {
+		t.Errorf("unknown fact status %d", code)
+	}
+}
+
+func TestErrorsPage(t *testing.T) {
+	srv, _ := server(t)
+	code, body := get(t, srv.URL+"/errors?dataset=FactBench&model="+llm.Mistral)
+	if code != http.StatusOK {
+		t.Fatalf("status %d", code)
+	}
+	for _, w := range []string{"Error analysis", "E1", "E4", "Sample errors", llm.Mistral} {
+		if !strings.Contains(body, w) {
+			t.Errorf("errors page missing %q", w)
+		}
+	}
+	if code, _ := get(t, srv.URL+"/errors?dataset=FactBench&model=no-model"); code != http.StatusNotFound {
+		t.Errorf("unknown model status %d", code)
+	}
+	// Defaults apply with no parameters.
+	if code, _ := get(t, srv.URL+"/errors"); code != http.StatusOK {
+		t.Errorf("default errors page status %d", code)
+	}
+}
+
+func TestHealthz(t *testing.T) {
+	srv, _ := server(t)
+	if code, _ := get(t, srv.URL+"/healthz"); code != http.StatusOK {
+		t.Errorf("healthz status %d", code)
+	}
+}

@@ -1,0 +1,53 @@
+package world
+
+import (
+	"testing"
+	"testing/quick"
+
+	"factcheck/internal/det"
+)
+
+// Property: any corruption of any world fact is (a) absent from the truth
+// set, (b) type-correct, and (c) reproducible.
+func TestCorruptionInvariantsProperty(t *testing.T) {
+	w := small()
+	f := func(idx uint16, stratIdx uint8, seed string) bool {
+		fact := w.Facts[int(idx)%len(w.Facts)]
+		strat := AllCorruptionStrategies[int(stratIdx)%len(AllCorruptionStrategies)]
+		rng := det.Source("quick-corrupt", seed)
+		c, ok := w.Corrupt(fact, strat, rng)
+		if !ok {
+			return true // some strategies legitimately fail (no alternatives)
+		}
+		if w.factSet[c.Key()] {
+			return false
+		}
+		if c.S.Type != c.Relation.Domain || c.O.Type != c.Relation.Range {
+			return false
+		}
+		rng2 := det.Source("quick-corrupt", seed)
+		c2, ok2 := w.Corrupt(fact, strat, rng2)
+		return ok2 && c2.Key() == c.Key()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: every fact's popularity lies in (0, 1] and blends its
+// endpoints' popularity monotonically.
+func TestFactPopularityProperty(t *testing.T) {
+	w := small()
+	f := func(idx uint16) bool {
+		fact := w.Facts[int(idx)%len(w.Facts)]
+		p := fact.Popularity()
+		lo, hi := fact.S.Popularity, fact.O.Popularity
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		return p > 0 && p <= 1 && p >= lo-1e-12 && p <= hi+1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
