@@ -11,6 +11,7 @@ import (
 	"context"
 	"fmt"
 	"os"
+	"runtime"
 	"strconv"
 	"sync"
 	"testing"
@@ -453,6 +454,35 @@ func BenchmarkVerificationThroughput(b *testing.B) {
 		})
 	}
 }
+
+// --- grid scheduler benches ---------------------------------------------
+
+// benchmarkGridRun times a cold whole-grid run (all datasets, methods and
+// models at a small scale) at the given worker-pool parallelism. The
+// benchmark instance is rebuilt outside the timer each iteration so every
+// timed run pays the full retrieval and search-engine indexing cost, like
+// a cold invocation.
+func benchmarkGridRun(b *testing.B, par int) {
+	cfg := core.Config{Scale: 0.05, Small: true, Parallelism: par}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		bench := core.NewBenchmark(cfg)
+		b.StartTimer()
+		if _, err := bench.Run(context.Background()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkGridRunSequential is the old execution model: one worker, i.e.
+// the strictly sequential cell-by-cell loop the scheduler replaced.
+func BenchmarkGridRunSequential(b *testing.B) { benchmarkGridRun(b, 1) }
+
+// BenchmarkGridRunPooled drains the same grid with the streaming worker
+// pool at GOMAXPROCS parallelism; on multi-core machines this is the
+// wall-clock win of the scheduler (results stay byte-identical).
+func BenchmarkGridRunPooled(b *testing.B) { benchmarkGridRun(b, runtime.GOMAXPROCS(0)) }
 
 // BenchmarkSearchEngine measures mock-SERP query latency.
 func BenchmarkSearchEngine(b *testing.B) {

@@ -15,7 +15,8 @@
 //	-models   comma-separated model list (default: the paper's five)
 //	-methods  comma-separated method list (DKA,GIV-Z,GIV-F,RAG)
 //	-datasets comma-separated dataset list (FactBench,YAGO,DBpedia)
-//	-par      verification parallelism (default GOMAXPROCS)
+//	-par      grid worker-pool parallelism (default GOMAXPROCS)
+//	-progress stream per-cell completion to stderr as the grid drains
 package main
 
 import (
@@ -45,7 +46,8 @@ func run(args []string) error {
 	modelsFlag := fs.String("models", "", "comma-separated models (default: paper's five)")
 	methodsFlag := fs.String("methods", "", "comma-separated methods (default: DKA,GIV-Z,GIV-F,RAG)")
 	datasetsFlag := fs.String("datasets", "", "comma-separated datasets (default: all three)")
-	par := fs.Int("par", 0, "verification parallelism (default GOMAXPROCS)")
+	par := fs.Int("par", 0, "grid worker-pool parallelism (default GOMAXPROCS)")
+	progress := fs.Bool("progress", false, "stream per-cell completion to stderr")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -91,7 +93,15 @@ func run(args []string) error {
 	if needRun {
 		t := time.Now()
 		fmt.Fprintf(os.Stderr, "running verification grid...\n")
-		rs, err = b.Run(ctx)
+		var opts []core.RunOption
+		if *progress {
+			opts = append(opts, core.WithProgress(func(p core.Progress) {
+				fmt.Fprintf(os.Stderr, "  [%3d/%3d] %s/%s/%s (%d facts, %.1fs elapsed)\n",
+					p.DoneCells, p.TotalCells, p.Cell.Dataset, p.Cell.Method,
+					p.Cell.Model, p.Facts, time.Since(t).Seconds())
+			}))
+		}
+		rs, err = b.Run(ctx, opts...)
 		if err != nil {
 			return err
 		}

@@ -25,3 +25,19 @@ func TestRunRejectsBadFlags(t *testing.T) {
 		t.Error("bad flag accepted")
 	}
 }
+
+func TestRunProgressFlag(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI smoke test is slow")
+	}
+	err := run([]string{
+		"-scale", "0.05", "-small", "-progress",
+		"-datasets", "FactBench",
+		"-models", "gemma2:9b",
+		"-methods", "DKA",
+		"table5",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	webapp [-addr :8090] [-scale 0.1] [-small]
+//	webapp [-addr :8090] [-scale 0.1] [-small] [-par N]
 package main
 
 import (
@@ -23,10 +23,11 @@ func main() {
 	addr := flag.String("addr", ":8090", "listen address")
 	scale := flag.Float64("scale", 0.1, "dataset scale factor")
 	small := flag.Bool("small", false, "use the miniature test world")
+	par := flag.Int("par", 0, "verification worker-pool parallelism (default GOMAXPROCS)")
 	flag.Parse()
 
 	start := time.Now()
-	b := core.NewBenchmark(core.Config{Scale: *scale, Small: *small})
+	b := core.NewBenchmark(core.Config{Scale: *scale, Small: *small, Parallelism: *par})
 	app, err := webapp.New(b)
 	if err != nil {
 		log.Fatal(err)

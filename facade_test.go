@@ -39,3 +39,31 @@ func TestFacadeDefaults(t *testing.T) {
 		t.Errorf("test config implausible: %+v", tc)
 	}
 }
+
+// TestFacadeProgress exercises the streaming-progress option through the
+// public API.
+func TestFacadeProgress(t *testing.T) {
+	cfg := TestConfig()
+	cfg.Datasets = []DatasetName{FactBench}
+	cfg.Models = []string{Gemma2}
+	cfg.Methods = []Method{MethodDKA, MethodGIVZ}
+	b := New(cfg)
+
+	var events []Progress
+	rs, err := b.Run(context.Background(), WithProgress(func(p Progress) {
+		events = append(events, p)
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 2 {
+		t.Fatalf("%d progress events, want 2", len(events))
+	}
+	last := events[len(events)-1]
+	if last.DoneCells != last.TotalCells {
+		t.Errorf("final event %d/%d, want all cells done", last.DoneCells, last.TotalCells)
+	}
+	if len(rs.Get(FactBench, MethodDKA, Gemma2)) == 0 {
+		t.Error("no outcomes despite completed progress")
+	}
+}

@@ -17,9 +17,19 @@
 //	if err != nil { ... }
 //	fmt.Println(b.Table5(rs))
 //
+// Run streams the whole (dataset × method × model × fact) grid through a
+// bounded worker pool (internal/sched): Config.Parallelism sets the worker
+// count (default GOMAXPROCS), results are byte-identical at any
+// parallelism, and WithProgress streams per-cell completion events:
+//
+//	rs, err := b.Run(ctx, factcheck.WithProgress(func(p factcheck.Progress) {
+//		log.Printf("%d/%d cells done", p.DoneCells, p.TotalCells)
+//	}))
+//
 // The heavy lifting lives in internal packages (world generation, datasets,
-// corpus, search, RAG, simulated models, metrics, analysis); this package
-// re-exports the orchestration surface a downstream user needs.
+// corpus, search, RAG, simulated models, scheduler, metrics, analysis);
+// this package re-exports the orchestration surface a downstream user
+// needs.
 package factcheck
 
 import (
@@ -38,6 +48,19 @@ type Benchmark = core.Benchmark
 
 // ResultSet holds the outcomes of a verification grid run.
 type ResultSet = core.ResultSet
+
+// RunOption customises a single Run invocation.
+type RunOption = core.RunOption
+
+// Cell identifies one (dataset, method, model) evaluation cell.
+type Cell = core.Cell
+
+// Progress reports the completion of one grid cell during Run.
+type Progress = core.Progress
+
+// WithProgress streams per-cell completion events to fn while the worker
+// pool drains the verification grid.
+func WithProgress(fn func(Progress)) RunOption { return core.WithProgress(fn) }
 
 // ConsensusReport holds the multi-model consensus analysis.
 type ConsensusReport = core.ConsensusReport

@@ -3,6 +3,13 @@
 // simulated models together, runs the full evaluation grid
 // (dataset × method × model), and renders every table and figure of the
 // paper's evaluation section.
+//
+// Grid execution is streamed: Run flattens the whole grid into one
+// (cell, fact) task queue and drains it on a sched.Pool, so no cell
+// barrier ever stalls independent work. Evidence-prefetch tasks at the
+// head of the queue warm the RAG cache once per fact ahead of model
+// fan-out, and an optional progress callback reports cells as they
+// complete.
 package core
 
 import (
@@ -10,12 +17,14 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"factcheck/internal/consensus"
 	"factcheck/internal/corpus"
 	"factcheck/internal/dataset"
 	"factcheck/internal/llm"
 	"factcheck/internal/rag"
+	"factcheck/internal/sched"
 	"factcheck/internal/search"
 	"factcheck/internal/strategy"
 	"factcheck/internal/world"
@@ -36,8 +45,10 @@ type Config struct {
 	Methods []llm.Method
 	// Datasets to evaluate; defaults to dataset.AllNames.
 	Datasets []dataset.Name
-	// Parallelism bounds concurrent fact verifications per cell; defaults
-	// to GOMAXPROCS.
+	// Parallelism bounds the worker pool draining the whole verification
+	// grid (and the per-cell fan-out of RunCell); defaults to GOMAXPROCS.
+	// Results are identical at any parallelism; 1 degenerates to a strictly
+	// sequential run.
 	Parallelism int
 }
 
@@ -81,7 +92,8 @@ type Benchmark struct {
 	Engine   *search.Engine
 	Pipeline *rag.Pipeline
 
-	models map[string]llm.Model
+	modelsMu sync.Mutex
+	models   map[string]llm.Model
 }
 
 // NewBenchmark builds all substrates for the configuration.
@@ -109,8 +121,12 @@ func NewBenchmark(cfg Config) *Benchmark {
 	return b
 }
 
-// Model returns (and caches) the named simulated model.
+// Model returns (and caches) the named simulated model. The registry is
+// mutex-guarded: grid workers and consensus arbiters resolve models
+// concurrently.
 func (b *Benchmark) Model(name string) (llm.Model, error) {
+	b.modelsMu.Lock()
+	defer b.modelsMu.Unlock()
 	if m, ok := b.models[name]; ok {
 		return m, nil
 	}
@@ -170,25 +186,182 @@ func (r *ResultSet) PerFact(d dataset.Name, m llm.Method, models []string) [][]s
 	return per
 }
 
-// Run executes the full grid of the configuration.
-func (b *Benchmark) Run(ctx context.Context) (*ResultSet, error) {
-	rs := &ResultSet{Config: b.Config, Outcomes: map[Cell][]strategy.Outcome{}}
+// Progress reports the completion of one grid cell during Run.
+type Progress struct {
+	// Cell identifies the completed (dataset, method, model) cell.
+	Cell Cell
+	// Facts is the number of facts verified in the cell.
+	Facts int
+	// DoneCells counts completed cells so far, including this one.
+	DoneCells int
+	// TotalCells is the size of the grid.
+	TotalCells int
+}
+
+// RunOption customises a single Run invocation.
+type RunOption func(*runOptions)
+
+type runOptions struct {
+	progress func(Progress)
+}
+
+// WithProgress streams per-cell completion events to fn as the worker pool
+// drains the grid. Cells complete in data-dependent order; fn is called
+// serially (never concurrently with itself) from worker goroutines.
+func WithProgress(fn func(Progress)) RunOption {
+	return func(o *runOptions) { o.progress = fn }
+}
+
+// gridCell is one (dataset, method, model) cell being assembled by the
+// scheduler: workers write index-addressed outcomes and the last one to
+// finish reports the cell complete.
+type gridCell struct {
+	cell      Cell
+	facts     []*dataset.Fact
+	model     llm.Model
+	verifier  strategy.Verifier
+	outs      []strategy.Outcome
+	remaining atomic.Int64
+}
+
+// Run executes the full grid of the configuration as one streamed task
+// queue: every (cell, fact) pair is enqueued up front and drained by
+// Parallelism workers, so slow cells overlap with fast ones instead of
+// serialising behind per-cell barriers. Outcomes are assembled back into
+// fact-ordered slices and are byte-identical at any parallelism. On error
+// the run cancels outstanding work, drains in-flight verifications and
+// returns the aggregated failure.
+func (b *Benchmark) Run(ctx context.Context, opts ...RunOption) (*ResultSet, error) {
+	var ro runOptions
+	for _, o := range opts {
+		o(&ro)
+	}
+
+	// Resolve verifiers, models and datasets up front so configuration
+	// errors surface before any verification is scheduled.
+	verifiers := make(map[llm.Method]strategy.Verifier, len(b.Config.Methods))
+	for _, method := range b.Config.Methods {
+		v, err := b.Verifier(method)
+		if err != nil {
+			return nil, err
+		}
+		verifiers[method] = v
+	}
+	models := make(map[string]llm.Model, len(b.Config.Models))
+	for _, name := range b.Config.Models {
+		m, err := b.Model(name)
+		if err != nil {
+			return nil, err
+		}
+		models[name] = m
+	}
+	var cells []*gridCell
 	for _, dn := range b.Config.Datasets {
+		d, ok := b.Datasets[dn]
+		if !ok {
+			return nil, fmt.Errorf("core: dataset %q not built", dn)
+		}
 		for _, method := range b.Config.Methods {
-			for _, modelName := range b.Config.Models {
-				outs, err := b.RunCell(ctx, dn, method, modelName)
-				if err != nil {
-					return nil, err
+			for _, name := range b.Config.Models {
+				c := &gridCell{
+					cell:     Cell{Dataset: dn, Method: method, Model: name},
+					facts:    d.Facts,
+					model:    models[name],
+					verifier: verifiers[method],
+					outs:     make([]strategy.Outcome, len(d.Facts)),
 				}
-				rs.Outcomes[Cell{Dataset: dn, Method: method, Model: modelName}] = outs
+				c.remaining.Store(int64(len(d.Facts)))
+				cells = append(cells, c)
 			}
 		}
+	}
+
+	var progressMu sync.Mutex
+	doneCells := 0
+	cellDone := func(c *gridCell) {
+		if ro.progress == nil {
+			return
+		}
+		progressMu.Lock()
+		defer progressMu.Unlock()
+		doneCells++
+		ro.progress(Progress{
+			Cell:       c.cell,
+			Facts:      len(c.facts),
+			DoneCells:  doneCells,
+			TotalCells: len(cells),
+		})
+	}
+	for _, c := range cells {
+		if len(c.facts) == 0 {
+			cellDone(c)
+		}
+	}
+
+	pool := sched.New(b.Config.Parallelism)
+
+	// One flat queue, two kinds of tasks. Evidence-prefetch tasks sit at
+	// the front: methods with model-independent per-fact state (RAG
+	// retrieval) warm it once per fact before that fact's model fan-out is
+	// dispatched. Ascending dispatch means the prefetch block still drains
+	// (almost) fully before verification starts — the overlap is bounded
+	// by the worker count — but unlike a barrier phase there is no sync
+	// point: workers flow straight into verification, and the singleflight
+	// cache keeps retrieval exactly-once even when a verify task overtakes
+	// its fact's prefetch.
+	type task struct {
+		prefetch strategy.Prefetcher // nil for verification tasks
+		f        *dataset.Fact       // prefetch target
+		c        *gridCell           // verification cell
+		i        int                 // fact index within c
+	}
+	var tasks []task
+	for _, method := range b.Config.Methods {
+		p, ok := verifiers[method].(strategy.Prefetcher)
+		if !ok {
+			continue
+		}
+		for _, dn := range b.Config.Datasets {
+			for _, f := range b.Datasets[dn].Facts {
+				tasks = append(tasks, task{prefetch: p, f: f})
+			}
+		}
+	}
+	for _, c := range cells {
+		for i := range c.facts {
+			tasks = append(tasks, task{c: c, i: i})
+		}
+	}
+	err := pool.Run(ctx, len(tasks), func(ctx context.Context, ti int) error {
+		t := tasks[ti]
+		if t.prefetch != nil {
+			return t.prefetch.Prefetch(ctx, t.f)
+		}
+		out, err := t.c.verifier.Verify(ctx, t.c.model, t.c.facts[t.i])
+		if err != nil {
+			return err
+		}
+		t.c.outs[t.i] = out
+		if t.c.remaining.Add(-1) == 0 {
+			cellDone(t.c)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	rs := &ResultSet{Config: b.Config, Outcomes: make(map[Cell][]strategy.Outcome, len(cells))}
+	for _, c := range cells {
+		rs.Outcomes[c.cell] = c.outs
 	}
 	return rs, nil
 }
 
 // RunCell verifies every fact of one dataset with one model and method,
 // fanning out across Parallelism workers. Outcomes preserve fact order.
+// Cancellation is drained: RunCell returns only after every started
+// verification has finished.
 func (b *Benchmark) RunCell(ctx context.Context, dn dataset.Name, method llm.Method, modelName string) ([]strategy.Outcome, error) {
 	d, ok := b.Datasets[dn]
 	if !ok {
@@ -203,27 +376,16 @@ func (b *Benchmark) RunCell(ctx context.Context, dn dataset.Name, method llm.Met
 		return nil, err
 	}
 	outs := make([]strategy.Outcome, len(d.Facts))
-	errs := make([]error, len(d.Facts))
-
-	sem := make(chan struct{}, b.Config.Parallelism)
-	var wg sync.WaitGroup
-	for i, f := range d.Facts {
-		if err := ctx.Err(); err != nil {
-			return nil, err
-		}
-		wg.Add(1)
-		sem <- struct{}{}
-		go func(i int, f *dataset.Fact) {
-			defer wg.Done()
-			defer func() { <-sem }()
-			outs[i], errs[i] = v.Verify(ctx, m, f)
-		}(i, f)
-	}
-	wg.Wait()
-	for _, err := range errs {
+	err = sched.New(b.Config.Parallelism).Run(ctx, len(d.Facts), func(ctx context.Context, i int) error {
+		out, err := v.Verify(ctx, m, d.Facts[i])
 		if err != nil {
-			return nil, err
+			return err
 		}
+		outs[i] = out
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return outs, nil
 }

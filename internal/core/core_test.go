@@ -3,6 +3,7 @@ package core
 import (
 	"context"
 	"strings"
+	"sync"
 	"testing"
 
 	"factcheck/internal/dataset"
@@ -372,5 +373,125 @@ func TestInvalidOutcomesCountedInConfusion(t *testing.T) {
 	}
 	if cm.Confusion.Total() != valid+invalid {
 		t.Error("confusion total mismatch")
+	}
+}
+
+func TestRunByteIdenticalAcrossParallelismAllMethods(t *testing.T) {
+	// The streamed whole-grid run must produce outcomes identical in every
+	// field to a strictly sequential (Parallelism: 1) run, for every
+	// method including RAG (shared evidence cache + prefetch stage).
+	cfg := TestConfig()
+	cfg.Datasets = []dataset.Name{dataset.FactBench}
+	cfg.Models = []string{llm.Gemma2, llm.Mistral}
+
+	cfg.Parallelism = 1
+	seq := NewBenchmark(cfg)
+	rsSeq, err := seq.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Parallelism = 8
+	pooled := NewBenchmark(cfg)
+	rsPooled, err := pooled.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, method := range cfg.Methods {
+		for _, m := range cfg.Models {
+			a := rsSeq.Get(dataset.FactBench, method, m)
+			b := rsPooled.Get(dataset.FactBench, method, m)
+			if len(a) == 0 || len(a) != len(b) {
+				t.Fatalf("%s/%s: %d vs %d outcomes", method, m, len(a), len(b))
+			}
+			for i := range a {
+				if a[i] != b[i] {
+					t.Fatalf("%s/%s outcome %d differs between sequential and pooled run:\n%+v\n%+v",
+						method, m, i, a[i], b[i])
+				}
+			}
+		}
+	}
+}
+
+func TestRunStreamsProgressPerCell(t *testing.T) {
+	cfg := TestConfig()
+	cfg.Datasets = []dataset.Name{dataset.FactBench, dataset.YAGO}
+	cfg.Models = []string{llm.Gemma2, llm.Mistral}
+	cfg.Methods = []llm.Method{llm.MethodDKA, llm.MethodGIVF}
+	cfg.Parallelism = 4
+	b := NewBenchmark(cfg)
+
+	var events []Progress
+	_, err := b.Run(context.Background(), WithProgress(func(p Progress) {
+		events = append(events, p) // callback is serialized; no lock needed
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantCells := len(cfg.Datasets) * len(cfg.Models) * len(cfg.Methods)
+	if len(events) != wantCells {
+		t.Fatalf("%d progress events, want %d", len(events), wantCells)
+	}
+	seen := map[Cell]bool{}
+	for i, ev := range events {
+		if ev.DoneCells != i+1 {
+			t.Errorf("event %d: DoneCells = %d, want %d", i, ev.DoneCells, i+1)
+		}
+		if ev.TotalCells != wantCells {
+			t.Errorf("event %d: TotalCells = %d, want %d", i, ev.TotalCells, wantCells)
+		}
+		if seen[ev.Cell] {
+			t.Errorf("cell %v reported complete twice", ev.Cell)
+		}
+		seen[ev.Cell] = true
+		if want := len(b.Datasets[ev.Cell.Dataset].Facts); ev.Facts != want {
+			t.Errorf("cell %v: Facts = %d, want %d", ev.Cell, ev.Facts, want)
+		}
+	}
+}
+
+func TestRunMidGridCancellationDrains(t *testing.T) {
+	cfg := TestConfig()
+	cfg.Datasets = []dataset.Name{dataset.FactBench}
+	cfg.Methods = []llm.Method{llm.MethodDKA} // no prefetch phase: cancel hits the grid queue
+	cfg.Parallelism = 4
+	b := NewBenchmark(cfg)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	_, err := b.Run(ctx, WithProgress(func(Progress) { cancel() }))
+	if err == nil {
+		t.Fatal("run cancelled mid-grid succeeded")
+	}
+}
+
+func TestRunCellDrainsOnCancelledContext(t *testing.T) {
+	b, _ := benchFixture(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := b.RunCell(ctx, dataset.FactBench, llm.MethodDKA, llm.Gemma2); err == nil {
+		t.Error("cancelled RunCell succeeded")
+	}
+}
+
+func TestModelRegistryConcurrentAccess(t *testing.T) {
+	b := NewBenchmark(TestConfig())
+	var wg sync.WaitGroup
+	errCh := make(chan error, 40)
+	for i := 0; i < 8; i++ {
+		for _, name := range b.Config.Models {
+			wg.Add(1)
+			go func(name string) {
+				defer wg.Done()
+				if _, err := b.Model(name); err != nil {
+					errCh <- err
+				}
+			}(name)
+		}
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Fatal(err)
 	}
 }

@@ -65,7 +65,9 @@ func DefaultConfig() Config {
 // Pipeline executes retrieval for facts. Retrieval is model-independent and
 // deterministic, so results are cached per fact: when several models verify
 // the same fact (Table 5's five columns, consensus ensembles) the pipeline
-// retrieves once.
+// retrieves once. The cache is sharded by fact ID and deduplicates
+// concurrent retrievals (singleflight), so the whole-grid scheduler can fan
+// N models out over the same fact and still trigger exactly one retrieval.
 type Pipeline struct {
 	Searcher       search.Searcher
 	QuestionRanker rerank.Scorer
@@ -75,8 +77,49 @@ type Pipeline struct {
 	// that mutate Config between calls).
 	DisableCache bool
 
-	mu    sync.Mutex
-	cache map[string]*Evidence
+	cache evidenceCache
+}
+
+// evidenceShards is the shard count of the evidence cache. Sharding keeps
+// lock hold times per shard short under concurrent grid workers; the count
+// comfortably exceeds any realistic worker parallelism.
+const evidenceShards = 32
+
+// evidenceCache is a sharded fact-ID-keyed cache with singleflight
+// semantics: the first caller for a fact owns the retrieval, concurrent
+// callers block on the entry's done channel and share the result.
+type evidenceCache struct {
+	shards [evidenceShards]evidenceShard
+}
+
+type evidenceShard struct {
+	mu      sync.Mutex
+	entries map[string]*evidenceEntry
+}
+
+// evidenceEntry is one in-flight or completed retrieval. ev and err are
+// written once by the owner before done is closed; waiters read them only
+// after <-done.
+type evidenceEntry struct {
+	done chan struct{}
+	ev   *Evidence
+	err  error
+}
+
+// shard maps a fact ID to its cache shard.
+func (c *evidenceCache) shard(id string) *evidenceShard {
+	return &c.shards[det.Hash64("rag-shard", id)%evidenceShards]
+}
+
+// clear drops every shard's entries. In-flight retrievals keep their
+// (now unreachable) entry and complete harmlessly.
+func (c *evidenceCache) clear() {
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		s.entries = nil
+		s.mu.Unlock()
+	}
 }
 
 // New builds a pipeline with the paper's default rankers and configuration.
@@ -120,35 +163,56 @@ func (e *Evidence) ChunkTexts() []string {
 }
 
 // Retrieve runs the four phases for the fact, consulting the cache first.
+// Concurrent calls for the same fact coalesce into a single retrieval: the
+// first caller computes, the rest block and share the result.
 func (p *Pipeline) Retrieve(f *dataset.Fact) (*Evidence, error) {
-	if !p.DisableCache {
-		p.mu.Lock()
-		if ev, ok := p.cache[f.ID]; ok {
-			p.mu.Unlock()
-			return ev, nil
+	if p.DisableCache {
+		return p.retrieve(f)
+	}
+	s := p.cache.shard(f.ID)
+	s.mu.Lock()
+	e, ok := s.entries[f.ID]
+	if !ok {
+		e = &evidenceEntry{done: make(chan struct{})}
+		if s.entries == nil {
+			s.entries = map[string]*evidenceEntry{}
 		}
-		p.mu.Unlock()
+		s.entries[f.ID] = e
 	}
-	ev, err := p.retrieve(f)
-	if err != nil {
-		return nil, err
+	s.mu.Unlock()
+	if ok {
+		<-e.done
+		return e.ev, e.err
 	}
-	if !p.DisableCache {
-		p.mu.Lock()
-		if p.cache == nil {
-			p.cache = map[string]*Evidence{}
+	e.ev, e.err = p.retrieve(f)
+	if e.err != nil {
+		// Do not cache failures: drop the entry (unless ClearCache swapped
+		// the map under us) so a later call can retry.
+		s.mu.Lock()
+		if s.entries[f.ID] == e {
+			delete(s.entries, f.ID)
 		}
-		p.cache[f.ID] = ev
-		p.mu.Unlock()
+		s.mu.Unlock()
 	}
-	return ev, nil
+	close(e.done)
+	return e.ev, e.err
+}
+
+// Warm ensures the fact's evidence is cached, sharing the same
+// singleflight path as Retrieve. It is the prefetch entry point the grid
+// scheduler uses to retrieve once per fact before fanning models out; with
+// the cache disabled it is a no-op rather than a wasted full retrieval.
+func (p *Pipeline) Warm(f *dataset.Fact) error {
+	if p.DisableCache {
+		return nil
+	}
+	_, err := p.Retrieve(f)
+	return err
 }
 
 // ClearCache drops all cached evidence (call after changing Config).
 func (p *Pipeline) ClearCache() {
-	p.mu.Lock()
-	p.cache = nil
-	p.mu.Unlock()
+	p.cache.clear()
 }
 
 func (p *Pipeline) retrieve(f *dataset.Fact) (*Evidence, error) {

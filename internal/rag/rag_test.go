@@ -1,6 +1,8 @@
 package rag
 
 import (
+	"sync"
+	"sync/atomic"
 	"testing"
 
 	"factcheck/internal/corpus"
@@ -244,5 +246,121 @@ func TestCostForCalibration(t *testing.T) {
 	}
 	if m := ft / fn; m < 320 || m > 380 {
 		t.Errorf("mean fetch time = %.1f, want ~350", m)
+	}
+}
+
+// countingSearcher counts Search calls so tests can observe how many
+// retrievals actually hit the backend.
+type countingSearcher struct {
+	search.Searcher
+	searches atomic.Int64
+}
+
+func (c *countingSearcher) Search(factID, query string, n int) ([]search.SERPItem, error) {
+	c.searches.Add(1)
+	return c.Searcher.Search(factID, query, n)
+}
+
+func TestConcurrentRetrieveSingleflight(t *testing.T) {
+	w := world.New(world.SmallConfig())
+	d := dataset.Build(w, dataset.FactBench, 0.1)
+	cs := &countingSearcher{Searcher: search.NewEngine(corpus.NewGenerator(w), d)}
+	p := New(cs)
+	f := d.Facts[0]
+
+	// Measure the backend calls of one uncached retrieval.
+	if _, err := p.Retrieve(f); err != nil {
+		t.Fatal(err)
+	}
+	perRetrieval := cs.searches.Load()
+	if perRetrieval == 0 {
+		t.Fatal("retrieval issued no searches")
+	}
+	p.ClearCache()
+	cs.searches.Store(0)
+
+	// N concurrent callers on the same fact must coalesce into exactly one
+	// retrieval and all observe the identical evidence pointer.
+	const callers = 16
+	var (
+		start sync.WaitGroup
+		wg    sync.WaitGroup
+		gate  = make(chan struct{})
+		evs   [callers]*Evidence
+		errs  [callers]error
+	)
+	start.Add(callers)
+	wg.Add(callers)
+	for i := 0; i < callers; i++ {
+		go func(i int) {
+			defer wg.Done()
+			start.Done()
+			<-gate
+			evs[i], errs[i] = p.Retrieve(f)
+		}(i)
+	}
+	start.Wait()
+	close(gate)
+	wg.Wait()
+
+	for i := 0; i < callers; i++ {
+		if errs[i] != nil {
+			t.Fatal(errs[i])
+		}
+		if evs[i] != evs[0] {
+			t.Fatal("concurrent callers observed different evidence")
+		}
+	}
+	if got := cs.searches.Load(); got != perRetrieval {
+		t.Fatalf("%d callers triggered %d backend searches, want %d (one retrieval)",
+			callers, got, perRetrieval)
+	}
+}
+
+func TestConcurrentRetrieveManyFacts(t *testing.T) {
+	p, d := pipeline(t)
+	n := len(d.Facts)
+	if n > 24 {
+		n = 24
+	}
+	var wg sync.WaitGroup
+	errCh := make(chan error, 3*n)
+	for round := 0; round < 3; round++ {
+		for _, f := range d.Facts[:n] {
+			wg.Add(1)
+			go func(f *dataset.Fact) {
+				defer wg.Done()
+				if _, err := p.Retrieve(f); err != nil {
+					errCh <- err
+				}
+			}(f)
+		}
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Fatal(err)
+	}
+}
+
+func TestWarmPopulatesCacheAndRespectsDisable(t *testing.T) {
+	p, d := pipeline(t)
+	f := d.Facts[3]
+	if err := p.Warm(f); err != nil {
+		t.Fatal(err)
+	}
+	a, err := p.Retrieve(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := p.Retrieve(f)
+	if a != b {
+		t.Error("Warm did not populate the cache")
+	}
+
+	p2, d2 := pipeline(t)
+	p2.DisableCache = true
+	if err := p2.Warm(d2.Facts[0]); err != nil {
+		t.Fatal(err)
 	}
 }

@@ -1,0 +1,134 @@
+// Package sched provides the benchmark's streaming grid scheduler: a
+// bounded worker-pool executor over a flat queue of independent tasks.
+// The core orchestrator enqueues the whole (dataset × method × model × fact)
+// verification grid at once and lets a fixed set of workers drain it, so a
+// slow cell no longer stalls the cells behind it the way the old
+// cell-by-cell loop with a barrier after every cell did.
+//
+// Properties:
+//
+//   - deterministic dispatch: workers claim task indices in ascending
+//     order, so a one-worker pool degenerates to a plain sequential loop
+//     and results are reproducible at any parallelism (tasks write to
+//     caller-owned, index-addressed slots);
+//   - fail-fast: the first task error cancels the run context, workers
+//     stop claiming new tasks, and every in-flight task is drained before
+//     Run returns — no goroutine ever outlives the call;
+//   - error aggregation: all task errors are collected, ordered by task
+//     index, and joined, so concurrent failures surface deterministically.
+package sched
+
+import (
+	"context"
+	"errors"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Pool executes flat task queues with a bounded number of workers.
+// A Pool is stateless between runs and safe for concurrent use.
+type Pool struct {
+	workers int
+}
+
+// New returns a pool with the given worker bound; values below one are
+// clamped to a single worker (strictly sequential execution).
+func New(workers int) *Pool {
+	if workers < 1 {
+		workers = 1
+	}
+	return &Pool{workers: workers}
+}
+
+// Workers reports the pool's worker bound.
+func (p *Pool) Workers() int { return p.workers }
+
+// indexedError pairs a task error with the index that produced it so the
+// aggregate error is ordered deterministically.
+type indexedError struct {
+	index int
+	err   error
+}
+
+// Run executes fn for every index in [0, n) on the pool's workers and
+// blocks until all started tasks have returned. Workers claim indices in
+// ascending order. On the first error the run context is cancelled,
+// no further indices are claimed, in-flight tasks are drained, and the
+// collected task errors are returned joined in index order. If the caller's
+// context is cancelled first, Run drains and returns the context error.
+func (p *Pool) Run(ctx context.Context, n int, fn func(ctx context.Context, i int) error) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	if n <= 0 {
+		return nil
+	}
+	parent := ctx
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	workers := p.workers
+	if workers > n {
+		workers = n
+	}
+
+	var (
+		next atomic.Int64
+		mu   sync.Mutex
+		errs []indexedError
+		wg   sync.WaitGroup
+	)
+	fail := func(i int, err error) {
+		mu.Lock()
+		errs = append(errs, indexedError{index: i, err: err})
+		mu.Unlock()
+		cancel()
+	}
+
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				if ctx.Err() != nil {
+					return
+				}
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				if err := fn(ctx, i); err != nil {
+					fail(i, err)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	if len(errs) > 0 {
+		sort.Slice(errs, func(a, b int) bool { return errs[a].index < errs[b].index })
+		joined := make([]error, 0, len(errs))
+		for _, e := range errs {
+			joined = append(joined, e.err)
+		}
+		// Workers interrupted by the fail-fast cancel report (wrapped)
+		// context.Canceled. When the caller's context was never cancelled
+		// and a real task error exists, those are induced noise: drop them
+		// so errors.Is(err, context.Canceled) reflects the caller's
+		// context, not the pool's internal cancellation.
+		if parent.Err() == nil {
+			real := joined[:0]
+			for _, e := range joined {
+				if !errors.Is(e, context.Canceled) {
+					real = append(real, e)
+				}
+			}
+			if len(real) > 0 {
+				joined = real
+			}
+		}
+		return errors.Join(joined...)
+	}
+	return parent.Err()
+}

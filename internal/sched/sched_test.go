@@ -1,0 +1,202 @@
+package sched
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestSequentialOrderWithOneWorker(t *testing.T) {
+	var order []int
+	err := New(1).Run(context.Background(), 8, func(_ context.Context, i int) error {
+		order = append(order, i)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(order) != 8 {
+		t.Fatalf("ran %d tasks, want 8", len(order))
+	}
+	for i, got := range order {
+		if got != i {
+			t.Fatalf("task %d ran at position %d; one worker must be strictly sequential", got, i)
+		}
+	}
+}
+
+func TestEveryIndexRunsExactlyOnce(t *testing.T) {
+	const n = 500
+	counts := make([]atomic.Int32, n)
+	err := New(16).Run(context.Background(), n, func(_ context.Context, i int) error {
+		counts[i].Add(1)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range counts {
+		if c := counts[i].Load(); c != 1 {
+			t.Fatalf("index %d executed %d times", i, c)
+		}
+	}
+}
+
+func TestFailFastStopsClaimingTasks(t *testing.T) {
+	boom := errors.New("boom")
+	var ran []int
+	err := New(1).Run(context.Background(), 100, func(_ context.Context, i int) error {
+		ran = append(ran, i)
+		if i == 3 {
+			return boom
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want wrapped boom", err)
+	}
+	if len(ran) != 4 {
+		t.Fatalf("ran %v; tasks after the failure must not be claimed", ran)
+	}
+}
+
+func TestErrorsAggregateInIndexOrder(t *testing.T) {
+	// Release all four workers into their failure simultaneously so the
+	// arrival order at the collector is scrambled; the joined error must
+	// still list task errors by ascending index.
+	var gate sync.WaitGroup
+	gate.Add(4)
+	err := New(4).Run(context.Background(), 4, func(_ context.Context, i int) error {
+		gate.Done()
+		gate.Wait()
+		return fmt.Errorf("task-%d failed", i)
+	})
+	if err == nil {
+		t.Fatal("no aggregate error")
+	}
+	want := "task-0 failed\ntask-1 failed\ntask-2 failed\ntask-3 failed"
+	if err.Error() != want {
+		t.Fatalf("aggregate error:\n%s\nwant:\n%s", err.Error(), want)
+	}
+}
+
+func TestCancellationDrainsInFlightWorkers(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var inflight atomic.Int32
+	var started sync.WaitGroup
+	started.Add(2)
+	release := make(chan struct{})
+
+	done := make(chan error, 1)
+	go func() {
+		done <- New(2).Run(ctx, 50, func(_ context.Context, i int) error {
+			inflight.Add(1)
+			defer inflight.Add(-1)
+			if i < 2 {
+				started.Done()
+			}
+			<-release
+			return nil
+		})
+	}()
+
+	started.Wait() // both workers are mid-task
+	cancel()
+	select {
+	case err := <-done:
+		t.Fatalf("Run returned %v with tasks still in flight", err)
+	case <-time.After(20 * time.Millisecond):
+	}
+	close(release)
+	err := <-done
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if got := inflight.Load(); got != 0 {
+		t.Fatalf("%d workers still in flight after Run returned", got)
+	}
+}
+
+func TestTaskErrorWinsOverInducedCancellation(t *testing.T) {
+	// The fail-fast cancel is internal; callers must see the task error,
+	// not context.Canceled.
+	boom := errors.New("boom")
+	err := New(4).Run(context.Background(), 40, func(ctx context.Context, i int) error {
+		if i == 0 {
+			return boom
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	if errors.Is(err, context.Canceled) {
+		t.Fatal("internal cancellation leaked to the caller")
+	}
+}
+
+func TestEmptyQueueAndPreCancelledContext(t *testing.T) {
+	if err := New(4).Run(context.Background(), 0, nil); err != nil {
+		t.Fatalf("empty queue: %v", err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	err := New(4).Run(ctx, 10, func(context.Context, int) error {
+		t.Error("task ran under a pre-cancelled context")
+		return nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestWorkerClampAndAccessors(t *testing.T) {
+	if w := New(0).Workers(); w != 1 {
+		t.Fatalf("Workers() = %d, want clamp to 1", w)
+	}
+	if w := New(-3).Workers(); w != 1 {
+		t.Fatalf("Workers() = %d, want clamp to 1", w)
+	}
+	if w := New(7).Workers(); w != 7 {
+		t.Fatalf("Workers() = %d", w)
+	}
+}
+
+func TestInducedCancellationFilteredFromAggregate(t *testing.T) {
+	// Tasks that honour ctx (like real verifiers) surface wrapped
+	// context.Canceled once the fail-fast cancel fires; the aggregate must
+	// keep only the real error.
+	boom := errors.New("boom")
+	var gate sync.WaitGroup
+	gate.Add(4)
+	err := New(4).Run(context.Background(), 4, func(ctx context.Context, i int) error {
+		gate.Done()
+		gate.Wait()
+		if i == 0 {
+			return boom
+		}
+		<-ctx.Done()
+		return fmt.Errorf("task %d interrupted: %w", i, ctx.Err())
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	if errors.Is(err, context.Canceled) {
+		t.Fatalf("induced cancellation leaked into the aggregate: %v", err)
+	}
+}
+
+func TestAllCancelledErrorsKeptWhenNoRealError(t *testing.T) {
+	// A task returning context.Canceled with no other failure and no parent
+	// cancellation must still surface (never a silent nil).
+	err := New(1).Run(context.Background(), 1, func(context.Context, int) error {
+		return context.Canceled
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}

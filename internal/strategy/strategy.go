@@ -79,6 +79,17 @@ type Verifier interface {
 	Verify(ctx context.Context, m llm.Model, f *dataset.Fact) (Outcome, error)
 }
 
+// Prefetcher is implemented by verifiers with model-independent per-fact
+// state worth warming ahead of model fan-out. The grid scheduler calls
+// Prefetch once per (method, fact) before any model verifies the fact, so
+// the expensive shared stage (RAG retrieval) runs exactly once instead of
+// once per model racing through the singleflight cache.
+type Prefetcher interface {
+	// Prefetch warms per-fact state; it must be safe to call concurrently
+	// and to skip (Verify must work without it).
+	Prefetch(ctx context.Context, f *dataset.Fact) error
+}
+
 // ClaimFor builds the structured claim handed to simulated models.
 func ClaimFor(f *dataset.Fact) llm.Claim {
 	return llm.Claim{
@@ -175,6 +186,21 @@ type RAG struct {
 
 // Method implements Verifier.
 func (RAG) Method() llm.Method { return llm.MethodRAG }
+
+// Prefetch implements Prefetcher by warming the pipeline's evidence cache
+// for the fact.
+func (r RAG) Prefetch(ctx context.Context, f *dataset.Fact) error {
+	if r.Pipeline == nil {
+		return fmt.Errorf("rag: verifier has no pipeline")
+	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	if err := r.Pipeline.Warm(f); err != nil {
+		return fmt.Errorf("rag: prefetch %s: %w", f.ID, err)
+	}
+	return nil
+}
 
 // Verify implements Verifier.
 func (r RAG) Verify(ctx context.Context, m llm.Model, f *dataset.Fact) (Outcome, error) {
