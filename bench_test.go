@@ -14,6 +14,7 @@ import (
 	"runtime"
 	"strconv"
 	"sync"
+	"sync/atomic"
 	"testing"
 
 	"factcheck/internal/accuracy"
@@ -495,4 +496,77 @@ func BenchmarkSearchEngine(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// --- retrieval substrate benches ----------------------------------------
+
+// benchmarkSearchPath measures steady-state SERP query cost — pools warmed
+// outside the timer — over the indexed (posting lists + top-k heap) or scan
+// (dense cosine + full sort) path, with `par` goroutines issuing queries
+// concurrently. Results of the two paths are byte-identical (see the golden
+// test in internal/search); only the cost differs.
+func benchmarkSearchPath(b *testing.B, indexed bool, par int) {
+	bench, _, _ := grid(b)
+	facts := ablationFacts(bench, 16)
+	queries := []string{
+		"who founded the company",
+		"award winner record",
+		"married in the capital",
+		"regional registry profile",
+	}
+	for _, f := range facts {
+		// Warm both paths' per-pool state: index shards and scan vectors.
+		if _, err := bench.Engine.Search(f.ID, queries[0], 1); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := bench.Engine.ScanSearch(f.ID, queries[0], 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+	// Exactly par worker goroutines drain a shared iteration counter
+	// (b.RunParallel would multiply par by GOMAXPROCS, mislabelling the
+	// stream count on multi-core hosts).
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	b.ResetTimer()
+	for g := 0; g < par; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1))
+				if i > b.N {
+					return
+				}
+				f := facts[i%len(facts)]
+				q := queries[i%len(queries)]
+				var err error
+				if indexed {
+					_, err = bench.Engine.Search(f.ID, q, search.DefaultSERPSize)
+				} else {
+					_, err = bench.Engine.ScanSearch(f.ID, q, search.DefaultSERPSize)
+				}
+				if err != nil {
+					b.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// BenchmarkSearchScan times the retired linear-scan ranking (O(pool·dims)
+// cosine + full sort) at 1 and 8 concurrent query streams.
+func BenchmarkSearchScan(b *testing.B) {
+	b.Run("par1", func(b *testing.B) { benchmarkSearchPath(b, false, 1) })
+	b.Run("par8", func(b *testing.B) { benchmarkSearchPath(b, false, 8) })
+}
+
+// BenchmarkSearchIndexed times the posting-list + bounded-heap ranking on
+// the same workload; the gap versus BenchmarkSearchScan is the tentpole win
+// and widens with pool size and core count.
+func BenchmarkSearchIndexed(b *testing.B) {
+	b.Run("par1", func(b *testing.B) { benchmarkSearchPath(b, true, 1) })
+	b.Run("par8", func(b *testing.B) { benchmarkSearchPath(b, true, 8) })
 }

@@ -8,11 +8,16 @@
 //	GET /search?fact_id=ID&q=QUERY&num=N
 //	GET /document?doc_id=ID
 //	GET /facts
+//	GET /stats
 //	GET /healthz
+//
+// All endpoints are served from one shared sharded index store: pools are
+// materialised into inverted indexes on first query (or eagerly with
+// -warm), bounded by per-shard LRU eviction.
 //
 // Usage:
 //
-//	mockapi [-addr :8080] [-scale 0.25] [-small]
+//	mockapi [-addr :8080] [-scale 0.25] [-small] [-warm 0]
 package main
 
 import (
@@ -32,6 +37,7 @@ func main() {
 	addr := flag.String("addr", ":8080", "listen address")
 	scale := flag.Float64("scale", 0.25, "dataset scale factor (1.0 = published sizes)")
 	small := flag.Bool("small", false, "use the miniature test world")
+	warm := flag.Int("warm", 0, "eagerly index the first N facts (0 = lazy, on first query)")
 	flag.Parse()
 
 	start := time.Now()
@@ -49,7 +55,27 @@ func main() {
 	engine := search.NewEngine(gen, all...)
 	api := search.NewAPI(engine)
 
-	log.Printf("mockapi: %d facts indexed in %.1fs, listening on %s",
+	if *warm > 0 {
+		// Warming past the store's capacity would materialise pools only to
+		// evict them again before the server takes a single query.
+		if *warm > search.MaxCachedFacts {
+			log.Printf("mockapi: clamping -warm %d to store capacity %d", *warm, search.MaxCachedFacts)
+			*warm = search.MaxCachedFacts
+		}
+		ids := engine.FactIDs()
+		if *warm < len(ids) {
+			ids = ids[:*warm]
+		}
+		for _, id := range ids {
+			if err := engine.Warm(id); err != nil {
+				log.Fatal(fmt.Errorf("mockapi: warm %s: %w", id, err))
+			}
+		}
+		st := engine.Stats()
+		log.Printf("mockapi: warmed %d facts (%d docs, %d postings cached)",
+			len(ids), st.IndexedDocs, st.Postings)
+	}
+	log.Printf("mockapi: %d facts known in %.1fs, listening on %s",
 		dataset.TotalFacts(ds), time.Since(start).Seconds(), *addr)
 	srv := &http.Server{
 		Addr:              *addr,

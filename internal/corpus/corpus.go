@@ -22,6 +22,7 @@ import (
 	"factcheck/internal/dataset"
 	"factcheck/internal/det"
 	"factcheck/internal/kg"
+	"factcheck/internal/text"
 	"factcheck/internal/verbalize"
 )
 
@@ -320,6 +321,37 @@ func (g *Generator) trueObjectLabel(f *dataset.Fact) string {
 		}
 	}
 	return strings.ReplaceAll(best, "_", " ")
+}
+
+// Materialized is one pool document with its generated body text and term
+// stream. Terms are the content tokens of "Title + body" — the exact token
+// stream text.Embed would produce for the document — emitted here so the
+// search index can be built with a single tokenize pass instead of
+// re-tokenizing every materialised document.
+type Materialized struct {
+	Doc  *Document
+	Text string
+	// Terms is the stopword-filtered token stream of Title + " " + Text;
+	// text.EmbedTokens(Terms) equals text.Embed(Title + " " + Text) bit for
+	// bit, which is the determinism contract the indexed ranking relies on.
+	Terms []string
+}
+
+// Materialize generates the fact's full pool — metadata, body text and term
+// streams — in pool order. It is the bulk entry point the search engine's
+// shard store uses; Docs/Text remain for callers that only need one side.
+func (g *Generator) Materialize(f *dataset.Fact) []Materialized {
+	docs := g.Docs(f)
+	out := make([]Materialized, len(docs))
+	for i, d := range docs {
+		body := g.Text(f, d)
+		out[i] = Materialized{
+			Doc:   d,
+			Text:  body,
+			Terms: text.ContentTokens(d.Title + " " + body),
+		}
+	}
+	return out
 }
 
 // Meta summarises a fact's pool without generating text.

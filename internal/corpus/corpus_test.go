@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"factcheck/internal/dataset"
+	"factcheck/internal/text"
 	"factcheck/internal/world"
 )
 
@@ -226,5 +227,38 @@ func TestStanceString(t *testing.T) {
 func TestSlug(t *testing.T) {
 	if got := slug("Alexander III of Russia"); got != "alexander-iii-of-russia" {
 		t.Errorf("slug = %q", got)
+	}
+}
+
+// TestMaterializeMatchesDocsAndText asserts Materialize is the bulk form of
+// Docs+Text, and that its term streams reproduce exactly what an embedder
+// tokenizing Title+" "+body would see (the search index's input contract).
+func TestMaterializeMatchesDocsAndText(t *testing.T) {
+	_, ds, g := fixture(t)
+	f := ds[dataset.FactBench].Facts[0]
+	ms := g.Materialize(f)
+	docs := g.Docs(f)
+	if len(ms) != len(docs) {
+		t.Fatalf("Materialize returned %d docs, Docs returned %d", len(ms), len(docs))
+	}
+	for i, m := range ms {
+		if m.Doc.ID != docs[i].ID {
+			t.Fatalf("doc %d: id %q != %q", i, m.Doc.ID, docs[i].ID)
+		}
+		if want := g.Text(f, docs[i]); m.Text != want {
+			t.Errorf("doc %d: text differs from Text()", i)
+		}
+		want := text.ContentTokens(m.Doc.Title + " " + m.Text)
+		if len(m.Terms) != len(want) {
+			t.Fatalf("doc %d: %d terms, want %d", i, len(m.Terms), len(want))
+		}
+		for j := range want {
+			if m.Terms[j] != want[j] {
+				t.Fatalf("doc %d term %d: %q != %q", i, j, m.Terms[j], want[j])
+			}
+		}
+		if text.EmbedTokens(m.Terms) != text.Embed(m.Doc.Title+" "+m.Text) {
+			t.Errorf("doc %d: EmbedTokens(Terms) differs from Embed(title+body)", i)
+		}
 	}
 }

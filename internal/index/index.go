@@ -1,0 +1,199 @@
+// Package index is the inverted-index retrieval substrate behind the mock
+// SERP engine. Each fact's document pool gets one immutable Index: hashed
+// terms map to posting lists of (doc, weight) pairs whose weights are the
+// sub-linearly damped, L2-normalised term weights text.Embed produces, so a
+// query's cosine score is recovered by term-at-a-time accumulation over the
+// postings of the query's non-zero dimensions. Top-k selection runs over a
+// bounded min-heap, replacing the full O(pool · log pool) sort with
+// O(pool · log k).
+//
+// Determinism contract: for any query q and document d, the accumulated
+// score equals text.Cosine(text.Embed(q), text.Embed(title+" "+body)) bit
+// for bit. Accumulation visits query dimensions in ascending order — the
+// same order the dense cosine loop adds products — and skipped dimensions
+// contribute exactly +0.0, which is an identity under IEEE-754 addition for
+// the non-negative partial sums involved. The selected top k under the
+// total order (score desc, doc ID asc) is therefore byte-identical to
+// sorting the full pool and truncating.
+package index
+
+import (
+	"sort"
+
+	"factcheck/internal/text"
+)
+
+// Posting is one (document, weight) pair in a term's posting list. Doc
+// indexes the pool's document table; Weight is the document's normalised
+// term weight, (1+log tf)/‖d‖, exactly as text.Embed computes it.
+type Posting struct {
+	Doc    int32
+	Weight float32
+}
+
+// Index is an immutable inverted index over one document pool.
+type Index struct {
+	// postings maps a hashed term dimension to its posting list, document
+	// ascending. Dimensions absent from every document are absent here.
+	postings map[int][]Posting
+	// ids is the pool-ordered document ID table.
+	ids []string
+	// nPostings is the total posting count, for stats.
+	nPostings int
+}
+
+// Builder accumulates documents into an Index. Documents must be added in
+// pool order; the builder is not safe for concurrent use.
+type Builder struct {
+	postings map[int][]Posting
+	ids      []string
+	n        int
+}
+
+// NewBuilder returns a builder sized for about capHint documents.
+func NewBuilder(capHint int) *Builder {
+	return &Builder{
+		postings: make(map[int][]Posting),
+		ids:      make([]string, 0, capHint),
+	}
+}
+
+// Add indexes one document from its term stream (content tokens of
+// title + body, as corpus.Materialized carries). The document's weights are
+// derived via text.EmbedTokens, so they are bit-identical to the dense
+// vector the linear-scan engine embedded.
+func (b *Builder) Add(docID string, terms []string) {
+	doc := int32(len(b.ids))
+	b.ids = append(b.ids, docID)
+	v := text.EmbedTokens(terms)
+	for dim := 0; dim < text.VectorDim; dim++ {
+		if w := v[dim]; w != 0 {
+			b.postings[dim] = append(b.postings[dim], Posting{Doc: doc, Weight: w})
+			b.n++
+		}
+	}
+}
+
+// Build finalises the index. The builder must not be reused afterwards.
+func (b *Builder) Build() *Index {
+	ix := &Index{postings: b.postings, ids: b.ids, nPostings: b.n}
+	b.postings = nil
+	b.ids = nil
+	return ix
+}
+
+// Docs returns the number of indexed documents.
+func (ix *Index) Docs() int { return len(ix.ids) }
+
+// Postings returns the total number of postings (non-zero term weights).
+func (ix *Index) Postings() int { return ix.nPostings }
+
+// ID returns the doc ID at pool position i.
+func (ix *Index) ID(i int) string { return ix.ids[i] }
+
+// Hit is one scored document of a top-k selection.
+type Hit struct {
+	// Doc is the document's pool position (index into the ID table).
+	Doc int
+	// ID is the document ID.
+	ID string
+	// Score is the final score: accumulated cosine plus the perturbation.
+	Score float64
+}
+
+// TopK scores every pool document against the query vector and returns the
+// k best under (score desc, doc ID asc). perturb, when non-nil, adds an
+// extra per-document score component (the engine's deterministic SERP
+// jitter) after the cosine is clamped to [0,1] — every document receives
+// it, including those sharing no term with the query.
+func (ix *Index) TopK(q text.Vector, k int, perturb func(docID string) float64) []Hit {
+	n := len(ix.ids)
+	if k > n {
+		k = n
+	}
+	if k <= 0 || n == 0 {
+		return nil
+	}
+
+	// Term-at-a-time accumulation, query dimensions ascending: each
+	// document's accumulator receives exactly the non-zero products of the
+	// dense cosine loop, in the same order.
+	acc := make([]float64, n)
+	for dim := 0; dim < text.VectorDim; dim++ {
+		qw := q[dim]
+		if qw == 0 {
+			continue
+		}
+		for _, p := range ix.postings[dim] {
+			acc[p.Doc] += float64(qw) * float64(p.Weight)
+		}
+	}
+
+	// Bounded min-heap of the k best seen so far; the root is the current
+	// worst, ordered by (score asc, doc ID desc) so "worse than root" means
+	// "not in the top k".
+	h := make([]Hit, 0, k)
+	worse := func(a, b Hit) bool {
+		if a.Score != b.Score {
+			return a.Score < b.Score
+		}
+		return a.ID > b.ID
+	}
+	for i := 0; i < n; i++ {
+		s := acc[i]
+		// Mirror text.Cosine's clamp before the perturbation is applied.
+		if s > 1 {
+			s = 1
+		}
+		id := ix.ids[i]
+		if perturb != nil {
+			s += perturb(id)
+		}
+		hit := Hit{Doc: i, ID: id, Score: s}
+		if len(h) < k {
+			h = append(h, hit)
+			siftUp(h, len(h)-1, worse)
+			continue
+		}
+		if worse(hit, h[0]) {
+			continue
+		}
+		h[0] = hit
+		siftDown(h, 0, worse)
+	}
+	sort.Slice(h, func(i, j int) bool {
+		if h[i].Score != h[j].Score {
+			return h[i].Score > h[j].Score
+		}
+		return h[i].ID < h[j].ID
+	})
+	return h
+}
+
+func siftUp(h []Hit, i int, worse func(a, b Hit) bool) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !worse(h[i], h[parent]) {
+			return
+		}
+		h[i], h[parent] = h[parent], h[i]
+		i = parent
+	}
+}
+
+func siftDown(h []Hit, i int, worse func(a, b Hit) bool) {
+	for {
+		least := i
+		if l := 2*i + 1; l < len(h) && worse(h[l], h[least]) {
+			least = l
+		}
+		if r := 2*i + 2; r < len(h) && worse(h[r], h[least]) {
+			least = r
+		}
+		if least == i {
+			return
+		}
+		h[i], h[least] = h[least], h[i]
+		i = least
+	}
+}

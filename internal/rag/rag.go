@@ -200,10 +200,16 @@ func (p *Pipeline) Retrieve(f *dataset.Fact) (*Evidence, error) {
 
 // Warm ensures the fact's evidence is cached, sharing the same
 // singleflight path as Retrieve. It is the prefetch entry point the grid
-// scheduler uses to retrieve once per fact before fanning models out; with
-// the cache disabled it is a no-op rather than a wasted full retrieval.
+// scheduler uses to retrieve once per fact before fanning models out.
+// Warming builds the fact's index shard as a side effect (the engine
+// materialises pool + posting lists on first query); with evidence caching
+// disabled, Warm still builds the index shard when the searcher supports it
+// instead of wasting a full retrieval.
 func (p *Pipeline) Warm(f *dataset.Fact) error {
 	if p.DisableCache {
+		if w, ok := p.Searcher.(search.Warmer); ok {
+			return w.Warm(f.ID)
+		}
 		return nil
 	}
 	_, err := p.Retrieve(f)

@@ -2,6 +2,7 @@ package search
 
 import (
 	"encoding/json"
+	"errors"
 	"net/http"
 	"strconv"
 )
@@ -13,10 +14,11 @@ import (
 //	GET /search?fact_id=ID&q=QUERY&num=N  -> SERPResponse
 //	GET /document?doc_id=ID               -> DocPayload
 //	GET /facts                            -> {"fact_ids": [...]}
+//	GET /stats                            -> Stats (index-store snapshot)
 //	GET /healthz                          -> {"status": "ok"}
 //
-// All responses are JSON. Unknown facts/documents return 404; missing
-// parameters return 400.
+// All responses are JSON. Unknown facts/documents return 404; missing or
+// malformed parameters (including malformed doc IDs) return 400.
 type API struct {
 	engine *Engine
 }
@@ -38,6 +40,7 @@ func (a *API) Handler() http.Handler {
 	mux.HandleFunc("GET /search", a.handleSearch)
 	mux.HandleFunc("GET /document", a.handleDocument)
 	mux.HandleFunc("GET /facts", a.handleFacts)
+	mux.HandleFunc("GET /stats", a.handleStats)
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 	})
@@ -80,7 +83,11 @@ func (a *API) handleDocument(w http.ResponseWriter, r *http.Request) {
 	}
 	doc, err := a.engine.Fetch(docID)
 	if err != nil {
-		httpError(w, http.StatusNotFound, err.Error())
+		status := http.StatusNotFound
+		if errors.Is(err, ErrMalformedDocID) {
+			status = http.StatusBadRequest
+		}
+		httpError(w, status, err.Error())
 		return
 	}
 	writeJSON(w, http.StatusOK, doc)
@@ -88,6 +95,10 @@ func (a *API) handleDocument(w http.ResponseWriter, r *http.Request) {
 
 func (a *API) handleFacts(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, map[string][]string{"fact_ids": a.engine.FactIDs()})
+}
+
+func (a *API) handleStats(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, a.engine.Stats())
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {

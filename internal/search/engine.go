@@ -1,18 +1,21 @@
-// Package search implements the retrieval substrate of FactCheck: an
-// inverted-scoring search engine over each fact's synthetic document pool,
-// and the paper's mock web-search API (§4.1) — an HTTP service with
+// Package search implements the retrieval substrate of FactCheck: a
+// sharded, inverted-index search engine over each fact's synthetic document
+// pool, and the paper's mock web-search API (§4.1) — an HTTP service with
 // SERP-style endpoints returning identical results across runs, plus a
 // client so the RAG pipeline can run either in-process or over HTTP.
 package search
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"factcheck/internal/corpus"
 	"factcheck/internal/dataset"
 	"factcheck/internal/det"
+	"factcheck/internal/index"
 	"factcheck/internal/text"
 )
 
@@ -49,35 +52,109 @@ type Searcher interface {
 	Fetch(docID string) (DocPayload, error)
 }
 
+// Warmer is implemented by searchers that can materialise per-fact state
+// (document pool, inverted index) ahead of queries. Prefetch stages use it
+// to build index shards before model fan-out needs them.
+type Warmer interface {
+	// Warm materialises the fact's pool and index; it is safe to call
+	// concurrently and redundantly.
+	Warm(factID string) error
+}
+
+// PoolSource supplies per-fact document pools. corpus.Generator is the
+// production implementation; tests substitute instrumented sources to prove
+// scheduling properties (e.g. that unrelated facts materialise
+// concurrently).
+type PoolSource interface {
+	// Materialize generates the fact's full pool — metadata, body text and
+	// term streams — in pool order.
+	Materialize(f *dataset.Fact) []corpus.Materialized
+}
+
 // DefaultSERPSize is the paper's n_max = 100 results per query.
 const DefaultSERPSize = 100
 
-// Engine is the in-process search engine. It lazily materialises each
-// fact's document pool (metadata + text) and caches it, bounded by
-// maxCachedFacts, since full-benchmark runs touch millions of documents.
-type Engine struct {
-	gen   *corpus.Generator
-	facts map[string]*dataset.Fact
+// Typed retrieval errors, so the HTTP layer can map client mistakes
+// (malformed IDs) and missing resources to distinct statuses.
+var (
+	ErrUnknownFact    = errors.New("unknown fact")
+	ErrMalformedDocID = errors.New("malformed doc id")
+	ErrUnknownDoc     = errors.New("unknown document")
+)
 
-	mu    sync.Mutex
-	cache map[string][]*indexedDoc
-	order []string // FIFO eviction order
+const (
+	// engineShards is the shard count of the fact store. Sharding bounds
+	// lock contention: concurrent scheduler workers touching different
+	// facts only collide on map access within one shard, never on
+	// materialisation, which runs outside any lock.
+	engineShards = 64
+)
+
+// MaxCachedFacts bounds the total materialised facts across all shards,
+// since full-benchmark runs touch millions of documents. Capacity is
+// accounted globally (an atomic counter) rather than per shard, so hash
+// skew cannot shrink the effective cache; a shard over budget evicts its
+// own least-recently-used *completed* entries — in-flight materialisations
+// are never evicted, so the singleflight guarantee holds. The bound is
+// therefore soft by at most the number of concurrent materialisations:
+// an insert that finds nothing evictable in its shard leaves the store
+// over budget, and later inserts keep evicting until the budget is repaid.
+const MaxCachedFacts = 512
+
+// Engine is the in-process search engine. Each fact's document pool is
+// materialised lazily into an inverted index (posting lists + O(1) doc
+// table) held in a sharded LRU store with singleflight semantics: the first
+// caller for a fact owns generation and indexing, concurrent callers block
+// on that entry only, and unrelated facts proceed in parallel.
+type Engine struct {
+	gen    PoolSource
+	facts  map[string]*dataset.Fact
+	shards [engineShards]engineShard
+	// cached counts entries across all shards (the global LRU budget).
+	cached atomic.Int64
 }
 
-const maxCachedFacts = 512
+// engineShard is one LRU partition of the fact store.
+type engineShard struct {
+	mu      sync.Mutex
+	entries map[string]*factEntry
+	order   []string // LRU order, least recently used first
+	hits    int64
+	misses  int64
+	evicted int64
+}
 
-type indexedDoc struct {
+// factEntry is one in-flight or completed materialisation. pool is written
+// once by the owner before done is closed; waiters read it only after
+// <-done.
+type factEntry struct {
+	done chan struct{}
+	pool *factPool
+}
+
+// factPool is a fully materialised fact: the pool-ordered documents, an
+// O(1) fetch table, and the inverted index. scanVecs lazily holds the dense
+// embedding of every document for ScanSearch, the linear-scan reference
+// path; the production path never materialises them.
+type factPool struct {
+	docs []*pooledDoc
+	byID map[string]*pooledDoc
+	idx  *index.Index
+
+	scanOnce sync.Once
+	scanVecs []text.Vector
+}
+
+type pooledDoc struct {
 	doc  *corpus.Document
 	text string
-	vec  text.Vector
 }
 
 // NewEngine builds an engine over the documents of the given datasets.
-func NewEngine(gen *corpus.Generator, ds ...*dataset.Dataset) *Engine {
+func NewEngine(gen PoolSource, ds ...*dataset.Dataset) *Engine {
 	e := &Engine{
 		gen:   gen,
 		facts: map[string]*dataset.Fact{},
-		cache: map[string][]*indexedDoc{},
 	}
 	for _, d := range ds {
 		for _, f := range d.Facts {
@@ -103,54 +180,190 @@ func (e *Engine) FactIDs() []string {
 	return out
 }
 
-func (e *Engine) pool(factID string) ([]*indexedDoc, error) {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	if docs, ok := e.cache[factID]; ok {
-		return docs, nil
+// shard maps a fact ID to its store shard.
+func (e *Engine) shard(factID string) *engineShard {
+	return &e.shards[det.Hash64("search-shard", factID)%engineShards]
+}
+
+// touch moves id to the most-recently-used end of the LRU order. Callers
+// hold s.mu.
+func (s *engineShard) touch(id string) {
+	for i, v := range s.order {
+		if v == id {
+			copy(s.order[i:], s.order[i+1:])
+			s.order[len(s.order)-1] = id
+			return
+		}
+	}
+}
+
+// insert records a new entry at the most-recently-used end. Callers hold
+// s.mu.
+func (s *engineShard) insert(id string, en *factEntry) {
+	if s.entries == nil {
+		s.entries = make(map[string]*factEntry)
+	}
+	s.entries[id] = en
+	s.order = append(s.order, id)
+}
+
+// evictOldestDone removes the shard's least recently used *completed*
+// entry, skipping in-flight materialisations (evicting one would orphan
+// the owner's work and let a later caller duplicate it). Returns false
+// when the shard holds no completed entry. Callers hold s.mu.
+func (s *engineShard) evictOldestDone() (string, bool) {
+	for i, id := range s.order {
+		en := s.entries[id]
+		select {
+		case <-en.done:
+		default:
+			continue // in-flight: never evict
+		}
+		s.order = append(s.order[:i], s.order[i+1:]...)
+		delete(s.entries, id)
+		s.evicted++
+		return id, true
+	}
+	return "", false
+}
+
+// pool returns the fact's materialised pool, generating and indexing it on
+// first use. Materialisation runs outside the shard lock: concurrent
+// callers for the same fact coalesce on the entry's done channel
+// (singleflight), while callers for other facts — same shard or not —
+// proceed unblocked.
+func (e *Engine) pool(factID string) (*factPool, error) {
+	s := e.shard(factID)
+	s.mu.Lock()
+	if en, ok := s.entries[factID]; ok {
+		s.hits++
+		s.touch(factID)
+		s.mu.Unlock()
+		<-en.done
+		return en.pool, nil
 	}
 	f, ok := e.facts[factID]
 	if !ok {
-		return nil, fmt.Errorf("search: unknown fact %q", factID)
+		s.mu.Unlock()
+		return nil, fmt.Errorf("search: %w %q", ErrUnknownFact, factID)
 	}
-	raw := e.gen.Docs(f)
-	docs := make([]*indexedDoc, len(raw))
-	for i, d := range raw {
-		body := e.gen.Text(f, d)
-		docs[i] = &indexedDoc{doc: d, text: body, vec: text.Embed(d.Title + " " + body)}
+	en := &factEntry{done: make(chan struct{})}
+	s.misses++
+	s.insert(factID, en)
+	// Repay the budget while over it, not just for this insert's +1: a
+	// prior insert whose shard had nothing evictable may have left the
+	// store over budget, and this shard may hold the slack. When this
+	// shard too has nothing evictable (all in-flight), the store stays
+	// over budget until a later insert repays it.
+	e.cached.Add(1)
+	for e.cached.Load() > MaxCachedFacts {
+		if _, ok := s.evictOldestDone(); !ok {
+			break
+		}
+		e.cached.Add(-1)
 	}
-	if len(e.order) >= maxCachedFacts {
-		evict := e.order[0]
-		e.order = e.order[1:]
-		delete(e.cache, evict)
+	s.mu.Unlock()
+
+	en.pool = e.materialize(f)
+	close(en.done)
+	return en.pool, nil
+}
+
+// materialize generates the fact's pool and builds its inverted index from
+// the corpus term streams (a single tokenize pass per document).
+func (e *Engine) materialize(f *dataset.Fact) *factPool {
+	ms := e.gen.Materialize(f)
+	p := &factPool{
+		docs: make([]*pooledDoc, len(ms)),
+		byID: make(map[string]*pooledDoc, len(ms)),
 	}
-	e.cache[factID] = docs
-	e.order = append(e.order, factID)
-	return docs, nil
+	b := index.NewBuilder(len(ms))
+	for i, m := range ms {
+		d := &pooledDoc{doc: m.Doc, text: m.Text}
+		p.docs[i] = d
+		p.byID[m.Doc.ID] = d
+		b.Add(m.Doc.ID, m.Terms)
+	}
+	p.idx = b.Build()
+	return p
+}
+
+// Warm implements Warmer: it materialises the fact's pool and index so
+// later queries hit a warm shard. Prefetch stages call it once per fact
+// ahead of model fan-out.
+func (e *Engine) Warm(factID string) error {
+	_, err := e.pool(factID)
+	return err
+}
+
+// serpJitter is the deterministic per-(query,doc) score perturbation:
+// SERPs rank by more than lexical relevance (authority, freshness).
+func serpJitter(query, docID string) float64 {
+	return 0.05 * det.Uniform("serp", query, docID)
 }
 
 // Search implements Searcher. Ranking is cosine relevance of the query to
 // title+body with a small deterministic tie-break jitter, mimicking the
-// opaque ordering of a web SERP.
+// opaque ordering of a web SERP. Scoring runs term-at-a-time over the
+// fact's posting lists with bounded-heap top-k selection; results are
+// byte-identical to the retired full-scan ranking (see ScanSearch).
 func (e *Engine) Search(factID, query string, n int) ([]SERPItem, error) {
 	if n <= 0 {
 		n = DefaultSERPSize
 	}
-	docs, err := e.pool(factID)
+	p, err := e.pool(factID)
 	if err != nil {
 		return nil, err
 	}
 	qv := text.Embed(query)
+	hits := p.idx.TopK(qv, n, func(docID string) float64 {
+		return serpJitter(query, docID)
+	})
+	out := make([]SERPItem, len(hits))
+	for i, h := range hits {
+		d := p.docs[h.Doc].doc
+		out[i] = SERPItem{
+			DocID: d.ID,
+			URL:   d.URL,
+			Host:  d.Host,
+			Title: d.Title,
+			Rank:  i + 1,
+			Score: h.Score,
+		}
+	}
+	return out, nil
+}
+
+// ScanSearch is the retired linear-scan ranking, kept as the differential
+// reference for the indexed path: cosine of the query against every pool
+// document's dense embedding, full sort, truncate. Golden tests assert
+// Search == ScanSearch byte for byte, and the bench suite compares their
+// cost. Dense vectors are materialised lazily on first use and cached per
+// pool, so repeated calls measure steady-state scan cost as the old engine
+// paid it.
+func (e *Engine) ScanSearch(factID, query string, n int) ([]SERPItem, error) {
+	if n <= 0 {
+		n = DefaultSERPSize
+	}
+	p, err := e.pool(factID)
+	if err != nil {
+		return nil, err
+	}
+	p.scanOnce.Do(func() {
+		p.scanVecs = make([]text.Vector, len(p.docs))
+		for i, d := range p.docs {
+			p.scanVecs[i] = text.Embed(d.doc.Title + " " + d.text)
+		}
+	})
+	qv := text.Embed(query)
 	type scored struct {
-		d *indexedDoc
+		d *pooledDoc
 		s float64
 	}
-	items := make([]scored, 0, len(docs))
-	for _, d := range docs {
-		s := text.Cosine(qv, d.vec)
-		// SERPs rank by more than lexical relevance (authority, freshness):
-		// inject a deterministic per-(query,doc) perturbation.
-		s += 0.05 * det.Uniform("serp", query, d.doc.ID)
+	items := make([]scored, 0, len(p.docs))
+	for i, d := range p.docs {
+		s := text.Cosine(qv, p.scanVecs[i])
+		s += serpJitter(query, d.doc.ID)
 		items = append(items, scored{d: d, s: s})
 	}
 	sort.SliceStable(items, func(i, j int) bool {
@@ -176,40 +389,87 @@ func (e *Engine) Search(factID, query string, n int) ([]SERPItem, error) {
 	return out, nil
 }
 
-// Fetch implements Searcher.
+// Fetch implements Searcher with an O(1) doc-table lookup.
 func (e *Engine) Fetch(docID string) (DocPayload, error) {
 	factID, ok := factIDOfDoc(docID)
 	if !ok {
-		return DocPayload{}, fmt.Errorf("search: malformed doc id %q", docID)
+		return DocPayload{}, fmt.Errorf("search: %w %q", ErrMalformedDocID, docID)
 	}
-	docs, err := e.pool(factID)
+	p, err := e.pool(factID)
 	if err != nil {
 		return DocPayload{}, err
 	}
-	for _, d := range docs {
-		if d.doc.ID == docID {
-			return DocPayload{
-				DocID: d.doc.ID,
-				URL:   d.doc.URL,
-				Host:  d.doc.Host,
-				Title: d.doc.Title,
-				Text:  d.text,
-				Empty: d.doc.Empty,
-			}, nil
-		}
+	d, ok := p.byID[docID]
+	if !ok {
+		return DocPayload{}, fmt.Errorf("search: %w %q", ErrUnknownDoc, docID)
 	}
-	return DocPayload{}, fmt.Errorf("search: unknown document %q", docID)
+	return DocPayload{
+		DocID: d.doc.ID,
+		URL:   d.doc.URL,
+		Host:  d.doc.Host,
+		Title: d.doc.Title,
+		Text:  d.text,
+		Empty: d.doc.Empty,
+	}, nil
 }
 
-// factIDOfDoc strips the "-dNNNN" suffix corpus.Generator appends.
-func factIDOfDoc(docID string) (string, bool) {
-	for i := len(docID) - 1; i >= 0; i-- {
-		if docID[i] == '-' {
-			if i+1 < len(docID) && docID[i+1] == 'd' {
-				return docID[:i], true
+// Stats summarises the index store's state.
+type Stats struct {
+	// Facts is the number of known facts; CachedFacts of them are currently
+	// materialised.
+	Facts       int   `json:"facts"`
+	CachedFacts int   `json:"cached_facts"`
+	IndexedDocs int   `json:"indexed_docs"`
+	Postings    int   `json:"postings"`
+	Shards      int   `json:"shards"`
+	Hits        int64 `json:"hits"`
+	Misses      int64 `json:"misses"`
+	Evicted     int64 `json:"evicted"`
+}
+
+// Stats returns a point-in-time snapshot of the store. In-flight
+// materialisations count as cached facts but contribute no document or
+// posting counts (the snapshot never blocks on them).
+func (e *Engine) Stats() Stats {
+	st := Stats{Facts: len(e.facts), Shards: engineShards}
+	for i := range e.shards {
+		s := &e.shards[i]
+		s.mu.Lock()
+		st.CachedFacts += len(s.entries)
+		st.Hits += s.hits
+		st.Misses += s.misses
+		st.Evicted += s.evicted
+		for _, en := range s.entries {
+			select {
+			case <-en.done:
+				st.IndexedDocs += en.pool.idx.Docs()
+				st.Postings += en.pool.idx.Postings()
+			default:
 			}
+		}
+		s.mu.Unlock()
+	}
+	return st
+}
+
+// factIDOfDoc strips the "-dNNNN" suffix corpus.Generator appends. It
+// requires a non-empty fact ID followed by a "-d" marker and at least one
+// digit, rejecting malformed IDs such as "", "x-", "x-q1", "x-d" and IDs
+// with a trailing dash.
+func factIDOfDoc(docID string) (string, bool) {
+	i := len(docID) - 1
+	for i >= 0 && docID[i] != '-' {
+		i--
+	}
+	// Need a non-empty fact ID before the dash, a 'd' after it, and ≥1
+	// digit after the 'd'.
+	if i <= 0 || i+2 >= len(docID) || docID[i+1] != 'd' {
+		return "", false
+	}
+	for j := i + 2; j < len(docID); j++ {
+		if docID[j] < '0' || docID[j] > '9' {
 			return "", false
 		}
 	}
-	return "", false
+	return docID[:i], true
 }

@@ -1,10 +1,15 @@
 package search
 
 import (
+	"encoding/json"
+	"fmt"
 	"net/http"
 	"net/http/httptest"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"testing"
+	"time"
 
 	"factcheck/internal/corpus"
 	"factcheck/internal/dataset"
@@ -101,41 +106,306 @@ func TestFetch(t *testing.T) {
 }
 
 func TestFetchErrors(t *testing.T) {
-	e, _ := fixture(t)
-	if _, err := e.Fetch("malformed"); err == nil {
-		t.Error("malformed doc id accepted")
+	e, d := fixture(t)
+	tests := []struct {
+		docID   string
+		wantMsg string
+	}{
+		{"malformed", "malformed doc id"},
+		{"", "malformed doc id"},
+		{"x-", "malformed doc id"},
+		{"x-q1", "malformed doc id"},
+		{"x-d", "malformed doc id"},
+		{d.Facts[0].ID + "-d9999-", "malformed doc id"}, // trailing dash
+		{"unknown-000001-d0001", "unknown fact"},
+		{d.Facts[0].ID + "-d99999", "unknown document"}, // valid fact, out-of-pool doc
 	}
-	if _, err := e.Fetch("unknown-000001-d0001"); err == nil {
-		t.Error("unknown fact doc accepted")
+	for _, tc := range tests {
+		_, err := e.Fetch(tc.docID)
+		if err == nil {
+			t.Errorf("Fetch(%q) succeeded, want %q error", tc.docID, tc.wantMsg)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.wantMsg) {
+			t.Errorf("Fetch(%q) error = %v, want it to mention %q", tc.docID, err, tc.wantMsg)
+		}
 	}
 }
 
 func TestFactIDOfDoc(t *testing.T) {
-	id, ok := factIDOfDoc("factbench-000105-d0100")
-	if !ok || id != "factbench-000105" {
-		t.Errorf("factIDOfDoc = %q, %v", id, ok)
+	tests := []struct {
+		in   string
+		want string
+		ok   bool
+	}{
+		{"factbench-000105-d0100", "factbench-000105", true},
+		{"yago-000001-d0", "yago-000001", true},
+		{"x-d7", "x", true},
+		{"", "", false},             // empty
+		{"nodashsuffix", "", false}, // no dash at all
+		{"x-", "", false},           // dash with nothing after
+		{"x-q1", "", false},         // non-d marker
+		{"x-d", "", false},          // marker with no digits
+		{"x-dxyz", "", false},       // marker with non-digit suffix
+		{"x-d01-", "", false},       // trailing dash
+		{"-d0001", "", false},       // empty fact id
+		{"fact-x9999", "", false},
 	}
-	if _, ok := factIDOfDoc("nodashsuffix"); ok {
-		t.Error("accepted id without doc suffix")
+	for _, tc := range tests {
+		id, ok := factIDOfDoc(tc.in)
+		if id != tc.want || ok != tc.ok {
+			t.Errorf("factIDOfDoc(%q) = (%q, %v), want (%q, %v)", tc.in, id, ok, tc.want, tc.ok)
+		}
 	}
-	if _, ok := factIDOfDoc("fact-x9999"); ok {
-		t.Error("accepted id with non-d suffix")
+}
+
+// TestSearchIndexedMatchesScan is the golden equivalence test of the
+// inverted-index rewrite: for several facts and queries, the posting-list +
+// heap ranking must match the retired linear-scan ranking byte for byte —
+// same documents, same order, same float64 scores.
+func TestSearchIndexedMatchesScan(t *testing.T) {
+	e, d := fixture(t)
+	if len(d.Facts) < 3 {
+		t.Fatalf("fixture has %d facts, need >= 3", len(d.Facts))
 	}
+	for _, f := range d.Facts[:3] {
+		queries := []string{
+			verbalize.Sentence(f),
+			"who founded the company",
+			f.Subject.Label,
+			"completely unrelated noise query",
+			"the record " + f.Object.Label,
+		}
+		for _, q := range queries {
+			for _, n := range []int{1, 10, DefaultSERPSize, 10000} {
+				indexed, err := e.Search(f.ID, q, n)
+				if err != nil {
+					t.Fatal(err)
+				}
+				scan, err := e.ScanSearch(f.ID, q, n)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if len(indexed) != len(scan) {
+					t.Fatalf("fact %s q=%q n=%d: indexed %d results, scan %d",
+						f.ID, q, n, len(indexed), len(scan))
+				}
+				for i := range scan {
+					if indexed[i] != scan[i] {
+						t.Fatalf("fact %s q=%q n=%d result %d:\nindexed %+v\nscan    %+v",
+							f.ID, q, n, i, indexed[i], scan[i])
+					}
+				}
+			}
+		}
+	}
+}
+
+// barrierSource proves materialisations of distinct facts run concurrently:
+// each Materialize call signals arrival and then blocks until released, so
+// if the engine serialised materialisation (the old global-mutex behaviour)
+// the second arrival would never happen.
+type barrierSource struct {
+	inner   PoolSource
+	arrived chan string
+	release chan struct{}
+}
+
+func (b *barrierSource) Materialize(f *dataset.Fact) []corpus.Materialized {
+	b.arrived <- f.ID
+	<-b.release
+	return b.inner.Materialize(f)
+}
+
+// TestMaterializeConcurrentFacts is the regression test for the old engine
+// holding one global mutex across pool generation: two different facts must
+// be able to materialise at the same time.
+func TestMaterializeConcurrentFacts(t *testing.T) {
+	w := world.New(world.SmallConfig())
+	d := dataset.Build(w, dataset.FactBench, 0.2)
+	src := &barrierSource{
+		inner:   corpus.NewGenerator(w),
+		arrived: make(chan string, 2),
+		release: make(chan struct{}),
+	}
+	e := NewEngine(src, d)
+
+	var wg sync.WaitGroup
+	for _, f := range d.Facts[:2] {
+		wg.Add(1)
+		go func(id string) {
+			defer wg.Done()
+			if _, err := e.Search(id, "q", 5); err != nil {
+				t.Error(err)
+			}
+		}(f.ID)
+	}
+	for i := 0; i < 2; i++ {
+		select {
+		case <-src.arrived:
+		case <-time.After(10 * time.Second):
+			t.Fatal("second materialisation never started: materialisations are serialised")
+		}
+	}
+	close(src.release)
+	wg.Wait()
+}
+
+// TestSingleflightMaterialization asserts concurrent searches for the SAME
+// fact trigger exactly one materialisation.
+func TestSingleflightMaterialization(t *testing.T) {
+	w := world.New(world.SmallConfig())
+	d := dataset.Build(w, dataset.FactBench, 0.2)
+	var calls atomic.Int64
+	src := &countingSource{inner: corpus.NewGenerator(w), calls: &calls}
+	e := NewEngine(src, d)
+	f := d.Facts[0]
+
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, err := e.Search(f.ID, "q", 5); err != nil {
+				t.Error(err)
+			}
+		}()
+	}
+	wg.Wait()
+	if n := calls.Load(); n != 1 {
+		t.Fatalf("fact materialised %d times, want 1 (singleflight)", n)
+	}
+}
+
+type countingSource struct {
+	inner PoolSource
+	calls *atomic.Int64
+}
+
+func (c *countingSource) Materialize(f *dataset.Fact) []corpus.Materialized {
+	c.calls.Add(1)
+	return c.inner.Materialize(f)
 }
 
 func TestEngineCacheEviction(t *testing.T) {
 	e, d := fixture(t)
-	n := len(d.Facts)
-	if n > maxCachedFacts {
-		n = maxCachedFacts
-	}
-	for _, f := range d.Facts[:n] {
+	for _, f := range d.Facts {
 		if _, err := e.Search(f.ID, "q", 1); err != nil {
 			t.Fatal(err)
 		}
 	}
-	if len(e.cache) > maxCachedFacts {
-		t.Fatalf("cache grew to %d, cap %d", len(e.cache), maxCachedFacts)
+	st := e.Stats()
+	// Capacity is a global budget, soft only by the number of concurrent
+	// materialisations — zero here, since searches were sequential.
+	if st.CachedFacts > MaxCachedFacts {
+		t.Fatalf("store grew to %d facts, cap %d", st.CachedFacts, MaxCachedFacts)
+	}
+	if got := e.cached.Load(); got != int64(st.CachedFacts) {
+		t.Errorf("global counter %d disagrees with shard total %d", got, st.CachedFacts)
+	}
+	if len(d.Facts) > MaxCachedFacts && st.Evicted == 0 {
+		t.Errorf("%d facts searched over cap %d but nothing evicted", len(d.Facts), MaxCachedFacts)
+	}
+	for i := range e.shards {
+		s := &e.shards[i]
+		s.mu.Lock()
+		if len(s.entries) != len(s.order) {
+			t.Errorf("shard %d: %d entries but %d LRU slots", i, len(s.entries), len(s.order))
+		}
+		s.mu.Unlock()
+	}
+	// Evicted facts must still be searchable (re-materialised on demand).
+	if _, err := e.Search(d.Facts[0].ID, "q", 1); err != nil {
+		t.Fatalf("evicted fact no longer searchable: %v", err)
+	}
+}
+
+// TestShardLRU unit-tests the shard's touch/insert/evict ordering: the
+// least recently used completed entry goes first, a touched entry survives,
+// and in-flight materialisations are never evicted.
+func TestShardLRU(t *testing.T) {
+	var s engineShard
+	mk := func(inflight bool) *factEntry {
+		en := &factEntry{done: make(chan struct{}), pool: &factPool{}}
+		if !inflight {
+			close(en.done)
+		}
+		return en
+	}
+	var ids []string
+	for i := 0; i < 4; i++ {
+		id := fmt.Sprintf("f%02d", i)
+		ids = append(ids, id)
+		s.insert(id, mk(false))
+	}
+	s.touch(ids[0]) // f00 becomes most recently used
+	if ev, ok := s.evictOldestDone(); !ok || ev != ids[1] {
+		t.Fatalf("evicted (%q, %v), want %q (LRU after touch)", ev, ok, ids[1])
+	}
+	if _, ok := s.entries[ids[0]]; !ok {
+		t.Error("touched entry was evicted")
+	}
+	if s.evicted != 1 {
+		t.Errorf("evicted counter = %d, want 1", s.evicted)
+	}
+	// A shard holding only in-flight entries refuses to evict.
+	var s2 engineShard
+	s2.insert("busy", mk(true))
+	if ev, ok := s2.evictOldestDone(); ok {
+		t.Fatalf("evicted in-flight entry %q", ev)
+	}
+	s2.insert("done", mk(false))
+	if ev, ok := s2.evictOldestDone(); !ok || ev != "done" {
+		t.Fatalf("evicted (%q, %v), want the completed entry, skipping the in-flight one", ev, ok)
+	}
+	if _, ok := s2.entries["busy"]; !ok {
+		t.Error("in-flight entry vanished")
+	}
+}
+
+func TestEngineStats(t *testing.T) {
+	e, d := fixture(t)
+	if st := e.Stats(); st.CachedFacts != 0 || st.IndexedDocs != 0 {
+		t.Fatalf("fresh engine stats non-zero: %+v", st)
+	}
+	f := d.Facts[0]
+	if _, err := e.Search(f.ID, "q", 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Search(f.ID, "q2", 1); err != nil {
+		t.Fatal(err)
+	}
+	st := e.Stats()
+	if st.CachedFacts != 1 {
+		t.Errorf("CachedFacts = %d, want 1", st.CachedFacts)
+	}
+	if st.Misses != 1 || st.Hits != 1 {
+		t.Errorf("hits/misses = %d/%d, want 1/1", st.Hits, st.Misses)
+	}
+	if st.Facts != len(d.Facts) {
+		t.Errorf("Facts = %d, want %d", st.Facts, len(d.Facts))
+	}
+	// The indexed-doc count must equal the fact's pool size.
+	all, err := e.Search(f.ID, "q", 100000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.IndexedDocs != len(all) {
+		t.Errorf("IndexedDocs = %d, want pool size %d", st.IndexedDocs, len(all))
+	}
+}
+
+func TestWarm(t *testing.T) {
+	e, d := fixture(t)
+	f := d.Facts[0]
+	if err := e.Warm(f.ID); err != nil {
+		t.Fatal(err)
+	}
+	if st := e.Stats(); st.CachedFacts != 1 || st.IndexedDocs == 0 {
+		t.Errorf("Warm did not materialise: %+v", st)
+	}
+	if err := e.Warm("nope-000001"); err == nil {
+		t.Error("Warm accepted unknown fact")
 	}
 }
 
@@ -223,5 +493,68 @@ func TestClientErrorMessage(t *testing.T) {
 	_, err := c.Search("unknown-fact-1", "q", 5)
 	if err == nil || !strings.Contains(err.Error(), "unknown fact") {
 		t.Errorf("client error = %v, want server message propagated", err)
+	}
+}
+
+// TestAPIDocumentErrorJSON asserts the /document handler distinguishes
+// malformed doc IDs (400) from missing ones (404), always with a JSON error
+// body.
+func TestAPIDocumentErrorJSON(t *testing.T) {
+	srv, _, d := apiServer(t)
+	tests := []struct {
+		path       string
+		wantStatus int
+		wantMsg    string
+	}{
+		{"/document?doc_id=malformed", http.StatusBadRequest, "malformed doc id"},
+		{"/document?doc_id=x-q1", http.StatusBadRequest, "malformed doc id"},
+		{"/document?doc_id=unknown-000001-d0001", http.StatusNotFound, "unknown fact"},
+		{"/document?doc_id=" + d.Facts[0].ID + "-d99999", http.StatusNotFound, "unknown document"},
+		{"/document", http.StatusBadRequest, "doc_id is required"},
+	}
+	for _, tc := range tests {
+		resp, err := http.Get(srv.URL + tc.path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var body map[string]string
+		decodeErr := json.NewDecoder(resp.Body).Decode(&body)
+		resp.Body.Close()
+		if resp.StatusCode != tc.wantStatus {
+			t.Errorf("%s: status %d, want %d", tc.path, resp.StatusCode, tc.wantStatus)
+		}
+		if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+			t.Errorf("%s: content-type %q, want application/json", tc.path, ct)
+		}
+		if decodeErr != nil {
+			t.Errorf("%s: error body is not JSON: %v", tc.path, decodeErr)
+			continue
+		}
+		if !strings.Contains(body["error"], tc.wantMsg) {
+			t.Errorf("%s: error %q, want it to mention %q", tc.path, body["error"], tc.wantMsg)
+		}
+	}
+}
+
+// TestAPIStats exercises the /stats endpoint over HTTP.
+func TestAPIStats(t *testing.T) {
+	srv, eng, d := apiServer(t)
+	if _, err := eng.Search(d.Facts[0].ID, "q", 3); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Get(srv.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/stats status %d", resp.StatusCode)
+	}
+	var st Stats
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if st.CachedFacts != 1 || st.Facts != len(d.Facts) || st.Shards != engineShards {
+		t.Errorf("stats = %+v, want 1 cached fact of %d over %d shards", st, len(d.Facts), engineShards)
 	}
 }

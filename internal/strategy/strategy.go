@@ -188,7 +188,9 @@ type RAG struct {
 func (RAG) Method() llm.Method { return llm.MethodRAG }
 
 // Prefetch implements Prefetcher by warming the pipeline's evidence cache
-// for the fact.
+// for the fact — which also materialises the fact's search-index shard
+// (pool + posting lists), so model fan-out hits a fully warm retrieval
+// substrate.
 func (r RAG) Prefetch(ctx context.Context, f *dataset.Fact) error {
 	if r.Pipeline == nil {
 		return fmt.Errorf("rag: verifier has no pipeline")

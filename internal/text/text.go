@@ -25,7 +25,7 @@ var stopwords = map[string]bool{
 	"do": true, "does": true, "did": true, "not": true, "no": true,
 	"he": true, "she": true, "they": true, "his": true, "her": true,
 	"their": true, "who": true, "which": true, "what": true, "when": true,
-	"where": true, "how": true, "why": true, "did.": true,
+	"where": true, "how": true, "why": true,
 }
 
 // IsStopword reports whether tok (already lower-cased) is a stopword.
@@ -104,8 +104,17 @@ func HashToken(tok string) int {
 // sub-linearly damped (1+log tf) and L2-normalised. This is the stand-in for
 // the paper's sentence encoders.
 func Embed(s string) Vector {
+	return EmbedTokens(ContentTokens(s))
+}
+
+// EmbedTokens is Embed over an already-tokenised term stream (stopwords
+// must already be removed). Callers that hold a token stream — the corpus
+// generator feeding the inverted index — use this to embed without a
+// re-tokenize pass; EmbedTokens(ContentTokens(s)) is bit-identical to
+// Embed(s).
+func EmbedTokens(toks []string) Vector {
 	var v Vector
-	for _, t := range ContentTokens(s) {
+	for _, t := range toks {
 		v[HashToken(t)]++
 	}
 	var norm float64

@@ -153,3 +153,34 @@ func TestHashTokenInRange(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestStopwordsCanonical asserts every stopword is in canonical token form:
+// Tokenize must emit the word itself, unchanged. A stopword that Tokenize
+// can never produce (e.g. one carrying punctuation, like the old "did."
+// entry) is dead weight and a sign of a transcription error.
+func TestStopwordsCanonical(t *testing.T) {
+	for w := range stopwords {
+		toks := Tokenize(w)
+		if len(toks) != 1 || toks[0] != w {
+			t.Errorf("stopword %q is not in canonical token form: Tokenize(%q) = %v", w, w, toks)
+		}
+	}
+}
+
+// TestEmbedTokensMatchesEmbed pins the contract the inverted index relies
+// on: embedding a pre-tokenised term stream is bit-identical to embedding
+// the source string.
+func TestEmbedTokensMatchesEmbed(t *testing.T) {
+	for _, s := range []string{
+		"",
+		"the cat was born in the city",
+		"Alexander_III_of_Russia isMarriedTo someone",
+		"repeated repeated repeated words words",
+	} {
+		a := Embed(s)
+		b := EmbedTokens(ContentTokens(s))
+		if a != b {
+			t.Errorf("EmbedTokens(ContentTokens(%q)) differs from Embed", s)
+		}
+	}
+}
