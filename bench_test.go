@@ -205,7 +205,11 @@ func BenchmarkFigure4UpSet(b *testing.B) {
 	b.ResetTimer()
 	var out string
 	for i := 0; i < b.N; i++ {
-		out = bench.Figure4(rs)
+		var err error
+		out, err = bench.Figure4(rs)
+		if err != nil {
+			b.Fatal(err)
+		}
 	}
 	emit(b, out)
 }
@@ -331,7 +335,10 @@ func BenchmarkAblationSourceFilter(b *testing.B) {
 func BenchmarkAblationConsensus(b *testing.B) {
 	_, rs, _ := grid(b)
 	models := []string{llm.Gemma2, llm.Qwen25, llm.Llama31, llm.Mistral}
-	perFact := rs.PerFact(dataset.FactBench, llm.MethodDKA, models)
+	perFact, err := rs.PerFact(dataset.FactBench, llm.MethodDKA, models)
+	if err != nil {
+		b.Fatal(err)
+	}
 	var out string
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -484,6 +491,54 @@ func BenchmarkGridRunSequential(b *testing.B) { benchmarkGridRun(b, 1) }
 // pool at GOMAXPROCS parallelism; on multi-core machines this is the
 // wall-clock win of the scheduler (results stay byte-identical).
 func BenchmarkGridRunPooled(b *testing.B) { benchmarkGridRun(b, runtime.GOMAXPROCS(0)) }
+
+// benchmarkGridRunStore times a whole-grid run against a result store. The
+// timed region covers opening the store (snapshot load + decode) and the
+// run itself; the benchmark substrates are rebuilt outside the timer. Cold
+// runs get a fresh empty directory per iteration; resumed runs replay a
+// fully warm store, the store's steady state, where the grid completes
+// with zero verifier calls.
+func benchmarkGridRunStore(b *testing.B, warm bool) {
+	cfg := core.Config{Scale: 0.05, Small: true}
+	ctx := context.Background()
+	warmDir := b.TempDir()
+	if warm {
+		st, err := core.OpenStore(warmDir)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := core.NewBenchmark(cfg).Run(ctx, core.WithStore(st)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		dir := warmDir
+		if !warm {
+			dir = b.TempDir()
+		}
+		bench := core.NewBenchmark(cfg)
+		b.StartTimer()
+		st, err := core.OpenStore(dir)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := bench.Run(ctx, core.WithStore(st)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkGridRunCold runs the grid against an empty store: full
+// verification cost plus snapshot persistence.
+func BenchmarkGridRunCold(b *testing.B) { benchmarkGridRunStore(b, false) }
+
+// BenchmarkGridRunResumed replays the same grid from a fully warm store;
+// the gap versus BenchmarkGridRunCold is the warm-store speedup (resumed
+// runs of partially warm stores fall in between, proportional to the
+// missing slice).
+func BenchmarkGridRunResumed(b *testing.B) { benchmarkGridRunStore(b, true) }
 
 // BenchmarkSearchEngine measures mock-SERP query latency.
 func BenchmarkSearchEngine(b *testing.B) {

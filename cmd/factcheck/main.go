@@ -17,6 +17,10 @@
 //	-datasets comma-separated dataset list (FactBench,YAGO,DBpedia)
 //	-par      grid worker-pool parallelism (default GOMAXPROCS)
 //	-progress stream per-cell completion to stderr as the grid drains
+//	-store    result-store directory: completed grid cells are persisted
+//	          and reused, so interrupted runs resume where they died and
+//	          config deltas recompute only the missing cells (stdout stays
+//	          byte-identical to a cold run)
 package main
 
 import (
@@ -48,6 +52,7 @@ func run(args []string) error {
 	datasetsFlag := fs.String("datasets", "", "comma-separated datasets (default: all three)")
 	par := fs.Int("par", 0, "grid worker-pool parallelism (default GOMAXPROCS)")
 	progress := fs.Bool("progress", false, "stream per-cell completion to stderr")
+	storeDir := fs.String("store", "", "result store directory (resume interrupted runs, reuse across config deltas)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -94,6 +99,14 @@ func run(args []string) error {
 		t := time.Now()
 		fmt.Fprintf(os.Stderr, "running verification grid...\n")
 		var opts []core.RunOption
+		if *storeDir != "" {
+			store, err := core.OpenStore(*storeDir)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(os.Stderr, "store %s: %d cell snapshots loaded\n", *storeDir, store.Len())
+			opts = append(opts, core.WithStore(store))
+		}
 		if *progress {
 			opts = append(opts, core.WithProgress(func(p core.Progress) {
 				fmt.Fprintf(os.Stderr, "  [%3d/%3d] %s/%s/%s (%d facts, %.1fs elapsed)\n",
@@ -139,7 +152,13 @@ func run(args []string) error {
 		if all || want["figure3"] {
 			fmt.Println(b.ComputeFigure3(rs).String())
 		}
-		emit("figure4", b.Figure4(rs))
+		if all || want["figure4"] {
+			fig4, err := b.Figure4(rs)
+			if err != nil {
+				return err
+			}
+			fmt.Println(fig4)
+		}
 		if all || want["topics"] {
 			fmt.Println("DBpedia topic stratification (DKA, open-source models):")
 			for _, s := range b.TopicStrata(rs, dataset.DBpedia, llm.MethodDKA) {

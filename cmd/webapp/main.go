@@ -5,7 +5,12 @@
 //
 // Usage:
 //
-//	webapp [-addr :8090] [-scale 0.1] [-small] [-par N]
+//	webapp [-addr :8090] [-scale 0.1] [-small] [-par N] [-store DIR]
+//
+// With -store, verdict pages are served from the content-addressed result
+// store in DIR (the same directory cmd/factcheck -store writes): cells
+// precomputed by a CLI run are O(1) lookups, and cells the app computes on
+// demand are persisted back for every later request and consumer.
 package main
 
 import (
@@ -24,11 +29,21 @@ func main() {
 	scale := flag.Float64("scale", 0.1, "dataset scale factor")
 	small := flag.Bool("small", false, "use the miniature test world")
 	par := flag.Int("par", 0, "verification worker-pool parallelism (default GOMAXPROCS)")
+	storeDir := flag.String("store", "", "result store directory shared with cmd/factcheck -store (default: in-memory)")
 	flag.Parse()
 
 	start := time.Now()
 	b := core.NewBenchmark(core.Config{Scale: *scale, Small: *small, Parallelism: *par})
-	app, err := webapp.New(b)
+	var opts []webapp.Option
+	if *storeDir != "" {
+		store, err := core.OpenStore(*storeDir)
+		if err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("webapp: store %s: %d cell snapshots loaded", *storeDir, store.Len())
+		opts = append(opts, webapp.WithStore(store))
+	}
+	app, err := webapp.New(b, opts...)
 	if err != nil {
 		log.Fatal(err)
 	}

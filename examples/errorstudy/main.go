@@ -54,7 +54,10 @@ func main() {
 	fmt.Println("(E4 geographic errors dominate, matching the paper's Table 9)")
 
 	fmt.Println("\n== UpSet: which model subsets get facts right ==")
-	perFact := rs.PerFact(dataset.DBpedia, llm.MethodDKA, llm.OpenSourceModels)
+	perFact, err := rs.PerFact(dataset.DBpedia, llm.MethodDKA, llm.OpenSourceModels)
+	if err != nil {
+		log.Fatal(err)
+	}
 	for _, row := range analysis.UpSet(perFact) {
 		fmt.Printf("  %-52s %5d\n", row.Label(len(llm.OpenSourceModels)), row.Count)
 	}

@@ -67,3 +67,57 @@ func TestFacadeProgress(t *testing.T) {
 		t.Error("no outcomes despite completed progress")
 	}
 }
+
+// TestFacadeStoreResume exercises the store surface the README advertises:
+// persist a run, reopen the directory, and replay it without recomputation.
+func TestFacadeStoreResume(t *testing.T) {
+	cfg := TestConfig()
+	cfg.Datasets = []DatasetName{FactBench}
+	cfg.Models = []string{Gemma2}
+	cfg.Methods = []Method{MethodDKA, MethodRAG}
+
+	dir := t.TempDir()
+	st, err := OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var streamed []Cell
+	sink := sinkFunc(func(c Cell, outs []Outcome) error {
+		streamed = append(streamed, c)
+		return nil
+	})
+	rs1, err := New(cfg).Run(context.Background(), WithStore(st), WithSink(sink))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(streamed) != len(cfg.Methods) {
+		t.Errorf("sink saw %d cells, want %d", len(streamed), len(cfg.Methods))
+	}
+
+	st2, err := OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st2.Len() != len(cfg.Methods) {
+		t.Fatalf("reopened store has %d cells, want %d", st2.Len(), len(cfg.Methods))
+	}
+	rs2, err := New(cfg).Run(context.Background(), WithStore(st2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := rs1.Get(FactBench, MethodRAG, Gemma2)
+	b := rs2.Get(FactBench, MethodRAG, Gemma2)
+	if len(a) == 0 || len(a) != len(b) {
+		t.Fatalf("replayed cell sizes differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("outcome %d differs after store replay", i)
+		}
+	}
+}
+
+// sinkFunc adapts a function to ResultSink.
+type sinkFunc func(Cell, []Outcome) error
+
+func (f sinkFunc) PutCell(c Cell, outs []Outcome) error { return f(c, outs) }

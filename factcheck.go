@@ -36,6 +36,7 @@ import (
 	"factcheck/internal/core"
 	"factcheck/internal/dataset"
 	"factcheck/internal/llm"
+	"factcheck/internal/strategy"
 )
 
 // Config parameterises a benchmark run. The zero value (filled by New)
@@ -61,6 +62,39 @@ type Progress = core.Progress
 // WithProgress streams per-cell completion events to fn while the worker
 // pool drains the verification grid.
 func WithProgress(fn func(Progress)) RunOption { return core.WithProgress(fn) }
+
+// Outcome records one model's verification of one fact under one method.
+type Outcome = strategy.Outcome
+
+// Store is a content-addressed result store: a durable cache of completed
+// grid cells keyed by a fingerprint of everything that determines outcomes
+// (world config, scale, RAG config, dataset, method, model). Attach one to
+// Run with WithStore to make runs resumable and incremental.
+type Store = core.Store
+
+// OpenStore opens (creating if needed) a disk-backed result store; an
+// empty dir returns a memory-only store.
+func OpenStore(dir string) (*Store, error) { return core.OpenStore(dir) }
+
+// NewMemoryStore returns a process-lifetime, memory-only result store.
+func NewMemoryStore() *Store { return core.NewMemoryStore() }
+
+// WithStore attaches a result store to a Run: stored cells are served
+// without any verifier calls, only missing cells are scheduled, and newly
+// computed cells are persisted as they complete. Interrupted runs resume
+// where they died; config deltas recompute only the affected grid slice;
+// results are byte-identical to a cold run either way.
+func WithStore(s *Store) RunOption { return core.WithStore(s) }
+
+// ResultSink receives completed grid cells as Run streams them.
+type ResultSink = core.ResultSink
+
+// WithSink streams completed cells to sink as the grid drains (cells
+// satisfied by an attached store are delivered first, in grid order).
+func WithSink(sink ResultSink) RunOption { return core.WithSink(sink) }
+
+// MissingCellError reports a grid cell absent from a ResultSet.
+type MissingCellError = core.MissingCellError
 
 // ConsensusReport holds the multi-model consensus analysis.
 type ConsensusReport = core.ConsensusReport

@@ -10,6 +10,13 @@
 // head of the queue warm the RAG cache once per fact ahead of model
 // fan-out, and an optional progress callback reports cells as they
 // complete.
+//
+// Runs are resumable and incremental: with a content-addressed result
+// store attached (WithStore, internal/results), the queue is built only
+// from cells the store cannot satisfy, completed cells are persisted as
+// they finish, and completed work streams through the ResultSink
+// interface — so killed runs resume, config deltas recompute only the
+// affected grid slice, and results stay byte-identical to a cold run.
 package core
 
 import (
@@ -24,6 +31,7 @@ import (
 	"factcheck/internal/dataset"
 	"factcheck/internal/llm"
 	"factcheck/internal/rag"
+	"factcheck/internal/results"
 	"factcheck/internal/sched"
 	"factcheck/internal/search"
 	"factcheck/internal/strategy"
@@ -164,17 +172,37 @@ func (r *ResultSet) Get(d dataset.Name, m llm.Method, model string) []strategy.O
 	return r.Outcomes[Cell{Dataset: d, Method: m, Model: model}]
 }
 
+// MissingCellError reports a grid cell absent from a ResultSet — typically
+// a consumer asking for a (dataset, method, model) combination the run was
+// not configured to produce.
+type MissingCellError struct {
+	Cell Cell
+}
+
+// Error implements error.
+func (e *MissingCellError) Error() string {
+	return fmt.Sprintf("core: result set has no cell %s/%s/%s",
+		e.Cell.Dataset, e.Cell.Method, e.Cell.Model)
+}
+
 // PerFact regroups a cell list of model names into per-fact outcome slices:
-// result[i][j] is model j's outcome on fact i.
-func (r *ResultSet) PerFact(d dataset.Name, m llm.Method, models []string) [][]strategy.Outcome {
+// result[i][j] is model j's outcome on fact i. A model whose cell is absent
+// yields a *MissingCellError (renderers fail loudly instead of silently
+// emitting empty artifacts); cells of mismatched length are likewise
+// rejected.
+func (r *ResultSet) PerFact(d dataset.Name, m llm.Method, models []string) ([][]strategy.Outcome, error) {
 	var per [][]strategy.Outcome
 	for j, name := range models {
-		outs := r.Get(d, m, name)
-		if outs == nil {
-			return nil
+		cell := Cell{Dataset: d, Method: m, Model: name}
+		outs, ok := r.Outcomes[cell]
+		if !ok {
+			return nil, &MissingCellError{Cell: cell}
 		}
 		if per == nil {
 			per = make([][]strategy.Outcome, len(outs))
+		} else if len(outs) != len(per) {
+			return nil, fmt.Errorf("core: cell %s/%s/%s has %d outcomes, want %d",
+				d, m, name, len(outs), len(per))
 		}
 		for i := range outs {
 			if j == 0 {
@@ -183,7 +211,7 @@ func (r *ResultSet) PerFact(d dataset.Name, m llm.Method, models []string) [][]s
 			per[i] = append(per[i], outs[i])
 		}
 	}
-	return per
+	return per, nil
 }
 
 // Progress reports the completion of one grid cell during Run.
@@ -203,18 +231,22 @@ type RunOption func(*runOptions)
 
 type runOptions struct {
 	progress func(Progress)
+	store    *Store
+	sink     ResultSink
 }
 
 // WithProgress streams per-cell completion events to fn as the worker pool
-// drains the grid. Cells complete in data-dependent order; fn is called
-// serially (never concurrently with itself) from worker goroutines.
+// drains the grid. Cells complete in data-dependent order (cells satisfied
+// by an attached store report first, in grid order); fn is called serially
+// (never concurrently with itself).
 func WithProgress(fn func(Progress)) RunOption {
 	return func(o *runOptions) { o.progress = fn }
 }
 
 // gridCell is one (dataset, method, model) cell being assembled by the
 // scheduler: workers write index-addressed outcomes and the last one to
-// finish reports the cell complete.
+// finish reports the cell complete. Cells satisfied by an attached result
+// store are marked cached and never scheduled.
 type gridCell struct {
 	cell      Cell
 	facts     []*dataset.Fact
@@ -222,6 +254,8 @@ type gridCell struct {
 	verifier  strategy.Verifier
 	outs      []strategy.Outcome
 	remaining atomic.Int64
+	fp        results.Fingerprint
+	cached    bool
 }
 
 // Run executes the full grid of the configuration as one streamed task
@@ -231,6 +265,16 @@ type gridCell struct {
 // fact-ordered slices and are byte-identical at any parallelism. On error
 // the run cancels outstanding work, drains in-flight verifications and
 // returns the aggregated failure.
+//
+// With WithStore attached, cells whose fingerprint is already stored are
+// served from the store and the queue is built only from the missing
+// cells: an interrupted run resumes from the cells that completed, a
+// config delta recomputes only the affected slice of the grid, and a
+// fully warm store replays the whole grid with zero verifier calls —
+// results stay byte-identical to a cold run throughout. Newly computed
+// cells are persisted as they finish, so progress survives a kill at any
+// point. WithSink additionally streams every completed cell to a caller
+// sink (cached cells first, in grid order).
 func (b *Benchmark) Run(ctx context.Context, opts ...RunOption) (*ResultSet, error) {
 	var ro runOptions
 	for _, o := range opts {
@@ -268,7 +312,16 @@ func (b *Benchmark) Run(ctx context.Context, opts ...RunOption) (*ResultSet, err
 					facts:    d.Facts,
 					model:    models[name],
 					verifier: verifiers[method],
-					outs:     make([]strategy.Outcome, len(d.Facts)),
+				}
+				if ro.store != nil {
+					c.fp = b.CellKey(c.cell).Fingerprint()
+					if outs, ok := ro.store.Get(c.fp); ok && len(outs) == len(d.Facts) {
+						c.outs = outs
+						c.cached = true
+					}
+				}
+				if !c.cached {
+					c.outs = make([]strategy.Outcome, len(d.Facts))
 				}
 				c.remaining.Store(int64(len(d.Facts)))
 				cells = append(cells, c)
@@ -292,28 +345,71 @@ func (b *Benchmark) Run(ctx context.Context, opts ...RunOption) (*ResultSet, err
 			TotalCells: len(cells),
 		})
 	}
+
+	// finishCell runs once per completed cell: persist it (unless it came
+	// from the store), stream it to the sink, report progress. Sink calls
+	// are serialised; a persist or sink failure fails the run.
+	var sinkMu sync.Mutex
+	finishCell := func(c *gridCell) error {
+		if ro.store != nil && !c.cached && len(c.facts) > 0 {
+			if err := ro.store.Put(c.fp, c.outs); err != nil {
+				return fmt.Errorf("core: persisting cell %s/%s/%s: %w",
+					c.cell.Dataset, c.cell.Method, c.cell.Model, err)
+			}
+		}
+		if ro.sink != nil {
+			sinkMu.Lock()
+			err := ro.sink.PutCell(c.cell, c.outs)
+			sinkMu.Unlock()
+			if err != nil {
+				return fmt.Errorf("core: result sink rejected cell %s/%s/%s: %w",
+					c.cell.Dataset, c.cell.Method, c.cell.Model, err)
+			}
+		}
+		cellDone(c)
+		return nil
+	}
+
+	// Cached and empty cells are complete before any work is scheduled:
+	// deliver them in grid order so consumers see a deterministic prefix.
 	for _, c := range cells {
-		if len(c.facts) == 0 {
-			cellDone(c)
+		if c.cached || len(c.facts) == 0 {
+			if err := finishCell(c); err != nil {
+				return nil, err
+			}
 		}
 	}
 
 	pool := sched.New(b.Config.Parallelism)
 
-	// One flat queue, two kinds of tasks. Evidence-prefetch tasks sit at
-	// the front: methods with model-independent per-fact state (RAG
-	// retrieval) warm it once per fact before that fact's model fan-out is
-	// dispatched. Ascending dispatch means the prefetch block still drains
-	// (almost) fully before verification starts — the overlap is bounded
-	// by the worker count — but unlike a barrier phase there is no sync
-	// point: workers flow straight into verification, and the singleflight
-	// cache keeps retrieval exactly-once even when a verify task overtakes
-	// its fact's prefetch.
+	// One flat queue, two kinds of tasks, built only from the cells the
+	// store could not satisfy. Evidence-prefetch tasks sit at the front:
+	// methods with model-independent per-fact state (RAG retrieval) warm
+	// it once per fact before that fact's model fan-out is dispatched —
+	// and only for datasets where that method still has a missing cell.
+	// Ascending dispatch means the prefetch block still drains (almost)
+	// fully before verification starts — the overlap is bounded by the
+	// worker count — but unlike a barrier phase there is no sync point:
+	// workers flow straight into verification, and the singleflight cache
+	// keeps retrieval exactly-once even when a verify task overtakes its
+	// fact's prefetch.
 	type task struct {
 		prefetch strategy.Prefetcher // nil for verification tasks
 		f        *dataset.Fact       // prefetch target
 		c        *gridCell           // verification cell
 		i        int                 // fact index within c
+	}
+	needPrefetch := map[llm.Method]map[dataset.Name]bool{}
+	for _, c := range cells {
+		if c.cached || len(c.facts) == 0 {
+			continue
+		}
+		ds := needPrefetch[c.cell.Method]
+		if ds == nil {
+			ds = map[dataset.Name]bool{}
+			needPrefetch[c.cell.Method] = ds
+		}
+		ds[c.cell.Dataset] = true
 	}
 	var tasks []task
 	for _, method := range b.Config.Methods {
@@ -322,12 +418,18 @@ func (b *Benchmark) Run(ctx context.Context, opts ...RunOption) (*ResultSet, err
 			continue
 		}
 		for _, dn := range b.Config.Datasets {
+			if !needPrefetch[method][dn] {
+				continue
+			}
 			for _, f := range b.Datasets[dn].Facts {
 				tasks = append(tasks, task{prefetch: p, f: f})
 			}
 		}
 	}
 	for _, c := range cells {
+		if c.cached {
+			continue
+		}
 		for i := range c.facts {
 			tasks = append(tasks, task{c: c, i: i})
 		}
@@ -343,7 +445,7 @@ func (b *Benchmark) Run(ctx context.Context, opts ...RunOption) (*ResultSet, err
 		}
 		t.c.outs[t.i] = out
 		if t.c.remaining.Add(-1) == 0 {
-			cellDone(t.c)
+			return finishCell(t.c)
 		}
 		return nil
 	})

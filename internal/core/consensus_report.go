@@ -34,9 +34,9 @@ var ArbiterLabels = []string{"agg-cons-up", "agg-cons-down", "agg-gpt-4o-mini"}
 // from the open-source models' outcomes in rs, invoking arbiters on ties.
 func (b *Benchmark) RunConsensus(ctx context.Context, rs *ResultSet, dn dataset.Name, method llm.Method) (*ConsensusCell, error) {
 	models := openModels(b.Config.Models)
-	perFact := rs.PerFact(dn, method, models)
-	if perFact == nil {
-		return nil, fmt.Errorf("core: missing outcomes for %s/%s consensus", dn, method)
+	perFact, err := rs.PerFact(dn, method, models)
+	if err != nil {
+		return nil, fmt.Errorf("core: %s/%s consensus: %w", dn, method, err)
 	}
 	cell := &ConsensusCell{
 		Alignment: consensus.Alignment(perFact),

@@ -2,6 +2,9 @@ package core
 
 import (
 	"context"
+	"errors"
+	"fmt"
+	"reflect"
 	"strings"
 	"sync"
 	"testing"
@@ -96,7 +99,10 @@ func TestRunDeterministicAcrossParallelism(t *testing.T) {
 func TestPerFactRegrouping(t *testing.T) {
 	b, rs := benchFixture(t)
 	models := []string{llm.Gemma2, llm.Mistral}
-	per := rs.PerFact(dataset.FactBench, llm.MethodDKA, models)
+	per, err := rs.PerFact(dataset.FactBench, llm.MethodDKA, models)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(per) != len(b.Datasets[dataset.FactBench].Facts) {
 		t.Fatalf("per-fact rows = %d", len(per))
 	}
@@ -111,8 +117,12 @@ func TestPerFactRegrouping(t *testing.T) {
 			t.Fatal("model order not preserved")
 		}
 	}
-	if rs.PerFact(dataset.FactBench, llm.MethodDKA, []string{"missing"}) != nil {
-		t.Error("PerFact with unknown model should return nil")
+	_, err = rs.PerFact(dataset.FactBench, llm.MethodDKA, []string{"missing"})
+	var missing *MissingCellError
+	if !errors.As(err, &missing) {
+		t.Errorf("PerFact with unknown model: err = %v, want *MissingCellError", err)
+	} else if missing.Cell.Model != "missing" {
+		t.Errorf("missing cell = %+v", missing.Cell)
 	}
 }
 
@@ -153,8 +163,16 @@ func TestTableRenderersProduceOutput(t *testing.T) {
 		{"table7", b.Table7(rep), []string{"agg-cons-up", "agg-cons-down", "agg-gpt-4o-mini"}},
 		{"table8", b.Table8(rs), []string{"Execution time"}},
 		{"table9", b.Table9(rs, llm.MethodDKA), []string{"E1", "E4", "Uniq.Ratio"}},
-		{"figure4", b.Figure4(rs), []string{"all", "intersections"}},
 	}
+	fig4, err := b.Figure4(rs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checks = append(checks, struct {
+		name string
+		out  string
+		want []string
+	}{"figure4", fig4, []string{"all", "intersections"}})
 	for _, c := range checks {
 		for _, w := range c.want {
 			if !strings.Contains(c.out, w) {
@@ -493,5 +511,228 @@ func TestModelRegistryConcurrentAccess(t *testing.T) {
 	close(errCh)
 	for err := range errCh {
 		t.Fatal(err)
+	}
+}
+
+// --- result store / resume ----------------------------------------------
+
+// storeTestConfig is a grid small enough to run twice per test but with
+// several cells per method.
+func storeTestConfig() Config {
+	cfg := TestConfig()
+	cfg.Datasets = []dataset.Name{dataset.FactBench}
+	cfg.Models = []string{llm.Gemma2, llm.Mistral}
+	return cfg
+}
+
+// boomModel fails every generation; tests install it to prove a code path
+// performs no verifier calls.
+type boomModel struct{ name string }
+
+func (b boomModel) Name() string     { return b.name }
+func (b boomModel) ParamsB() float64 { return 9 }
+func (b boomModel) Generate(context.Context, llm.Request) (llm.Response, error) {
+	return llm.Response{}, fmt.Errorf("boomModel %s: unexpected verifier call", b.name)
+}
+
+// sabotage replaces every configured model with a failing stub and detaches
+// the retrieval substrate, so any verification or retrieval fails the run.
+func sabotage(b *Benchmark) {
+	b.modelsMu.Lock()
+	for _, name := range b.Config.Models {
+		b.models[name] = boomModel{name: name}
+	}
+	for _, name := range llm.BenchmarkModels {
+		b.models[name] = boomModel{name: name}
+	}
+	b.modelsMu.Unlock()
+	b.Pipeline.Searcher = nil
+}
+
+func TestResumeByteIdenticalToColdRun(t *testing.T) {
+	cfg := storeTestConfig()
+
+	cold := NewBenchmark(cfg)
+	rsCold, err := cold.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Interrupted run: cancel after half the cells have completed. Cells
+	// finished before the kill are persisted.
+	dir := t.TempDir()
+	st, err := OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	done := 0
+	_, err = NewBenchmark(cfg).Run(ctx, WithStore(st), WithProgress(func(p Progress) {
+		done++
+		if 2*done >= p.TotalCells {
+			cancel()
+		}
+	}))
+	if err == nil {
+		t.Fatal("interrupted run reported success")
+	}
+
+	// Resume from a fresh store handle (a new process would Open the dir).
+	st2, err := OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st2.Len() == 0 {
+		t.Fatal("no cells persisted before the interrupt")
+	}
+	rsResumed, err := NewBenchmark(cfg).Run(context.Background(), WithStore(st2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(rsCold.Outcomes, rsResumed.Outcomes) {
+		t.Fatal("resumed outcomes differ from cold run")
+	}
+}
+
+func TestWarmStoreReplaysWithZeroVerifierCalls(t *testing.T) {
+	cfg := storeTestConfig()
+	st := NewMemoryStore()
+	rs1, err := NewBenchmark(cfg).Run(context.Background(), WithStore(st))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Fully warm store: the grid must replay without a single model call
+	// or retrieval — every model is a failing stub and the search engine
+	// is detached.
+	replay := NewBenchmark(cfg)
+	sabotage(replay)
+	rs2, err := replay.Run(context.Background(), WithStore(st))
+	if err != nil {
+		t.Fatalf("warm-store replay performed work: %v", err)
+	}
+	if !reflect.DeepEqual(rs1.Outcomes, rs2.Outcomes) {
+		t.Fatal("replayed outcomes differ")
+	}
+}
+
+func TestDeltaConfigRecomputesOnlyMissingCells(t *testing.T) {
+	base := storeTestConfig()
+	base.Models = []string{llm.Gemma2}
+	st := NewMemoryStore()
+	if _, err := NewBenchmark(base).Run(context.Background(), WithStore(st)); err != nil {
+		t.Fatal(err)
+	}
+	before := st.Len()
+
+	// Delta: one extra model. The gemma2 cells must come from the store —
+	// its model is a failing stub in the delta benchmark — while mistral
+	// cells compute fresh.
+	delta := base
+	delta.Models = []string{llm.Gemma2, llm.Mistral}
+	db := NewBenchmark(delta)
+	db.modelsMu.Lock()
+	db.models[llm.Gemma2] = boomModel{name: llm.Gemma2}
+	db.modelsMu.Unlock()
+	rs, err := db.Run(context.Background(), WithStore(st))
+	if err != nil {
+		t.Fatalf("delta run recomputed cached cells: %v", err)
+	}
+	if st.Len() != 2*before {
+		t.Errorf("store has %d cells after delta, want %d", st.Len(), 2*before)
+	}
+
+	// The combined result set matches a cold run of the delta config.
+	rsCold, err := NewBenchmark(delta).Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(rsCold.Outcomes, rs.Outcomes) {
+		t.Fatal("delta outcomes differ from cold run")
+	}
+}
+
+// collectSink records streamed cells.
+type collectSink struct {
+	cells []Cell
+	outs  map[Cell]int
+	fail  bool
+}
+
+func (s *collectSink) PutCell(c Cell, outs []strategy.Outcome) error {
+	if s.fail {
+		return fmt.Errorf("sink: rejected %v", c)
+	}
+	s.cells = append(s.cells, c)
+	if s.outs == nil {
+		s.outs = map[Cell]int{}
+	}
+	s.outs[c] = len(outs)
+	return nil
+}
+
+func TestRunStreamsCellsToSink(t *testing.T) {
+	cfg := storeTestConfig()
+	b := NewBenchmark(cfg)
+	sink := &collectSink{}
+	rs, err := b.Run(context.Background(), WithSink(sink))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := len(cfg.Datasets) * len(b.Config.Methods) * len(cfg.Models)
+	if len(sink.cells) != want {
+		t.Fatalf("sink saw %d cells, want %d", len(sink.cells), want)
+	}
+	for cell, n := range sink.outs {
+		if n != len(rs.Outcomes[cell]) {
+			t.Errorf("cell %v streamed %d outcomes, result set has %d", cell, n, len(rs.Outcomes[cell]))
+		}
+	}
+
+	// With a fully warm store, cached cells stream to the sink up front in
+	// deterministic grid order.
+	st := NewMemoryStore()
+	if _, err := NewBenchmark(cfg).Run(context.Background(), WithStore(st)); err != nil {
+		t.Fatal(err)
+	}
+	ordered := &collectSink{}
+	if _, err := NewBenchmark(cfg).Run(context.Background(), WithStore(st), WithSink(ordered)); err != nil {
+		t.Fatal(err)
+	}
+	var wantOrder []Cell
+	for _, dn := range cfg.Datasets {
+		for _, method := range NewBenchmark(cfg).Config.Methods {
+			for _, m := range cfg.Models {
+				wantOrder = append(wantOrder, Cell{Dataset: dn, Method: method, Model: m})
+			}
+		}
+	}
+	if !reflect.DeepEqual(ordered.cells, wantOrder) {
+		t.Errorf("cached cells streamed out of grid order:\n got %v\nwant %v", ordered.cells, wantOrder)
+	}
+
+	// A sink error fails the run.
+	if _, err := b.Run(context.Background(), WithSink(&collectSink{fail: true})); err == nil {
+		t.Error("sink failure did not fail the run")
+	}
+}
+
+func TestStoreIgnoredAcrossConfigChange(t *testing.T) {
+	// A snapshot written at one scale must never satisfy a run at another:
+	// the fingerprint differs, so the second run recomputes everything.
+	cfgA := storeTestConfig()
+	st := NewMemoryStore()
+	if _, err := NewBenchmark(cfgA).Run(context.Background(), WithStore(st)); err != nil {
+		t.Fatal(err)
+	}
+	n := st.Len()
+	cfgB := cfgA
+	cfgB.Scale = cfgA.Scale * 2
+	if _, err := NewBenchmark(cfgB).Run(context.Background(), WithStore(st)); err != nil {
+		t.Fatal(err)
+	}
+	if st.Len() != 2*n {
+		t.Errorf("store has %d cells, want %d (no cross-config reuse)", st.Len(), 2*n)
 	}
 }

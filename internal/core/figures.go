@@ -174,15 +174,20 @@ func (f Figure3) String() string {
 }
 
 // Figure4 computes the UpSet intersection analysis of correct predictions
-// (paper Figure 4) for each method, pooled over datasets.
-func (b *Benchmark) Figure4(rs *ResultSet) string {
+// (paper Figure 4) for each method, pooled over datasets. A result set
+// missing any required cell yields an error (wrapping *MissingCellError)
+// instead of a silently empty figure.
+func (b *Benchmark) Figure4(rs *ResultSet) (string, error) {
 	models := openModels(b.Config.Models)
 	var sb strings.Builder
 	sb.WriteString("Figure 4: intersections of correct predictions across models.\n")
 	for _, method := range b.Config.Methods {
 		var perFact [][]strategy.Outcome
 		for _, dn := range b.Config.Datasets {
-			pf := rs.PerFact(dn, method, models)
+			pf, err := rs.PerFact(dn, method, models)
+			if err != nil {
+				return "", fmt.Errorf("core: figure 4: %w", err)
+			}
 			perFact = append(perFact, pf...)
 		}
 		rows := analysis.UpSet(perFact)
@@ -191,7 +196,7 @@ func (b *Benchmark) Figure4(rs *ResultSet) string {
 			fmt.Fprintf(&sb, "  %-56s %6d\n", r.Label(len(models)), r.Count)
 		}
 	}
-	return sb.String()
+	return sb.String(), nil
 }
 
 // Table9 runs the error-clustering study (paper Table 9): per dataset and

@@ -6,6 +6,15 @@
 // verbalisation, questions with relevance scores, retrieved documents and
 // chunks, per-model verdicts under every method, consensus votes, ontology
 // rule checks), and the error-clustering study.
+//
+// Verdicts are served from the content-addressed result store rather than
+// recomputed per request: a fact page first probes the store for each
+// (method, model) cell snapshot (an O(1) lookup), and on a miss verifies
+// just the requested fact while an asynchronous, deduplicated whole-cell
+// fill populates the store for subsequent requests. Pointing the app at
+// the same -store directory as cmd/factcheck shares one substrate of
+// computed results across both consumers. Determinism makes the switch
+// invisible: a store-served page is byte-identical to a recomputed one.
 package webapp
 
 import (
@@ -15,6 +24,7 @@ import (
 	"net/http"
 	"sort"
 	"strconv"
+	"sync"
 
 	"factcheck/internal/analysis"
 	"factcheck/internal/consensus"
@@ -22,6 +32,7 @@ import (
 	"factcheck/internal/dataset"
 	"factcheck/internal/llm"
 	"factcheck/internal/rules"
+	"factcheck/internal/sched"
 	"factcheck/internal/strategy"
 )
 
@@ -30,16 +41,126 @@ type App struct {
 	bench *core.Benchmark
 	rules *rules.Engine
 	tmpl  *template.Template
+
+	// store backs verdict lookups; a memory-only store when no directory
+	// is configured. factIdx maps fact IDs to their index in the dataset's
+	// fact slice (the cell snapshots' outcome order).
+	store   *core.Store
+	factIdx map[dataset.Name]map[string]int
+
+	// filling dedupes asynchronous on-demand cell fills; fillSem admits
+	// one fill at a time (a cold fact page requests every (method, model)
+	// cell at once — serialising keeps background work bounded by one
+	// cell's worker pool instead of all of them); fillWG lets shutdown and
+	// tests drain them.
+	fillMu  sync.Mutex
+	fillWG  sync.WaitGroup
+	fillSem chan struct{}
+	filling map[core.Cell]bool
+
+	// studies memoizes the error-clustering computation per
+	// (dataset, model) with singleflight semantics.
+	studyMu sync.Mutex
+	studies map[studyKey]*study
+}
+
+// Option customises an App.
+type Option func(*App)
+
+// WithStore backs the app's verdict lookups (and on-demand fills) with the
+// given result store — typically the same directory a cmd/factcheck -store
+// run writes, so precomputed grids are served without any verification.
+func WithStore(s *core.Store) Option {
+	return func(a *App) { a.store = s }
 }
 
 // New builds the app over a benchmark instance.
-func New(b *core.Benchmark) (*App, error) {
+func New(b *core.Benchmark, opts ...Option) (*App, error) {
 	t, err := template.New("webapp").Parse(pageTemplates)
 	if err != nil {
 		return nil, fmt.Errorf("webapp: parsing templates: %w", err)
 	}
-	return &App{bench: b, rules: rules.NewEngine(b.World), tmpl: t}, nil
+	a := &App{
+		bench:   b,
+		rules:   rules.NewEngine(b.World),
+		tmpl:    t,
+		fillSem: make(chan struct{}, 1),
+		filling: map[core.Cell]bool{},
+		studies: map[studyKey]*study{},
+	}
+	for _, o := range opts {
+		o(a)
+	}
+	if a.store == nil {
+		a.store = core.NewMemoryStore()
+	}
+	a.factIdx = map[dataset.Name]map[string]int{}
+	for dn, d := range b.Datasets {
+		idx := make(map[string]int, len(d.Facts))
+		for i, f := range d.Facts {
+			idx[f.ID] = i
+		}
+		a.factIdx[dn] = idx
+	}
+	return a, nil
 }
+
+// cellOutcome returns one (method, model) verdict for one fact. Store hit:
+// an O(1) snapshot lookup. Miss: verify just this fact for the response
+// while an asynchronous whole-cell fill warms the store, so the next
+// request for any fact of the cell is a lookup. Outcomes are deterministic,
+// so both paths return identical values.
+func (a *App) cellOutcome(ctx context.Context, cell core.Cell, f *dataset.Fact) (strategy.Outcome, error) {
+	if outs, ok := a.store.Get(a.bench.CellKey(cell).Fingerprint()); ok {
+		if i, ok := a.factIdx[cell.Dataset][f.ID]; ok && i < len(outs) {
+			return outs[i], nil
+		}
+	}
+	a.fillCellAsync(cell)
+	v, err := a.bench.Verifier(cell.Method)
+	if err != nil {
+		return strategy.Outcome{}, err
+	}
+	m, err := a.bench.Model(cell.Model)
+	if err != nil {
+		return strategy.Outcome{}, err
+	}
+	return v.Verify(ctx, m, f)
+}
+
+// fillCellAsync computes a full cell in the background and persists it to
+// the store; concurrent requests for the same cell coalesce into one fill,
+// and distinct cells queue on fillSem so at most one cell fills at a time
+// (its RunCell fan-out already uses the app's full parallelism). Failed
+// fills are forgotten so a later request retries.
+func (a *App) fillCellAsync(cell core.Cell) {
+	a.fillMu.Lock()
+	if a.filling[cell] {
+		a.fillMu.Unlock()
+		return
+	}
+	a.filling[cell] = true
+	a.fillWG.Add(1)
+	a.fillMu.Unlock()
+	go func() {
+		defer a.fillWG.Done()
+		a.fillSem <- struct{}{}
+		defer func() { <-a.fillSem }()
+		outs, err := a.bench.RunCell(context.Background(), cell.Dataset, cell.Method, cell.Model)
+		if err == nil {
+			err = a.store.Put(a.bench.CellKey(cell).Fingerprint(), outs)
+		}
+		if err != nil {
+			a.fillMu.Lock()
+			delete(a.filling, cell)
+			a.fillMu.Unlock()
+		}
+	}()
+}
+
+// WaitFills blocks until every in-flight on-demand cell fill has finished
+// (graceful shutdown, tests).
+func (a *App) WaitFills() { a.fillWG.Wait() }
 
 // Handler returns the app's HTTP handler.
 func (a *App) Handler() http.Handler {
@@ -195,21 +316,13 @@ func (a *App) handleFact(w http.ResponseWriter, r *http.Request) {
 	data.Chunks = ev.ChunkTexts()
 	data.Filtered = ev.FilteredSKG
 
-	// Verdicts of every model under every method, plus the DKA majority.
+	// Verdicts of every model under every method (store-backed, filled on
+	// demand), plus the DKA majority.
 	var dkaOutcomes []strategy.Outcome
 	for _, method := range a.bench.Config.Methods {
-		v, err := a.bench.Verifier(method)
-		if err != nil {
-			http.Error(w, err.Error(), http.StatusInternalServerError)
-			return
-		}
 		for _, name := range a.bench.Config.Models {
-			m, err := a.bench.Model(name)
-			if err != nil {
-				http.Error(w, err.Error(), http.StatusInternalServerError)
-				return
-			}
-			out, err := v.Verify(ctx, m, f)
+			cell := core.Cell{Dataset: f.Dataset, Method: method, Model: name}
+			out, err := a.cellOutcome(ctx, cell, f)
 			if err != nil {
 				http.Error(w, err.Error(), http.StatusInternalServerError)
 				return
@@ -259,13 +372,102 @@ type errorSample struct {
 	Reason   string
 }
 
+// errorStudyCap bounds how many facts the error-analysis page verifies,
+// keeping the (memoized) computation interactive at full scale.
+const errorStudyCap = 400
+
+type studyKey struct {
+	dataset dataset.Name
+	model   string
+}
+
+// study is one memoized error-clustering computation: DKA over the page's
+// fact slice, mistakes clustered into E1–E6. done is closed once res,
+// reasons and err are set; waiters block on it (singleflight).
+type study struct {
+	done    chan struct{}
+	res     analysis.ClusterResult
+	reasons map[string]string
+	err     error
+}
+
+// errorStudy returns the memoized error study for (dn, model), computing
+// it at most once; concurrent requests share one computation. Failed
+// studies are evicted so a later request retries.
+func (a *App) errorStudy(dn dataset.Name, model string) (*study, error) {
+	key := studyKey{dataset: dn, model: model}
+	a.studyMu.Lock()
+	if s, ok := a.studies[key]; ok {
+		a.studyMu.Unlock()
+		<-s.done
+		return s, s.err
+	}
+	s := &study{done: make(chan struct{})}
+	a.studies[key] = s
+	a.studyMu.Unlock()
+
+	s.res, s.reasons, s.err = a.computeStudy(dn, model)
+	if s.err != nil {
+		a.studyMu.Lock()
+		delete(a.studies, key)
+		a.studyMu.Unlock()
+	}
+	close(s.done)
+	return s, s.err
+}
+
+// computeStudy produces the DKA error clustering for a (dataset, model)
+// pair: outcomes come from the result store when the cell snapshot is
+// present, otherwise the fact slice fans out over a worker pool at the
+// benchmark's parallelism (instead of the old strictly sequential
+// per-request loop). Outcomes are index-addressed, so the clustering input
+// is in fact order — identical to a sequential computation.
+func (a *App) computeStudy(dn dataset.Name, model string) (analysis.ClusterResult, map[string]string, error) {
+	d := a.bench.Datasets[dn]
+	facts := d.Facts
+	if len(facts) > errorStudyCap {
+		facts = facts[:errorStudyCap]
+	}
+	cell := core.Cell{Dataset: dn, Method: llm.MethodDKA, Model: model}
+	outs := make([]strategy.Outcome, len(facts))
+	if cached, ok := a.store.Get(a.bench.CellKey(cell).Fingerprint()); ok && len(cached) >= len(facts) {
+		copy(outs, cached[:len(facts)])
+	} else {
+		m, err := a.bench.Model(model)
+		if err != nil {
+			return analysis.ClusterResult{}, nil, err
+		}
+		pool := sched.New(a.bench.Config.Parallelism)
+		err = pool.Run(context.Background(), len(facts), func(ctx context.Context, i int) error {
+			out, err := (strategy.DKA{}).Verify(ctx, m, facts[i])
+			if err != nil {
+				return err
+			}
+			outs[i] = out
+			return nil
+		})
+		if err != nil {
+			return analysis.ClusterResult{}, nil, err
+		}
+	}
+	var records []analysis.ErrorRecord
+	reasons := map[string]string{}
+	for i, out := range outs {
+		if out.Correct || out.Verdict == strategy.Invalid {
+			continue
+		}
+		records = append(records, analysis.ErrorRecord{Model: model, FactID: facts[i].ID, Explanation: out.Explanation})
+		reasons[facts[i].ID] = out.Explanation
+	}
+	return analysis.ClusterErrors(records), reasons, nil
+}
+
 func (a *App) handleErrors(w http.ResponseWriter, r *http.Request) {
 	dn := dataset.Name(r.URL.Query().Get("dataset"))
 	if dn == "" {
 		dn = dataset.FactBench
 	}
-	d, ok := a.bench.Datasets[dn]
-	if !ok {
+	if _, ok := a.bench.Datasets[dn]; !ok {
 		http.Error(w, "unknown dataset", http.StatusNotFound)
 		return
 	}
@@ -273,43 +475,26 @@ func (a *App) handleErrors(w http.ResponseWriter, r *http.Request) {
 	if model == "" {
 		model = llm.Gemma2
 	}
-	m, err := a.bench.Model(model)
-	if err != nil {
+	if _, err := a.bench.Model(model); err != nil {
 		http.Error(w, err.Error(), http.StatusNotFound)
 		return
 	}
 
-	// Run DKA over a bounded slice for interactivity and cluster the
-	// mistakes (the hosted app precomputes; we compute on demand).
-	facts := d.Facts
-	if len(facts) > 400 {
-		facts = facts[:400]
+	s, err := a.errorStudy(dn, model)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
 	}
-	var records []analysis.ErrorRecord
-	reasons := map[string]string{}
-	for _, f := range facts {
-		out, err := (strategy.DKA{}).Verify(r.Context(), m, f)
-		if err != nil {
-			http.Error(w, err.Error(), http.StatusInternalServerError)
-			return
-		}
-		if out.Correct || out.Verdict == strategy.Invalid {
-			continue
-		}
-		records = append(records, analysis.ErrorRecord{Model: model, FactID: f.ID, Explanation: out.Explanation})
-		reasons[f.ID] = out.Explanation
-	}
-	res := analysis.ClusterErrors(records)
 	data := errorsData{
 		Dataset:    dn,
 		Model:      model,
 		Models:     a.bench.Config.Models,
 		Categories: analysis.Categories,
-		Counts:     res.Counts,
-		Total:      res.Total,
+		Counts:     s.res.Counts,
+		Total:      s.res.Total,
 	}
-	for factID, cat := range res.Assignments {
-		data.Samples = append(data.Samples, errorSample{FactID: factID, Category: cat, Reason: reasons[factID]})
+	for factID, cat := range s.res.Assignments {
+		data.Samples = append(data.Samples, errorSample{FactID: factID, Category: cat, Reason: s.reasons[factID]})
 	}
 	sort.Slice(data.Samples, func(i, j int) bool {
 		if data.Samples[i].Category != data.Samples[j].Category {

@@ -1,6 +1,7 @@
 package webapp
 
 import (
+	"context"
 	"io"
 	"net/http"
 	"net/http/httptest"
@@ -10,6 +11,7 @@ import (
 	"factcheck/internal/core"
 	"factcheck/internal/dataset"
 	"factcheck/internal/llm"
+	"factcheck/internal/strategy"
 )
 
 func server(t *testing.T) (*httptest.Server, *core.Benchmark) {
@@ -122,5 +124,135 @@ func TestHealthz(t *testing.T) {
 	srv, _ := server(t)
 	if code, _ := get(t, srv.URL+"/healthz"); code != http.StatusOK {
 		t.Errorf("healthz status %d", code)
+	}
+}
+
+// storeServer builds an app over a one-model, one-method benchmark with an
+// explicit store handle.
+func storeServer(t *testing.T, st *core.Store) (*httptest.Server, *App, *core.Benchmark) {
+	t.Helper()
+	b := core.NewBenchmark(core.Config{
+		Scale: 0.05, Small: true,
+		Models:  []string{llm.Gemma2},
+		Methods: []llm.Method{llm.MethodDKA},
+	})
+	app, err := New(b, WithStore(st))
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(app.Handler())
+	t.Cleanup(srv.Close)
+	return srv, app, b
+}
+
+func TestFactPageServesFromStore(t *testing.T) {
+	st := core.NewMemoryStore()
+	srv, _, b := storeServer(t, st)
+	f := b.Datasets[dataset.FactBench].Facts[0]
+
+	// Pre-fill the DKA cell with a marked snapshot: the page must render
+	// the stored outcome, not a recomputation.
+	outs, err := b.RunCell(context.Background(), dataset.FactBench, llm.MethodDKA, llm.Gemma2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const sentinel = "sentinel-explanation-from-store-7f3a"
+	outs[0].Explanation = sentinel
+	cell := core.Cell{Dataset: dataset.FactBench, Method: llm.MethodDKA, Model: llm.Gemma2}
+	if err := st.Put(b.CellKey(cell).Fingerprint(), outs); err != nil {
+		t.Fatal(err)
+	}
+
+	code, body := get(t, srv.URL+"/fact/"+f.ID)
+	if code != http.StatusOK {
+		t.Fatalf("status %d", code)
+	}
+	if !strings.Contains(body, sentinel) {
+		t.Error("fact page did not serve the stored outcome")
+	}
+}
+
+func TestFactPageFillsStoreOnDemand(t *testing.T) {
+	st := core.NewMemoryStore()
+	srv, app, b := storeServer(t, st)
+	f := b.Datasets[dataset.YAGO].Facts[0]
+
+	code, cold := get(t, srv.URL+"/fact/"+f.ID)
+	if code != http.StatusOK {
+		t.Fatalf("status %d", code)
+	}
+	app.WaitFills()
+	// Every (method, model) cell the page touched is now in the store.
+	if want := len(b.Config.Methods) * len(b.Config.Models); st.Len() != want {
+		t.Fatalf("store has %d cells after fill, want %d", st.Len(), want)
+	}
+	// The store-served page is byte-identical to the computed one.
+	if _, warm := get(t, srv.URL+"/fact/"+f.ID); warm != cold {
+		t.Error("store-backed response differs from computed response")
+	}
+}
+
+func TestErrorStudyMemoized(t *testing.T) {
+	_, app, _ := storeServer(t, core.NewMemoryStore())
+	s1, err := app.errorStudy(dataset.FactBench, llm.Gemma2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := app.errorStudy(dataset.FactBench, llm.Gemma2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s1 != s2 {
+		t.Error("error study recomputed instead of memoized")
+	}
+	if s1.res.Total == 0 {
+		t.Error("study found no errors on the small benchmark (suspicious)")
+	}
+}
+
+func TestErrorStudyUsesStoreSnapshot(t *testing.T) {
+	st := core.NewMemoryStore()
+	_, app, b := storeServer(t, st)
+
+	// Compute the DKA cell once, plant a sentinel explanation on one wrong
+	// prediction, and store the snapshot: the study must surface the
+	// sentinel, which only the store-backed path can produce (a
+	// recomputation would regenerate the original explanation).
+	outs, err := b.RunCell(context.Background(), dataset.FactBench, llm.MethodDKA, llm.Gemma2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const sentinel = "sentinel-reason-only-in-snapshot"
+	marked := ""
+	for i := range outs {
+		if !outs[i].Correct && outs[i].Verdict != strategy.Invalid {
+			outs[i].Explanation = sentinel
+			marked = outs[i].FactID
+			break
+		}
+	}
+	if marked == "" {
+		t.Fatal("no wrong prediction to mark on the small benchmark")
+	}
+	cell := core.Cell{Dataset: dataset.FactBench, Method: llm.MethodDKA, Model: llm.Gemma2}
+	if err := st.Put(b.CellKey(cell).Fingerprint(), outs); err != nil {
+		t.Fatal(err)
+	}
+	s, err := app.errorStudy(dataset.FactBench, llm.Gemma2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.reasons[marked] != sentinel {
+		t.Errorf("study reason for %s = %q, want the stored sentinel", marked, s.reasons[marked])
+	}
+	// Cross-check totals against a direct count over the snapshot.
+	wantErrs := 0
+	for _, o := range outs {
+		if !o.Correct && o.Verdict != strategy.Invalid {
+			wantErrs++
+		}
+	}
+	if s.res.Total != wantErrs {
+		t.Errorf("study total = %d, want %d", s.res.Total, wantErrs)
 	}
 }
