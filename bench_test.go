@@ -8,8 +8,12 @@
 package factcheck
 
 import (
+	"bytes"
 	"context"
+	"encoding/json"
 	"fmt"
+	"net/http"
+	"net/http/httptest"
 	"os"
 	"runtime"
 	"strconv"
@@ -27,6 +31,7 @@ import (
 	"factcheck/internal/rag"
 	"factcheck/internal/rules"
 	"factcheck/internal/search"
+	"factcheck/internal/serve"
 	"factcheck/internal/strategy"
 )
 
@@ -539,6 +544,115 @@ func BenchmarkGridRunCold(b *testing.B) { benchmarkGridRunStore(b, false) }
 // runs of partially warm stores fall in between, proportional to the
 // missing slice).
 func BenchmarkGridRunResumed(b *testing.B) { benchmarkGridRunStore(b, true) }
+
+// --- serving-layer benches ----------------------------------------------
+
+// serveBenchConfig keeps the service's backpressure layers out of the
+// measurement: the benches time the verdict lookup stack, not the limiter.
+func serveBenchConfig() serve.Config {
+	return serve.Config{Rate: 1e12, Burst: 1e12, QueueDepth: 64}
+}
+
+// serveVerifyOnce posts one /v1/verify request through the handler.
+func serveVerifyOnce(b *testing.B, h http.Handler, req serve.VerifyRequest) {
+	b.Helper()
+	body, err := json.Marshal(req)
+	if err != nil {
+		b.Fatal(err)
+	}
+	w := httptest.NewRecorder()
+	h.ServeHTTP(w, httptest.NewRequest("POST", "/v1/verify", bytes.NewReader(body)))
+	if w.Code != http.StatusOK {
+		b.Fatalf("verify %s: status %d: %s", req.FactID, w.Code, w.Body.String())
+	}
+}
+
+// BenchmarkServeVerify measures one POST /v1/verify at the service's three
+// temperatures, using the RAG method (whose retrieval stage dominates a
+// cold verification, as in production):
+//
+//	cold        every request is a first touch: full verification
+//	store-warm  the cell snapshot is in the result store, the LRU is empty
+//	lru-warm    the verdict is in the in-memory LRU (steady state for a
+//	            zipf-hot fact)
+//
+// The lru-warm/cold gap is the serving layer's headline number; store-warm
+// sits in between (snapshot lookup + whole-cell LRU hydration).
+func BenchmarkServeVerify(b *testing.B) {
+	cfg := core.Config{Scale: 0.05, Small: true}
+	cell := core.Cell{Dataset: dataset.FactBench, Method: llm.MethodRAG, Model: llm.Gemma2}
+	mkReq := func(factID string) serve.VerifyRequest {
+		return serve.VerifyRequest{Dataset: string(cell.Dataset), Method: string(cell.Method), Model: cell.Model, FactID: factID}
+	}
+
+	b.Run("cold", func(b *testing.B) {
+		bench := core.NewBenchmark(cfg)
+		facts := bench.Datasets[cell.Dataset].Facts
+		svc := serve.New(bench, core.NewMemoryStore(), serveBenchConfig())
+		h := svc.Handler()
+		j := 0
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if j == len(facts) {
+				// Every fact of the instance has been verified once; a
+				// fresh benchmark restores genuinely cold caches.
+				b.StopTimer()
+				svc.Drain()
+				bench = core.NewBenchmark(cfg)
+				facts = bench.Datasets[cell.Dataset].Facts
+				svc = serve.New(bench, core.NewMemoryStore(), serveBenchConfig())
+				h = svc.Handler()
+				j = 0
+				b.StartTimer()
+			}
+			serveVerifyOnce(b, h, mkReq(facts[j].ID))
+			j++
+		}
+		b.StopTimer()
+		svc.Drain()
+	})
+
+	bench := core.NewBenchmark(cfg)
+	facts := bench.Datasets[cell.Dataset].Facts
+	outs, err := bench.RunCell(context.Background(), cell.Dataset, cell.Method, cell.Model)
+	if err != nil {
+		b.Fatal(err)
+	}
+	store := core.NewMemoryStore()
+	if err := store.Put(bench.CellKey(cell).Fingerprint(), outs); err != nil {
+		b.Fatal(err)
+	}
+
+	b.Run("store-warm", func(b *testing.B) {
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			// A fresh service per iteration keeps the LRU empty, so the
+			// timed request pays the snapshot lookup plus the whole-cell
+			// LRU hydration it triggers.
+			b.StopTimer()
+			svc := serve.New(bench, store, serveBenchConfig())
+			h := svc.Handler()
+			b.StartTimer()
+			serveVerifyOnce(b, h, mkReq(facts[i%len(facts)].ID))
+			b.StopTimer()
+			svc.Drain()
+			b.StartTimer()
+		}
+	})
+
+	b.Run("lru-warm", func(b *testing.B) {
+		svc := serve.New(bench, store, serveBenchConfig())
+		defer svc.Drain()
+		h := svc.Handler()
+		for _, f := range facts {
+			serveVerifyOnce(b, h, mkReq(f.ID))
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			serveVerifyOnce(b, h, mkReq(facts[i%len(facts)].ID))
+		}
+	})
+}
 
 // BenchmarkSearchEngine measures mock-SERP query latency.
 func BenchmarkSearchEngine(b *testing.B) {

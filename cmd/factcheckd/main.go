@@ -1,0 +1,125 @@
+// Command factcheckd is the online fact-verification daemon: it serves the
+// internal/serve verdict API over one benchmark instance and one result
+// store, with graceful drain on SIGINT/SIGTERM.
+//
+// Usage:
+//
+//	factcheckd [-addr :8095] [-scale 0.1] [-small] [-par N] [-store DIR]
+//	           [-queue 64] [-workers N] [-cache 65536]
+//	           [-rate 50] [-burst 100] [-maxbatch 64] [-fill=true]
+//
+// With -store, verdicts are layered over the same content-addressed result
+// store cmd/factcheck -store writes: grid-precomputed cells are served
+// without verification, and cells the daemon computes on demand are
+// persisted back for every later consumer (the scale and world flags must
+// match the CLI run — they are part of every cell's fingerprint).
+//
+// Endpoints: POST /v1/verify, POST /v1/verify/batch,
+// GET /v1/verdict/{dataset}/{method}/{model}/{fact},
+// GET /v1/consensus/{fact}, GET /v1/facts, GET /healthz, GET /statsz.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"factcheck/internal/core"
+	"factcheck/internal/serve"
+)
+
+func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	// After the first signal starts the drain, restore default handling so
+	// a second signal kills the process immediately (e.g. mid-build, or an
+	// operator done waiting on a drain).
+	go func() { <-ctx.Done(); stop() }()
+	if err := run(ctx, os.Args[1:], os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "factcheckd:", err)
+		os.Exit(1)
+	}
+}
+
+// options are the parsed command-line options.
+type options struct {
+	addr     string
+	scale    float64
+	small    bool
+	par      int
+	storeDir string
+	cfg      serve.Config
+}
+
+// parseFlags parses and validates the command line.
+func parseFlags(args []string) (options, error) {
+	var o options
+	fs := flag.NewFlagSet("factcheckd", flag.ContinueOnError)
+	fs.StringVar(&o.addr, "addr", ":8095", "listen address")
+	fs.Float64Var(&o.scale, "scale", 0.1, "dataset scale factor (must match any shared -store)")
+	fs.BoolVar(&o.small, "small", false, "use the miniature test world")
+	fs.IntVar(&o.par, "par", 0, "benchmark parallelism (default GOMAXPROCS)")
+	fs.StringVar(&o.storeDir, "store", "", "result store directory shared with cmd/factcheck -store (default: in-memory)")
+	fs.IntVar(&o.cfg.QueueDepth, "queue", 0, "admission queue depth; further requests get 503 (default 64)")
+	fs.IntVar(&o.cfg.Workers, "workers", 0, "verification executor workers (default: benchmark parallelism)")
+	fs.IntVar(&o.cfg.CacheCapacity, "cache", 0, "verdict LRU capacity in entries (default 65536)")
+	fs.Float64Var(&o.cfg.Rate, "rate", 0, "per-client rate limit in requests/second (default 50)")
+	fs.Float64Var(&o.cfg.Burst, "burst", 0, "per-client burst capacity (default 100)")
+	fs.IntVar(&o.cfg.MaxBatch, "maxbatch", 0, "maximum /v1/verify/batch size (default 64)")
+	fill := fs.Bool("fill", true, "persist on-demand verdicts back to the store via background whole-cell fills")
+	if err := fs.Parse(args); err != nil {
+		return o, err
+	}
+	if fs.NArg() > 0 {
+		return o, fmt.Errorf("unexpected arguments: %v", fs.Args())
+	}
+	if o.scale <= 0 || o.scale > 1 {
+		return o, fmt.Errorf("-scale %g out of range (0, 1]", o.scale)
+	}
+	o.cfg.FillCells = *fill
+	return o, nil
+}
+
+// buildService wires the benchmark, store and service for the options.
+func buildService(o options, logw io.Writer) (*serve.Service, error) {
+	start := time.Now()
+	b := core.NewBenchmark(core.Config{Scale: o.scale, Small: o.small, Parallelism: o.par})
+	store, err := core.OpenStore(o.storeDir)
+	if err != nil {
+		return nil, err
+	}
+	if o.storeDir != "" {
+		fmt.Fprintf(logw, "factcheckd: store %s: %d cell snapshots loaded\n", o.storeDir, store.Len())
+	}
+	fmt.Fprintf(logw, "factcheckd: benchmark built in %.1fs (scale=%.2f, small=%v)\n",
+		time.Since(start).Seconds(), o.scale, o.small)
+	return serve.New(b, store, o.cfg), nil
+}
+
+func run(ctx context.Context, args []string, logw io.Writer) error {
+	o, err := parseFlags(args)
+	if err != nil {
+		return err
+	}
+	svc, err := buildService(o, logw)
+	if err != nil {
+		return err
+	}
+	if err := ctx.Err(); err != nil {
+		return err // interrupted during the build: don't start serving
+	}
+	srv := &http.Server{
+		Addr:              o.addr,
+		Handler:           svc.Handler(),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	// Graceful drain: stop accepting, let in-flight handlers finish, then
+	// wait out background cell fills and the executor.
+	return serve.RunServer(ctx, srv, "factcheckd", logw, svc.Drain)
+}

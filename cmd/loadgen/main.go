@@ -1,0 +1,428 @@
+// Command loadgen replays deterministic request mixes against a factcheckd
+// endpoint and reports throughput and latency percentiles — the serving
+// path's benchmark harness.
+//
+// Usage:
+//
+//	loadgen [-addr http://localhost:8095] [-mix uniform] [-n 1000] [-c 8]
+//	        [-seed 1] [-method DKA] [-models m1,m2] [-batch 16]
+//	        [-zipf 1.2] [-digest FILE]
+//
+// Mixes (all seeded, so a mix replays identically):
+//
+//	uniform  single verifies, facts drawn uniformly across all datasets
+//	zipf     single verifies, zipf-skewed over a shuffled fact list — a
+//	         hot-fact workload that exercises the verdict LRU and
+//	         singleflight coalescing
+//	batch    the same uniform draw grouped into /v1/verify/batch calls
+//
+// Every response is checked against the service's backpressure contract:
+// anything other than 200, 429 or 503 (or a malformed/failed item inside a
+// 200 batch) is a violation and makes loadgen exit nonzero. With -digest,
+// a canonical FNV-64a digest of every distinct verdict is written to FILE;
+// two fully served runs against the same store/scale must produce
+// identical digests, whatever mix of cold, store-warm and LRU-warm answers
+// served them. A run with any 429/503 rejections refuses to write the file
+// (rejected verdicts never enter the digest, which would make it depend on
+// throttling timing): run digest comparisons with the limiter headroom to
+// serve every request, as the CI gate does.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"math/rand"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"factcheck/internal/llm"
+	"factcheck/internal/serve"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "loadgen:", err)
+		os.Exit(1)
+	}
+}
+
+// target is one dataset's fact list, fetched from /v1/facts.
+type target struct {
+	dataset string
+	facts   []string
+}
+
+// job is one HTTP request: a single verify (len 1) or a batch.
+type job []serve.VerifyRequest
+
+// buildPlan expands a mix into the exact request sequence: pure function
+// of (mix, seed, targets, models, method, n, batch, zipfS), so a plan
+// replays identically across runs and machines.
+func buildPlan(mix string, seed int64, targets []target, models []string, method string, n, batchSize int, zipfS float64) ([]job, error) {
+	type pair struct{ dataset, fact string }
+	var pairs []pair
+	for _, t := range targets {
+		for _, f := range t.facts {
+			pairs = append(pairs, pair{t.dataset, f})
+		}
+	}
+	if len(pairs) == 0 {
+		return nil, fmt.Errorf("no facts to draw from")
+	}
+	if len(models) == 0 {
+		return nil, fmt.Errorf("no models to draw from")
+	}
+	rng := rand.New(rand.NewSource(seed))
+	pick := func(i int) serve.VerifyRequest {
+		var p pair
+		switch mix {
+		case "uniform", "batch":
+			p = pairs[rng.Intn(len(pairs))]
+		default: // zipf: caller pre-validated
+			p = pairs[i]
+		}
+		return serve.VerifyRequest{Dataset: p.dataset, Method: method, Model: models[rng.Intn(len(models))], FactID: p.fact}
+	}
+	var jobs []job
+	switch mix {
+	case "uniform":
+		for i := 0; i < n; i++ {
+			jobs = append(jobs, job{pick(0)})
+		}
+	case "zipf":
+		// Shuffle so the zipf head is an arbitrary (but seeded) set of hot
+		// facts, then draw ranks.
+		rng.Shuffle(len(pairs), func(i, j int) { pairs[i], pairs[j] = pairs[j], pairs[i] })
+		if zipfS <= 1 {
+			return nil, fmt.Errorf("-zipf must be > 1")
+		}
+		z := rand.NewZipf(rng, zipfS, 1, uint64(len(pairs)-1))
+		for i := 0; i < n; i++ {
+			jobs = append(jobs, job{pick(int(z.Uint64()))})
+		}
+	case "batch":
+		if batchSize < 1 {
+			return nil, fmt.Errorf("-batch must be >= 1")
+		}
+		for done := 0; done < n; {
+			size := batchSize
+			if n-done < size {
+				size = n - done
+			}
+			var b job
+			for i := 0; i < size; i++ {
+				b = append(b, pick(0))
+			}
+			jobs = append(jobs, b)
+			done += size
+		}
+	default:
+		return nil, fmt.Errorf("unknown mix %q (want uniform, zipf or batch)", mix)
+	}
+	return jobs, nil
+}
+
+// outcome is one request's observation.
+type outcome struct {
+	status    int
+	latency   time.Duration
+	sources   map[string]int
+	verdicts  map[string]string // canonical key -> canonical verdict line
+	violation string
+}
+
+// verdictKeyLine canonicalises a verdict for the digest. Source is
+// excluded on purpose: the same verdict served cold, store-warm or
+// LRU-warm must digest identically.
+func verdictKeyLine(v *serve.VerdictResponse) (string, string) {
+	key := fmt.Sprintf("%s/%s/%s/%s", v.Dataset, v.Method, v.Model, v.FactID)
+	line := fmt.Sprintf("verdict=%s gold=%v correct=%v latency_ms=%g attempts=%d pt=%d ct=%d expl=%q",
+		v.Verdict, v.Gold, v.Correct, v.LatencyMS, v.Attempts, v.PromptTokens, v.CompletionTokens, v.Explanation)
+	return key, line
+}
+
+// doJob fires one job and classifies the result.
+func doJob(client *http.Client, addr string, j job) outcome {
+	o := outcome{sources: map[string]int{}, verdicts: map[string]string{}}
+	url := addr + "/v1/verify"
+	var body any = j[0]
+	if len(j) > 1 {
+		url = addr + "/v1/verify/batch"
+		body = serve.BatchRequest{Requests: j}
+	}
+	payload, err := json.Marshal(body)
+	if err != nil {
+		o.violation = "marshal: " + err.Error()
+		return o
+	}
+	start := time.Now()
+	resp, err := client.Post(url, "application/json", strings.NewReader(string(payload)))
+	o.latency = time.Since(start)
+	if err != nil {
+		o.violation = "transport: " + err.Error()
+		return o
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		o.violation = "read: " + err.Error()
+		return o
+	}
+	o.status = resp.StatusCode
+	switch resp.StatusCode {
+	case http.StatusOK:
+	case http.StatusTooManyRequests, http.StatusServiceUnavailable:
+		if resp.Header.Get("Retry-After") == "" {
+			o.violation = fmt.Sprintf("%d without Retry-After", resp.StatusCode)
+		}
+		return o
+	default:
+		o.violation = fmt.Sprintf("unexpected status %d: %.120s", resp.StatusCode, data)
+		return o
+	}
+	record := func(v *serve.VerdictResponse) {
+		o.sources[v.Source]++
+		key, line := verdictKeyLine(v)
+		o.verdicts[key] = line
+	}
+	if len(j) == 1 {
+		var v serve.VerdictResponse
+		if err := json.Unmarshal(data, &v); err != nil {
+			o.violation = "malformed verdict: " + err.Error()
+			return o
+		}
+		record(&v)
+		return o
+	}
+	var b serve.BatchResponse
+	if err := json.Unmarshal(data, &b); err != nil {
+		o.violation = "malformed batch response: " + err.Error()
+		return o
+	}
+	if len(b.Results) != len(j) {
+		o.violation = fmt.Sprintf("batch returned %d results for %d requests", len(b.Results), len(j))
+		return o
+	}
+	for i, item := range b.Results {
+		if item.Verdict == nil {
+			o.violation = fmt.Sprintf("batch item %d failed: %s", i, item.Error)
+			return o
+		}
+		record(item.Verdict)
+	}
+	return o
+}
+
+// percentile returns the q-quantile of sorted latencies (nearest-rank).
+func percentile(sorted []time.Duration, q float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(float64(len(sorted))*q+0.5) - 1
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
+	return sorted[i]
+}
+
+// digestOf folds the canonical verdict map into an order-independent
+// FNV-64a digest.
+func digestOf(verdicts map[string]string) uint64 {
+	keys := make([]string, 0, len(verdicts))
+	for k := range verdicts {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	h := fnv.New64a()
+	for _, k := range keys {
+		fmt.Fprintf(h, "%s=%s\n", k, verdicts[k])
+	}
+	return h.Sum64()
+}
+
+// fetchTargets lists the endpoint's facts per dataset, in sorted dataset
+// order so plans are deterministic.
+func fetchTargets(client *http.Client, addr string) ([]target, error) {
+	resp, err := client.Get(addr + "/v1/facts")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("GET /v1/facts: status %d", resp.StatusCode)
+	}
+	var payload struct {
+		Datasets map[string][]string `json:"datasets"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&payload); err != nil {
+		return nil, err
+	}
+	names := make([]string, 0, len(payload.Datasets))
+	for n := range payload.Datasets {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	var ts []target
+	for _, n := range names {
+		ts = append(ts, target{dataset: n, facts: payload.Datasets[n]})
+	}
+	return ts, nil
+}
+
+func run(args []string, out io.Writer) error {
+	fs := newFlagSet()
+	if err := fs.fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.fs.NArg() > 0 {
+		return fmt.Errorf("unexpected arguments: %v", fs.fs.Args())
+	}
+	if *fs.n <= 0 || *fs.c <= 0 {
+		return fmt.Errorf("-n and -c must be positive")
+	}
+	models := strings.Split(*fs.models, ",")
+	client := &http.Client{Timeout: *fs.timeout}
+	addr := strings.TrimSuffix(*fs.addr, "/")
+	targets, err := fetchTargets(client, addr)
+	if err != nil {
+		return err
+	}
+	jobs, err := buildPlan(*fs.mix, *fs.seed, targets, models, *fs.method, *fs.n, *fs.batch, *fs.zipfS)
+	if err != nil {
+		return err
+	}
+
+	var (
+		next       atomic.Int64
+		mu         sync.Mutex
+		latencies  []time.Duration
+		statuses   = map[int]int{}
+		sources    = map[string]int{}
+		verdicts   = map[string]string{}
+		violations []string
+		wg         sync.WaitGroup
+	)
+	start := time.Now()
+	for w := 0; w < *fs.c; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(jobs) {
+					return
+				}
+				o := doJob(client, addr, jobs[i])
+				mu.Lock()
+				// Percentiles describe served verdicts only: a 429/503
+				// rejection returns in microseconds and would drag p50
+				// toward the rejection path instead of verification cost.
+				if o.status == http.StatusOK && o.violation == "" {
+					latencies = append(latencies, o.latency)
+				}
+				statuses[o.status]++
+				for s, n := range o.sources {
+					sources[s] += n
+				}
+				for k, l := range o.verdicts {
+					verdicts[k] = l
+				}
+				if o.violation != "" {
+					violations = append(violations, o.violation)
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+	digest := digestOf(verdicts)
+	fmt.Fprintf(out, "loadgen: mix=%s n=%d c=%d requests=%d elapsed=%.2fs throughput=%.1f req/s\n",
+		*fs.mix, *fs.n, *fs.c, len(jobs), elapsed.Seconds(), float64(len(jobs))/elapsed.Seconds())
+	var codes []int
+	for code := range statuses {
+		codes = append(codes, code)
+	}
+	sort.Ints(codes)
+	fmt.Fprintf(out, "status: ")
+	for _, code := range codes {
+		fmt.Fprintf(out, " %d=%d", code, statuses[code])
+	}
+	fmt.Fprintln(out)
+	fmt.Fprintf(out, "latency: p50=%s p95=%s p99=%s max=%s\n",
+		percentile(latencies, 0.50), percentile(latencies, 0.95),
+		percentile(latencies, 0.99), percentile(latencies, 1.0))
+	fmt.Fprintf(out, "sources: lru=%d store=%d computed=%d\n", sources["lru"], sources["store"], sources["computed"])
+	fmt.Fprintf(out, "digest: %016x (%d distinct verdicts)\n", digest, len(verdicts))
+	if *fs.digest != "" {
+		// A rejected request's verdict never entered the map, so the
+		// digest would depend on which requests happened to be throttled —
+		// refuse to write a timing-dependent file.
+		if rejected := statuses[http.StatusTooManyRequests] + statuses[http.StatusServiceUnavailable]; rejected > 0 {
+			return fmt.Errorf("digest requested but %d requests were rejected (429/503); "+
+				"the digest is only deterministic when every request is served — raise the "+
+				"server's -rate/-queue or lower -n/-c", rejected)
+		}
+		line := fmt.Sprintf("%016x %d\n", digest, len(verdicts))
+		if err := os.WriteFile(*fs.digest, []byte(line), 0o644); err != nil {
+			return err
+		}
+	}
+	if len(violations) > 0 {
+		max := len(violations)
+		if max > 10 {
+			max = 10
+		}
+		for _, v := range violations[:max] {
+			fmt.Fprintf(out, "violation: %s\n", v)
+		}
+		return fmt.Errorf("%d contract violations", len(violations))
+	}
+	return nil
+}
+
+// flags bundles the flag set so run stays testable.
+type flags struct {
+	fs      *flag.FlagSet
+	addr    *string
+	mix     *string
+	n, c    *int
+	seed    *int64
+	method  *string
+	models  *string
+	batch   *int
+	zipfS   *float64
+	digest  *string
+	timeout *time.Duration
+}
+
+func newFlagSet() *flags {
+	fs := flag.NewFlagSet("loadgen", flag.ContinueOnError)
+	return &flags{
+		fs:      fs,
+		addr:    fs.String("addr", "http://localhost:8095", "factcheckd base URL"),
+		mix:     fs.String("mix", "uniform", "request mix: uniform, zipf or batch"),
+		n:       fs.Int("n", 1000, "number of verify requests to issue"),
+		c:       fs.Int("c", 8, "concurrent workers"),
+		seed:    fs.Int64("seed", 1, "plan seed (same seed -> identical request sequence)"),
+		method:  fs.String("method", string(llm.MethodDKA), "verification method for every request"),
+		models:  fs.String("models", strings.Join(llm.BenchmarkModels, ","), "comma-separated models to draw from"),
+		batch:   fs.Int("batch", 16, "requests per batch call (batch mix)"),
+		zipfS:   fs.Float64("zipf", 1.2, "zipf skew exponent (zipf mix; > 1)"),
+		digest:  fs.String("digest", "", "write the verdict digest to this file"),
+		timeout: fs.Duration("timeout", 60*time.Second, "per-request HTTP timeout"),
+	}
+}

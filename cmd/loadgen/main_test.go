@@ -1,0 +1,239 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"factcheck/internal/serve"
+)
+
+func testTargets() []target {
+	return []target{
+		{dataset: "FactBench", facts: []string{"fb-1", "fb-2", "fb-3", "fb-4"}},
+		{dataset: "YAGO", facts: []string{"y-1", "y-2"}},
+	}
+}
+
+func TestBuildPlanDeterministic(t *testing.T) {
+	models := []string{"m1", "m2"}
+	for _, mix := range []string{"uniform", "zipf", "batch"} {
+		a, err := buildPlan(mix, 7, testTargets(), models, "DKA", 50, 8, 1.2)
+		if err != nil {
+			t.Fatalf("%s: %v", mix, err)
+		}
+		b, err := buildPlan(mix, 7, testTargets(), models, "DKA", 50, 8, 1.2)
+		if err != nil {
+			t.Fatalf("%s: %v", mix, err)
+		}
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("%s: same seed produced different plans", mix)
+		}
+		c, err := buildPlan(mix, 8, testTargets(), models, "DKA", 50, 8, 1.2)
+		if err != nil {
+			t.Fatalf("%s: %v", mix, err)
+		}
+		if reflect.DeepEqual(a, c) {
+			t.Fatalf("%s: different seeds produced identical plans", mix)
+		}
+	}
+}
+
+func TestBuildPlanShapes(t *testing.T) {
+	models := []string{"m1"}
+	uni, err := buildPlan("uniform", 1, testTargets(), models, "DKA", 10, 4, 1.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(uni) != 10 {
+		t.Fatalf("uniform: %d jobs, want 10", len(uni))
+	}
+	for _, j := range uni {
+		if len(j) != 1 {
+			t.Fatalf("uniform job size %d, want 1", len(j))
+		}
+	}
+	bat, err := buildPlan("batch", 1, testTargets(), models, "DKA", 10, 4, 1.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bat) != 3 || len(bat[0]) != 4 || len(bat[2]) != 2 {
+		t.Fatalf("batch shape: %d jobs (sizes %d,%d,%d), want 3 jobs of 4,4,2",
+			len(bat), len(bat[0]), len(bat[1]), len(bat[2]))
+	}
+	if _, err := buildPlan("nope", 1, testTargets(), models, "DKA", 10, 4, 1.2); err == nil {
+		t.Fatal("unknown mix accepted")
+	}
+	if _, err := buildPlan("zipf", 1, testTargets(), models, "DKA", 10, 4, 0.5); err == nil {
+		t.Fatal("zipf skew <= 1 accepted")
+	}
+}
+
+// TestZipfSkew: the zipf mix must concentrate mass on a few hot facts.
+func TestZipfSkew(t *testing.T) {
+	jobs, err := buildPlan("zipf", 3, testTargets(), []string{"m"}, "DKA", 600, 4, 1.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[string]int{}
+	for _, j := range jobs {
+		counts[j[0].FactID]++
+	}
+	max := 0
+	for _, n := range counts {
+		if n > max {
+			max = n
+		}
+	}
+	// 6 facts, 600 draws: uniform would put ~100 on each; zipf s=1.2 puts
+	// far more on the head.
+	if max < 200 {
+		t.Fatalf("hottest fact drew %d/600 requests, want zipf-skewed (>= 200)", max)
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	var ds []time.Duration
+	for i := 1; i <= 100; i++ {
+		ds = append(ds, time.Duration(i)*time.Millisecond)
+	}
+	if got := percentile(ds, 0.50); got != 50*time.Millisecond {
+		t.Fatalf("p50 = %v", got)
+	}
+	if got := percentile(ds, 0.99); got != 99*time.Millisecond {
+		t.Fatalf("p99 = %v", got)
+	}
+	if got := percentile(ds, 1.0); got != 100*time.Millisecond {
+		t.Fatalf("max = %v", got)
+	}
+	if got := percentile(nil, 0.5); got != 0 {
+		t.Fatalf("empty percentile = %v", got)
+	}
+}
+
+func TestDigestOrderIndependent(t *testing.T) {
+	a := map[string]string{"k1": "v1", "k2": "v2"}
+	b := map[string]string{"k2": "v2", "k1": "v1"}
+	if digestOf(a) != digestOf(b) {
+		t.Fatal("digest depends on map order")
+	}
+	c := map[string]string{"k1": "v1", "k2": "DIFFERENT"}
+	if digestOf(a) == digestOf(c) {
+		t.Fatal("digest ignores verdict content")
+	}
+}
+
+// fakeService is a canned factcheckd: deterministic verdicts, no benchmark
+// build, so the end-to-end driver test stays fast.
+func fakeService(t *testing.T) *httptest.Server {
+	t.Helper()
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /v1/facts", func(w http.ResponseWriter, _ *http.Request) {
+		json.NewEncoder(w).Encode(map[string]any{"datasets": map[string][]string{
+			"FactBench": {"fb-1", "fb-2"},
+		}})
+	})
+	verdict := func(req serve.VerifyRequest) serve.VerdictResponse {
+		return serve.VerdictResponse{
+			Dataset: req.Dataset, Method: req.Method, Model: req.Model, FactID: req.FactID,
+			Verdict: "true", Gold: true, Correct: true, LatencyMS: 1.5, Attempts: 1, Source: "computed",
+		}
+	}
+	mux.HandleFunc("POST /v1/verify", func(w http.ResponseWriter, r *http.Request) {
+		var req serve.VerifyRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		json.NewEncoder(w).Encode(verdict(req))
+	})
+	mux.HandleFunc("POST /v1/verify/batch", func(w http.ResponseWriter, r *http.Request) {
+		var req serve.BatchRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		resp := serve.BatchResponse{}
+		for _, item := range req.Requests {
+			v := verdict(item)
+			resp.Results = append(resp.Results, serve.BatchItem{Verdict: &v})
+		}
+		json.NewEncoder(w).Encode(resp)
+	})
+	srv := httptest.NewServer(mux)
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+// TestRunEndToEnd drives the full loadgen loop against a fake service and
+// checks the report and digest file; a second run must produce the same
+// digest.
+func TestRunEndToEnd(t *testing.T) {
+	srv := fakeService(t)
+	digestFile := filepath.Join(t.TempDir(), "digest.txt")
+	args := []string{"-addr", srv.URL, "-mix", "batch", "-n", "40", "-c", "4",
+		"-batch", "8", "-seed", "5", "-digest", digestFile}
+	var out bytes.Buffer
+	if err := run(args, &out); err != nil {
+		t.Fatalf("run: %v\n%s", err, out.String())
+	}
+	report := out.String()
+	for _, want := range []string{"mix=batch", "200=5", "p50=", "digest:"} {
+		if !strings.Contains(report, want) {
+			t.Errorf("report missing %q:\n%s", want, report)
+		}
+	}
+	first, err := os.ReadFile(digestFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := run(args, &bytes.Buffer{}); err != nil {
+		t.Fatal(err)
+	}
+	second, err := os.ReadFile(digestFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(first, second) {
+		t.Fatalf("repeated runs produced different digests: %q vs %q", first, second)
+	}
+}
+
+// TestRunFlagsValidation covers the driver's own validation.
+func TestRunFlagsValidation(t *testing.T) {
+	for _, args := range [][]string{
+		{"-n", "0"},
+		{"-c", "0"},
+		{"-nope"},
+		{"positional"},
+	} {
+		if err := run(args, &bytes.Buffer{}); err == nil {
+			t.Errorf("run(%v) succeeded, want error", args)
+		}
+	}
+}
+
+// TestRunDetectsViolation: a server answering 500 must fail the run.
+func TestRunDetectsViolation(t *testing.T) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /v1/facts", func(w http.ResponseWriter, _ *http.Request) {
+		json.NewEncoder(w).Encode(map[string]any{"datasets": map[string][]string{"FactBench": {"fb-1"}}})
+	})
+	mux.HandleFunc("POST /v1/verify", func(w http.ResponseWriter, _ *http.Request) {
+		http.Error(w, "kaboom", http.StatusInternalServerError)
+	})
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+	var out bytes.Buffer
+	err := run([]string{"-addr", srv.URL, "-n", "3", "-c", "1"}, &out)
+	if err == nil || !strings.Contains(err.Error(), "contract violations") {
+		t.Fatalf("run error = %v, want contract violations\n%s", err, out.String())
+	}
+}

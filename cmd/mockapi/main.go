@@ -18,35 +18,90 @@
 // Usage:
 //
 //	mockapi [-addr :8080] [-scale 0.25] [-small] [-warm 0]
+//
+// On SIGINT/SIGTERM the server drains gracefully: in-flight requests
+// finish before the process exits.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
-	"log"
+	"io"
 	"net/http"
+	"os"
+	"os/signal"
+	"sync"
+	"syscall"
 	"time"
 
 	"factcheck/internal/corpus"
 	"factcheck/internal/dataset"
 	"factcheck/internal/search"
+	"factcheck/internal/serve"
 	"factcheck/internal/world"
 )
 
 func main() {
-	addr := flag.String("addr", ":8080", "listen address")
-	scale := flag.Float64("scale", 0.25, "dataset scale factor (1.0 = published sizes)")
-	small := flag.Bool("small", false, "use the miniature test world")
-	warm := flag.Int("warm", 0, "eagerly index the first N facts (0 = lazy, on first query)")
-	flag.Parse()
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	// After the first signal starts the drain, restore default handling so
+	// a second signal kills the process immediately (e.g. mid-build, or an
+	// operator done waiting on a drain).
+	go func() { <-ctx.Done(); stop() }()
+	if err := run(ctx, os.Args[1:], os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "mockapi:", err)
+		os.Exit(1)
+	}
+}
 
+// options are the parsed command-line options.
+type options struct {
+	addr  string
+	scale float64
+	small bool
+	warm  int
+}
+
+// parseFlags parses and validates the command line.
+func parseFlags(args []string) (options, error) {
+	var o options
+	fs := flag.NewFlagSet("mockapi", flag.ContinueOnError)
+	fs.StringVar(&o.addr, "addr", ":8080", "listen address")
+	fs.Float64Var(&o.scale, "scale", 0.25, "dataset scale factor (1.0 = published sizes)")
+	fs.BoolVar(&o.small, "small", false, "use the miniature test world")
+	fs.IntVar(&o.warm, "warm", 0, "eagerly index the first N facts (0 = lazy, on first query)")
+	if err := fs.Parse(args); err != nil {
+		return o, err
+	}
+	if fs.NArg() > 0 {
+		return o, fmt.Errorf("unexpected arguments: %v", fs.Args())
+	}
+	if o.scale <= 0 || o.scale > 1 {
+		return o, fmt.Errorf("-scale %g out of range (0, 1]", o.scale)
+	}
+	if o.warm < 0 {
+		return o, fmt.Errorf("-warm %d must be >= 0", o.warm)
+	}
+	return o, nil
+}
+
+// buildHandler wires the world, datasets, corpus and search engine into
+// the API handler (warming the index store when asked).
+func buildHandler(o options, logw io.Writer) (http.Handler, error) {
+	// The returned handler logs from every request goroutine; serialise
+	// writes even when the caller hands us a plain buffer (run() already
+	// wraps, so don't stack a second mutex on that path).
+	if _, ok := logw.(*syncWriter); !ok {
+		logw = &syncWriter{w: logw}
+	}
 	start := time.Now()
 	cfg := world.DefaultConfig()
-	if *small {
+	if o.small {
 		cfg = world.SmallConfig()
 	}
 	w := world.New(cfg)
-	ds := dataset.Universe(w, *scale)
+	ds := dataset.Universe(w, o.scale)
 	gen := corpus.NewGenerator(w)
 	var all []*dataset.Dataset
 	for _, name := range dataset.AllNames {
@@ -55,42 +110,72 @@ func main() {
 	engine := search.NewEngine(gen, all...)
 	api := search.NewAPI(engine)
 
-	if *warm > 0 {
+	if o.warm > 0 {
 		// Warming past the store's capacity would materialise pools only to
 		// evict them again before the server takes a single query.
-		if *warm > search.MaxCachedFacts {
-			log.Printf("mockapi: clamping -warm %d to store capacity %d", *warm, search.MaxCachedFacts)
-			*warm = search.MaxCachedFacts
+		warm := o.warm
+		if warm > search.MaxCachedFacts {
+			fmt.Fprintf(logw, "mockapi: clamping -warm %d to store capacity %d\n", warm, search.MaxCachedFacts)
+			warm = search.MaxCachedFacts
 		}
 		ids := engine.FactIDs()
-		if *warm < len(ids) {
-			ids = ids[:*warm]
+		if warm < len(ids) {
+			ids = ids[:warm]
 		}
 		for _, id := range ids {
 			if err := engine.Warm(id); err != nil {
-				log.Fatal(fmt.Errorf("mockapi: warm %s: %w", id, err))
+				return nil, fmt.Errorf("warm %s: %w", id, err)
 			}
 		}
 		st := engine.Stats()
-		log.Printf("mockapi: warmed %d facts (%d docs, %d postings cached)",
+		fmt.Fprintf(logw, "mockapi: warmed %d facts (%d docs, %d postings cached)\n",
 			len(ids), st.IndexedDocs, st.Postings)
 	}
-	log.Printf("mockapi: %d facts known in %.1fs, listening on %s",
-		dataset.TotalFacts(ds), time.Since(start).Seconds(), *addr)
-	srv := &http.Server{
-		Addr:              *addr,
-		Handler:           logRequests(api.Handler()),
-		ReadHeaderTimeout: 5 * time.Second,
-	}
-	if err := srv.ListenAndServe(); err != nil {
-		log.Fatal(fmt.Errorf("mockapi: %w", err))
-	}
+	fmt.Fprintf(logw, "mockapi: %d facts known in %.1fs\n",
+		dataset.TotalFacts(ds), time.Since(start).Seconds())
+	return logRequests(logw, api.Handler()), nil
 }
 
-func logRequests(next http.Handler) http.Handler {
+func run(ctx context.Context, args []string, logw io.Writer) error {
+	o, err := parseFlags(args)
+	if err != nil {
+		return err
+	}
+	// Request goroutines, buildHandler and the server scaffold all log to
+	// logw; one writer-level mutex serialises them (the log package used
+	// to provide this via its own mutex).
+	logw = &syncWriter{w: logw}
+	h, err := buildHandler(o, logw)
+	if err != nil {
+		return err
+	}
+	if err := ctx.Err(); err != nil {
+		return err // interrupted during the build: don't start serving
+	}
+	srv := &http.Server{
+		Addr:              o.addr,
+		Handler:           h,
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	return serve.RunServer(ctx, srv, "mockapi", logw, nil)
+}
+
+func logRequests(logw io.Writer, next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		t := time.Now()
 		next.ServeHTTP(w, r)
-		log.Printf("%s %s (%.0fms)", r.Method, r.URL.Path, float64(time.Since(t).Microseconds())/1000)
+		fmt.Fprintf(logw, "%s %s (%.0fms)\n", r.Method, r.URL.Path, float64(time.Since(t).Microseconds())/1000)
 	})
+}
+
+// syncWriter serialises concurrent writes to one underlying writer.
+type syncWriter struct {
+	mu sync.Mutex
+	w  io.Writer
+}
+
+func (s *syncWriter) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.w.Write(p)
 }

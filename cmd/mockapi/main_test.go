@@ -1,0 +1,138 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func TestParseFlags(t *testing.T) {
+	o, err := parseFlags([]string{"-addr", ":9002", "-small", "-scale", "0.1", "-warm", "3"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.addr != ":9002" || !o.small || o.scale != 0.1 || o.warm != 3 {
+		t.Fatalf("parsed options = %+v", o)
+	}
+
+	for _, args := range [][]string{
+		{"-scale", "0"},
+		{"-scale", "1.5"},
+		{"-warm", "-1"},
+		{"-nope"},
+		{"positional"},
+	} {
+		if _, err := parseFlags(args); err == nil {
+			t.Errorf("parseFlags(%v) succeeded, want error", args)
+		}
+	}
+}
+
+// TestHandlerEndToEnd exercises the wired handler over real HTTP: fact
+// listing, a SERP query, a document fetch and the error paths.
+func TestHandlerEndToEnd(t *testing.T) {
+	o, err := parseFlags([]string{"-small", "-scale", "0.05", "-warm", "2"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var log bytes.Buffer
+	h, err := buildHandler(o, &log)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(h)
+	defer srv.Close()
+
+	get := func(path string) (*http.Response, []byte) {
+		t.Helper()
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		data, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp, data
+	}
+
+	resp, data := get("/healthz")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz: %d %s", resp.StatusCode, data)
+	}
+
+	var facts struct {
+		FactIDs []string `json:"fact_ids"`
+	}
+	resp, data = get("/facts")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("facts: %d", resp.StatusCode)
+	}
+	if err := json.Unmarshal(data, &facts); err != nil {
+		t.Fatal(err)
+	}
+	if len(facts.FactIDs) == 0 {
+		t.Fatal("no facts listed")
+	}
+
+	factID := facts.FactIDs[0]
+	var serp struct {
+		Results []struct {
+			DocID string `json:"doc_id"`
+		} `json:"results"`
+	}
+	resp, data = get(fmt.Sprintf("/search?fact_id=%s&q=who+founded&num=3", factID))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("search: %d %s", resp.StatusCode, data)
+	}
+	if err := json.Unmarshal(data, &serp); err != nil {
+		t.Fatal(err)
+	}
+	if len(serp.Results) == 0 {
+		t.Fatal("empty SERP")
+	}
+
+	resp, _ = get("/document?doc_id=" + serp.Results[0].DocID)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("document: %d", resp.StatusCode)
+	}
+
+	// Error paths: missing params 400, unknown fact 404, malformed doc 400.
+	if resp, _ = get("/search?q=x"); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("search without fact_id: %d, want 400", resp.StatusCode)
+	}
+	if resp, _ = get("/search?fact_id=nope-1&q=x"); resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("search unknown fact: %d, want 404", resp.StatusCode)
+	}
+	if resp, _ = get("/document?doc_id=???"); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("malformed doc id: %d, want 400", resp.StatusCode)
+	}
+
+	if !strings.Contains(log.String(), "warmed 2 facts") {
+		t.Fatalf("warm log line missing: %q", log.String())
+	}
+	if !strings.Contains(log.String(), "GET /search") {
+		t.Fatalf("request log missing: %q", log.String())
+	}
+}
+
+// TestWarmClamped: -warm beyond the store capacity is clamped, not fatal.
+func TestWarmClamped(t *testing.T) {
+	o, err := parseFlags([]string{"-small", "-scale", "0.05", "-warm", "1000000"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var log bytes.Buffer
+	if _, err := buildHandler(o, &log); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(log.String(), "clamping -warm") {
+		t.Fatalf("clamp log line missing: %q", log.String())
+	}
+}

@@ -11,50 +11,113 @@
 // store in DIR (the same directory cmd/factcheck -store writes): cells
 // precomputed by a CLI run are O(1) lookups, and cells the app computes on
 // demand are persisted back for every later request and consumer.
+//
+// On SIGINT/SIGTERM the server drains gracefully: in-flight requests
+// finish, then background cell fills complete (WaitFills) so on-demand
+// work already started still reaches the store.
 package main
 
 import (
 	"context"
 	"flag"
-	"log"
+	"fmt"
+	"io"
 	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"factcheck/internal/core"
+	"factcheck/internal/serve"
 	"factcheck/internal/webapp"
 )
 
 func main() {
-	addr := flag.String("addr", ":8090", "listen address")
-	scale := flag.Float64("scale", 0.1, "dataset scale factor")
-	small := flag.Bool("small", false, "use the miniature test world")
-	par := flag.Int("par", 0, "verification worker-pool parallelism (default GOMAXPROCS)")
-	storeDir := flag.String("store", "", "result store directory shared with cmd/factcheck -store (default: in-memory)")
-	flag.Parse()
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	// After the first signal starts the drain, restore default handling so
+	// a second signal kills the process immediately (e.g. mid-build, or an
+	// operator done waiting on a drain).
+	go func() { <-ctx.Done(); stop() }()
+	if err := run(ctx, os.Args[1:], os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "webapp:", err)
+		os.Exit(1)
+	}
+}
 
+// options are the parsed command-line options.
+type options struct {
+	addr     string
+	scale    float64
+	small    bool
+	par      int
+	storeDir string
+}
+
+// parseFlags parses and validates the command line.
+func parseFlags(args []string) (options, error) {
+	var o options
+	fs := flag.NewFlagSet("webapp", flag.ContinueOnError)
+	fs.StringVar(&o.addr, "addr", ":8090", "listen address")
+	fs.Float64Var(&o.scale, "scale", 0.1, "dataset scale factor")
+	fs.BoolVar(&o.small, "small", false, "use the miniature test world")
+	fs.IntVar(&o.par, "par", 0, "verification worker-pool parallelism (default GOMAXPROCS)")
+	fs.StringVar(&o.storeDir, "store", "", "result store directory shared with cmd/factcheck -store (default: in-memory)")
+	if err := fs.Parse(args); err != nil {
+		return o, err
+	}
+	if fs.NArg() > 0 {
+		return o, fmt.Errorf("unexpected arguments: %v", fs.Args())
+	}
+	if o.scale <= 0 || o.scale > 1 {
+		return o, fmt.Errorf("-scale %g out of range (0, 1]", o.scale)
+	}
+	return o, nil
+}
+
+// buildApp wires the benchmark and (optional) store into the web app.
+func buildApp(o options, logw io.Writer) (*webapp.App, error) {
 	start := time.Now()
-	b := core.NewBenchmark(core.Config{Scale: *scale, Small: *small, Parallelism: *par})
+	b := core.NewBenchmark(core.Config{Scale: o.scale, Small: o.small, Parallelism: o.par})
 	var opts []webapp.Option
-	if *storeDir != "" {
-		store, err := core.OpenStore(*storeDir)
+	if o.storeDir != "" {
+		store, err := core.OpenStore(o.storeDir)
 		if err != nil {
-			log.Fatal(err)
+			return nil, err
 		}
-		log.Printf("webapp: store %s: %d cell snapshots loaded", *storeDir, store.Len())
+		fmt.Fprintf(logw, "webapp: store %s: %d cell snapshots loaded\n", o.storeDir, store.Len())
 		opts = append(opts, webapp.WithStore(store))
 	}
 	app, err := webapp.New(b, opts...)
 	if err != nil {
-		log.Fatal(err)
+		return nil, err
 	}
 	if err := app.Warm(context.Background()); err != nil {
-		log.Fatal(err)
+		return nil, err
 	}
-	log.Printf("webapp: benchmark built in %.1fs, serving on http://localhost%s", time.Since(start).Seconds(), *addr)
+	fmt.Fprintf(logw, "webapp: benchmark built in %.1fs\n", time.Since(start).Seconds())
+	return app, nil
+}
+
+func run(ctx context.Context, args []string, logw io.Writer) error {
+	o, err := parseFlags(args)
+	if err != nil {
+		return err
+	}
+	app, err := buildApp(o, logw)
+	if err != nil {
+		return err
+	}
+	if err := ctx.Err(); err != nil {
+		return err // interrupted during the build: don't start serving
+	}
 	srv := &http.Server{
-		Addr:              *addr,
+		Addr:              o.addr,
 		Handler:           app.Handler(),
 		ReadHeaderTimeout: 5 * time.Second,
 	}
-	log.Fatal(srv.ListenAndServe())
+	// On drain, WaitFills lets in-flight background cell fills reach the
+	// store before the process exits.
+	return serve.RunServer(ctx, srv, "webapp", logw, app.WaitFills)
 }

@@ -1,0 +1,76 @@
+package main
+
+import (
+	"bytes"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestParseFlags(t *testing.T) {
+	o, err := parseFlags([]string{"-addr", ":9001", "-small", "-scale", "0.05", "-par", "2", "-store", "/tmp/s"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.addr != ":9001" || !o.small || o.scale != 0.05 || o.par != 2 || o.storeDir != "/tmp/s" {
+		t.Fatalf("parsed options = %+v", o)
+	}
+
+	for _, args := range [][]string{
+		{"-scale", "0"},
+		{"-scale", "-0.5"},
+		{"-scale", "2"},
+		{"-nope"},
+		{"positional"},
+	} {
+		if _, err := parseFlags(args); err == nil {
+			t.Errorf("parseFlags(%v) succeeded, want error", args)
+		}
+	}
+}
+
+func TestBuildAppBadStore(t *testing.T) {
+	// -store pointing at a regular file must fail loudly instead of
+	// silently serving without persistence.
+	file := filepath.Join(t.TempDir(), "not-a-dir")
+	if err := os.WriteFile(file, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	o, err := parseFlags([]string{"-small", "-scale", "0.05", "-store", file})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := buildApp(o, io.Discard); err == nil {
+		t.Fatal("buildApp succeeded with a file as -store, want error")
+	}
+}
+
+func TestBuildAppSmoke(t *testing.T) {
+	o, err := parseFlags([]string{"-small", "-scale", "0.05",
+		"-store", filepath.Join(t.TempDir(), "store")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var log bytes.Buffer
+	app, err := buildApp(o, &log)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer app.WaitFills()
+	h := app.Handler()
+
+	for _, path := range []string{"/healthz", "/", "/facts?dataset=FactBench"} {
+		w := httptest.NewRecorder()
+		h.ServeHTTP(w, httptest.NewRequest("GET", path, nil))
+		if w.Code != http.StatusOK {
+			t.Errorf("GET %s: status %d: %.200s", path, w.Code, w.Body.String())
+		}
+	}
+	if !strings.Contains(log.String(), "cell snapshots loaded") {
+		t.Fatalf("store log line missing: %q", log.String())
+	}
+}

@@ -102,6 +102,9 @@ type Benchmark struct {
 
 	modelsMu sync.Mutex
 	models   map[string]llm.Model
+
+	factIdxOnce sync.Once
+	factIdx     map[dataset.Name]map[string]int
 }
 
 // NewBenchmark builds all substrates for the configuration.
@@ -490,6 +493,41 @@ func (b *Benchmark) RunCell(ctx context.Context, dn dataset.Name, method llm.Met
 		return nil, err
 	}
 	return outs, nil
+}
+
+// VerifyFact verifies a single fact under one (dataset, method, model)
+// cell and returns the outcome. It is the unit of work of the online
+// serving layer: outcomes are deterministic, so the result is identical to
+// the corresponding entry of a whole-cell RunCell (or grid Run) — which is
+// what lets the service, the CLI and the webapp share one result store.
+func (b *Benchmark) VerifyFact(ctx context.Context, c Cell, f *dataset.Fact) (strategy.Outcome, error) {
+	m, err := b.Model(c.Model)
+	if err != nil {
+		return strategy.Outcome{}, err
+	}
+	v, err := b.Verifier(c.Method)
+	if err != nil {
+		return strategy.Outcome{}, err
+	}
+	return v.Verify(ctx, m, f)
+}
+
+// FactIndex maps fact IDs of one dataset to their index in the dataset's
+// fact slice — the outcome order of cell snapshots. The index is built
+// lazily once and shared; the returned map must not be mutated. Unknown
+// datasets yield nil.
+func (b *Benchmark) FactIndex(dn dataset.Name) map[string]int {
+	b.factIdxOnce.Do(func() {
+		b.factIdx = make(map[dataset.Name]map[string]int, len(b.Datasets))
+		for name, d := range b.Datasets {
+			idx := make(map[string]int, len(d.Facts))
+			for i, f := range d.Facts {
+				idx[f.ID] = i
+			}
+			b.factIdx[name] = idx
+		}
+	})
+	return b.factIdx[dn]
 }
 
 // Arbiters builds the paper's three tie-breaking configurations for a

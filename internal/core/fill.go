@@ -1,0 +1,89 @@
+package core
+
+import "sync"
+
+// CellFiller coordinates background whole-cell computations that persist
+// to a result store — the mechanism both the webapp and the serving layer
+// use to turn one on-demand verdict into a stored snapshot for every later
+// consumer. It owns the bookkeeping every such consumer needs identically:
+// fills dedupe per cell, run one at a time (a cold page or request burst
+// can't stampede many concurrent whole-cell computations), failed fills
+// are forgotten so a later request retries, and Wait drains in-flight
+// fills for shutdown and tests. The compute-and-persist step itself is the
+// caller's run function, so each consumer keeps its own execution strategy.
+type CellFiller struct {
+	run func(Cell) error
+
+	mu      sync.Mutex
+	wg      sync.WaitGroup
+	sem     chan struct{}
+	filling map[Cell]bool
+
+	closing   chan struct{}
+	closeOnce sync.Once
+}
+
+// NewCellFiller returns a filler invoking run for each admitted cell; run
+// computes the cell and persists it, returning an error to allow a retry.
+func NewCellFiller(run func(Cell) error) *CellFiller {
+	return &CellFiller{
+		run:     run,
+		sem:     make(chan struct{}, 1),
+		filling: map[Cell]bool{},
+		closing: make(chan struct{}),
+	}
+}
+
+// forget unmarks a cell so a later request can schedule it again.
+func (f *CellFiller) forget(c Cell) {
+	f.mu.Lock()
+	delete(f.filling, c)
+	f.mu.Unlock()
+}
+
+// Fill schedules a background fill of the cell: a no-op when the cell is
+// already filling (or filled — successful cells stay marked, the store
+// never evicts), queued on the one-at-a-time semaphore otherwise.
+func (f *CellFiller) Fill(c Cell) {
+	f.mu.Lock()
+	if f.filling[c] {
+		f.mu.Unlock()
+		return
+	}
+	f.filling[c] = true
+	f.wg.Add(1)
+	f.mu.Unlock()
+	go func() {
+		defer f.wg.Done()
+		select {
+		case f.sem <- struct{}{}:
+		case <-f.closing:
+			f.forget(c) // never started; a later process can retry
+			return
+		}
+		defer func() { <-f.sem }()
+		select {
+		case <-f.closing:
+			f.forget(c)
+			return
+		default:
+		}
+		if err := f.run(c); err != nil {
+			f.forget(c)
+		}
+	}()
+}
+
+// Wait blocks until every scheduled fill has finished — queued fills
+// included (tests, and consumers that want all started work persisted).
+func (f *CellFiller) Wait() { f.wg.Wait() }
+
+// Close discards fills still queued on the semaphore (they are unmarked,
+// so nothing is lost — a later request recomputes them) and waits only for
+// the fill actually in flight. This is the shutdown path: drain time is
+// bounded by one cell, not by however many cold cells a final request
+// burst touched.
+func (f *CellFiller) Close() {
+	f.closeOnce.Do(func() { close(f.closing) })
+	f.wg.Wait()
+}

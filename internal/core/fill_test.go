@@ -1,0 +1,107 @@
+package core
+
+import (
+	"fmt"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"factcheck/internal/dataset"
+	"factcheck/internal/llm"
+)
+
+func fillCell(i int) Cell {
+	return Cell{Dataset: dataset.FactBench, Method: llm.MethodDKA, Model: fmt.Sprintf("m%d", i)}
+}
+
+func TestCellFillerDedupes(t *testing.T) {
+	var runs atomic.Int32
+	f := NewCellFiller(func(Cell) error { runs.Add(1); return nil })
+	for i := 0; i < 10; i++ {
+		f.Fill(fillCell(0))
+	}
+	f.Wait()
+	if got := runs.Load(); got != 1 {
+		t.Fatalf("run called %d times for 10 Fills of one cell, want 1", got)
+	}
+	// Successful cells stay marked: no re-run.
+	f.Fill(fillCell(0))
+	f.Wait()
+	if got := runs.Load(); got != 1 {
+		t.Fatalf("run called %d times after refill of a done cell, want 1", got)
+	}
+}
+
+func TestCellFillerRetriesFailures(t *testing.T) {
+	var runs atomic.Int32
+	f := NewCellFiller(func(Cell) error {
+		if runs.Add(1) == 1 {
+			return fmt.Errorf("boom")
+		}
+		return nil
+	})
+	f.Fill(fillCell(0))
+	f.Wait()
+	f.Fill(fillCell(0)) // failed fills are forgotten, so this reschedules
+	f.Wait()
+	if got := runs.Load(); got != 2 {
+		t.Fatalf("run called %d times, want 2 (failure + retry)", got)
+	}
+}
+
+func TestCellFillerSerialises(t *testing.T) {
+	var cur, max atomic.Int32
+	f := NewCellFiller(func(Cell) error {
+		n := cur.Add(1)
+		for {
+			m := max.Load()
+			if n <= m || max.CompareAndSwap(m, n) {
+				break
+			}
+		}
+		time.Sleep(2 * time.Millisecond)
+		cur.Add(-1)
+		return nil
+	})
+	for i := 0; i < 8; i++ {
+		f.Fill(fillCell(i))
+	}
+	f.Wait()
+	if got := max.Load(); got != 1 {
+		t.Fatalf("%d fills ran concurrently, want 1", got)
+	}
+}
+
+// TestCellFillerCloseDiscardsQueued: Close finishes the in-flight fill but
+// drops the ones still waiting for the semaphore, unmarking them so a
+// later Fill retries.
+func TestCellFillerCloseDiscardsQueued(t *testing.T) {
+	started := make(chan struct{})
+	release := make(chan struct{})
+	var runs atomic.Int32
+	f := NewCellFiller(func(Cell) error {
+		runs.Add(1)
+		close(started)
+		<-release
+		return nil
+	})
+	f.Fill(fillCell(0))
+	<-started
+	for i := 1; i < 5; i++ {
+		f.Fill(fillCell(i)) // queued behind the blocked fill
+	}
+	go func() {
+		time.Sleep(10 * time.Millisecond)
+		close(release)
+	}()
+	f.Close()
+	if got := runs.Load(); got != 1 {
+		t.Fatalf("run called %d times across Close, want 1 (in-flight only)", got)
+	}
+	f.mu.Lock()
+	pending := len(f.filling)
+	f.mu.Unlock()
+	if pending != 1 {
+		t.Fatalf("%d cells still marked after Close, want 1 (the completed fill)", pending)
+	}
+}

@@ -1,0 +1,97 @@
+package sched
+
+import (
+	"context"
+	"errors"
+	"sync"
+)
+
+// ErrExecutorClosed is returned by Do after Close: the executor's workers
+// have been asked to stop and no new work is accepted.
+var ErrExecutorClosed = errors.New("sched: executor closed")
+
+// Executor is the long-running counterpart of Pool: a fixed set of workers
+// serving one task at a time from callers that block in Do. Where Pool
+// drains a batch of n indexed tasks and returns, an Executor lives for the
+// lifetime of a service and caps how much work executes concurrently no
+// matter how many callers are waiting — the online verification service
+// uses one to bound verification concurrency independently of accepted
+// connections.
+//
+// The task channel is unbuffered: a waiting Do caller *is* the queue
+// entry, so the number of queued tasks is bounded by whatever bounds the
+// callers (the service's admission queue), and the executor itself never
+// accumulates hidden backlog.
+type Executor struct {
+	tasks   chan execTask
+	closing chan struct{}
+	wg      sync.WaitGroup
+
+	closeOnce sync.Once
+}
+
+type execTask struct {
+	ctx   context.Context
+	fn    func(context.Context) error
+	reply chan error
+}
+
+// NewExecutor starts an executor with the given worker bound; values below
+// one are clamped to a single worker.
+func NewExecutor(workers int) *Executor {
+	if workers < 1 {
+		workers = 1
+	}
+	e := &Executor{
+		tasks:   make(chan execTask),
+		closing: make(chan struct{}),
+	}
+	e.wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go e.worker()
+	}
+	return e
+}
+
+func (e *Executor) worker() {
+	defer e.wg.Done()
+	for {
+		select {
+		case <-e.closing:
+			return
+		case t := <-e.tasks:
+			// A task whose caller context died while queued is not worth
+			// starting; report the cancellation instead of running it.
+			if err := t.ctx.Err(); err != nil {
+				t.reply <- err
+				continue
+			}
+			t.reply <- t.fn(t.ctx)
+		}
+	}
+}
+
+// Do runs fn on one of the executor's workers and returns its error,
+// blocking until a worker is free. If ctx is cancelled before a worker
+// picks the task up, Do returns the context error without running fn; once
+// a worker has the task, Do waits for it to finish (work is always drained,
+// never abandoned mid-flight). After Close, Do returns ErrExecutorClosed.
+func (e *Executor) Do(ctx context.Context, fn func(context.Context) error) error {
+	t := execTask{ctx: ctx, fn: fn, reply: make(chan error, 1)}
+	select {
+	case e.tasks <- t:
+		return <-t.reply
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-e.closing:
+		return ErrExecutorClosed
+	}
+}
+
+// Close stops the workers and blocks until every in-flight task has
+// finished. Do calls blocked waiting for a worker return ErrExecutorClosed;
+// tasks already picked up run to completion. Close is idempotent.
+func (e *Executor) Close() {
+	e.closeOnce.Do(func() { close(e.closing) })
+	e.wg.Wait()
+}

@@ -1,0 +1,124 @@
+package sched
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestExecutorRunsTasks(t *testing.T) {
+	e := NewExecutor(4)
+	defer e.Close()
+	var ran atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < 32; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := e.Do(context.Background(), func(context.Context) error {
+				ran.Add(1)
+				return nil
+			}); err != nil {
+				t.Error(err)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := ran.Load(); got != 32 {
+		t.Fatalf("ran %d tasks, want 32", got)
+	}
+}
+
+func TestExecutorReturnsTaskError(t *testing.T) {
+	e := NewExecutor(1)
+	defer e.Close()
+	want := errors.New("boom")
+	if err := e.Do(context.Background(), func(context.Context) error { return want }); !errors.Is(err, want) {
+		t.Fatalf("Do error = %v, want %v", err, want)
+	}
+}
+
+func TestExecutorBoundsConcurrency(t *testing.T) {
+	const workers = 3
+	e := NewExecutor(workers)
+	defer e.Close()
+	var cur, max atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < 24; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_ = e.Do(context.Background(), func(context.Context) error {
+				n := cur.Add(1)
+				for {
+					m := max.Load()
+					if n <= m || max.CompareAndSwap(m, n) {
+						break
+					}
+				}
+				time.Sleep(2 * time.Millisecond)
+				cur.Add(-1)
+				return nil
+			})
+		}()
+	}
+	wg.Wait()
+	if got := max.Load(); got > workers {
+		t.Fatalf("observed %d concurrent tasks, want <= %d", got, workers)
+	}
+}
+
+func TestExecutorCancelledBeforePickup(t *testing.T) {
+	e := NewExecutor(1)
+	defer e.Close()
+	// Occupy the single worker so the next Do has to queue.
+	block := make(chan struct{})
+	started := make(chan struct{})
+	go e.Do(context.Background(), func(context.Context) error {
+		close(started)
+		<-block
+		return nil
+	})
+	<-started
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	ran := false
+	err := e.Do(ctx, func(context.Context) error { ran = true; return nil })
+	close(block)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("Do error = %v, want context.Canceled", err)
+	}
+	if ran {
+		t.Fatal("cancelled task ran anyway")
+	}
+}
+
+func TestExecutorClose(t *testing.T) {
+	e := NewExecutor(2)
+	// In-flight work finishes before Close returns.
+	done := make(chan struct{})
+	started := make(chan struct{})
+	finished := atomic.Bool{}
+	go e.Do(context.Background(), func(context.Context) error {
+		close(started)
+		<-done
+		finished.Store(true)
+		return nil
+	})
+	<-started
+	go func() {
+		time.Sleep(5 * time.Millisecond)
+		close(done)
+	}()
+	e.Close()
+	if !finished.Load() {
+		t.Fatal("Close returned before in-flight task finished")
+	}
+	if err := e.Do(context.Background(), func(context.Context) error { return nil }); !errors.Is(err, ErrExecutorClosed) {
+		t.Fatalf("Do after Close = %v, want ErrExecutorClosed", err)
+	}
+	e.Close() // idempotent
+}

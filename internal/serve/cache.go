@@ -1,0 +1,104 @@
+package serve
+
+import (
+	"container/list"
+	"sync"
+
+	"factcheck/internal/core"
+	"factcheck/internal/det"
+	"factcheck/internal/strategy"
+)
+
+// cacheShards is the shard count of the verdict LRU. Shards spread both
+// lock contention and the capacity budget; keys hash by det.Hash64 of the
+// full (dataset, method, model, fact) coordinate, so one hot fact's
+// verdicts under different models land on different shards.
+const cacheShards = 16
+
+// verdictKey addresses one verdict: a grid cell plus a fact ID.
+type verdictKey struct {
+	cell   core.Cell
+	factID string
+}
+
+func (k verdictKey) shard() uint64 {
+	return det.Hash64(string(k.cell.Dataset), string(k.cell.Method), k.cell.Model, k.factID) % cacheShards
+}
+
+// verdictCache is a sharded in-memory LRU of single-fact verdicts, the
+// fastest layer of the service's lookup stack (LRU -> result store ->
+// verify). Whole-cell store snapshots hydrate it on first touch; verdicts
+// computed on demand are inserted directly. Each shard holds capacity/16
+// entries under its own lock.
+type verdictCache struct {
+	shards [cacheShards]cacheShard
+}
+
+type cacheShard struct {
+	mu      sync.Mutex
+	cap     int
+	entries map[verdictKey]*list.Element
+	order   *list.List // front = most recently used
+}
+
+type cacheEntry struct {
+	key verdictKey
+	out strategy.Outcome
+}
+
+func newVerdictCache(capacity int) *verdictCache {
+	per := capacity / cacheShards
+	if per < 1 {
+		per = 1
+	}
+	c := &verdictCache{}
+	for i := range c.shards {
+		c.shards[i] = cacheShard{
+			cap:     per,
+			entries: map[verdictKey]*list.Element{},
+			order:   list.New(),
+		}
+	}
+	return c
+}
+
+func (c *verdictCache) get(k verdictKey) (strategy.Outcome, bool) {
+	s := &c.shards[k.shard()]
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	el, ok := s.entries[k]
+	if !ok {
+		return strategy.Outcome{}, false
+	}
+	s.order.MoveToFront(el)
+	return el.Value.(*cacheEntry).out, true
+}
+
+func (c *verdictCache) put(k verdictKey, out strategy.Outcome) {
+	s := &c.shards[k.shard()]
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if el, ok := s.entries[k]; ok {
+		el.Value.(*cacheEntry).out = out
+		s.order.MoveToFront(el)
+		return
+	}
+	s.entries[k] = s.order.PushFront(&cacheEntry{key: k, out: out})
+	if s.order.Len() > s.cap {
+		oldest := s.order.Back()
+		s.order.Remove(oldest)
+		delete(s.entries, oldest.Value.(*cacheEntry).key)
+	}
+}
+
+// len reports the total number of cached verdicts across shards.
+func (c *verdictCache) len() int {
+	n := 0
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		n += s.order.Len()
+		s.mu.Unlock()
+	}
+	return n
+}

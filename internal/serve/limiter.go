@@ -1,0 +1,105 @@
+package serve
+
+import (
+	"math"
+	"sync"
+	"time"
+)
+
+// maxClients bounds the limiter's per-client state table. At the bound,
+// buckets idle long enough to be fully refilled are dropped first — they
+// are indistinguishable from fresh ones, so forgetting them never grants
+// extra tokens — and if every bucket is still active (an attacker rotating
+// client IDs), an arbitrary one is evicted: staying bounded is worth the
+// at-most-one-burst an evicted client regains, since a rotating attacker
+// was minting fresh full-burst buckets anyway.
+const maxClients = 4096
+
+// pruneInterval rate-limits the O(clients) idle sweep so a client-ID churn
+// attack cannot make every insertion pay a full-map scan under the mutex.
+const pruneInterval = time.Second
+
+// limiter is a per-client token-bucket rate limiter. Each client owns a
+// bucket of capacity burst refilled at rate tokens per second; a request
+// consumes one token or is rejected with the delay after which it would
+// have succeeded (the 429 Retry-After hint).
+type limiter struct {
+	rate  float64 // tokens per second
+	burst float64 // bucket capacity
+	now   func() time.Time
+
+	mu        sync.Mutex
+	buckets   map[string]*bucket
+	lastPrune time.Time
+}
+
+type bucket struct {
+	tokens float64
+	last   time.Time
+}
+
+func newLimiter(rate, burst float64, now func() time.Time) *limiter {
+	return &limiter{rate: rate, burst: burst, now: now, buckets: map[string]*bucket{}}
+}
+
+// allow consumes one token from the client's bucket. On rejection it
+// returns the wait until the token would be available.
+func (l *limiter) allow(client string) (ok bool, retryAfter time.Duration) {
+	return l.allowN(client, 1)
+}
+
+// allowN consumes n tokens atomically (all or none) — the unit charged is
+// one *verification*, so a batch of k facts or a k-model consensus costs k
+// tokens, not one request. On rejection it returns the wait until n tokens
+// would be available.
+func (l *limiter) allowN(client string, n float64) (ok bool, retryAfter time.Duration) {
+	now := l.now()
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	b := l.buckets[client]
+	if b == nil {
+		if len(l.buckets) >= maxClients {
+			if now.Sub(l.lastPrune) >= pruneInterval {
+				l.prune(now)
+				l.lastPrune = now
+			}
+			// Still full after (or without) pruning: evict an arbitrary
+			// bucket so the table never exceeds its bound.
+			for len(l.buckets) >= maxClients {
+				for c := range l.buckets {
+					delete(l.buckets, c)
+					break
+				}
+			}
+		}
+		b = &bucket{tokens: l.burst, last: now}
+		l.buckets[client] = b
+	} else {
+		b.tokens = math.Min(l.burst, b.tokens+now.Sub(b.last).Seconds()*l.rate)
+		b.last = now
+	}
+	if b.tokens >= n {
+		b.tokens -= n
+		return true, 0
+	}
+	wait := time.Duration((n - b.tokens) / l.rate * float64(time.Second))
+	return false, wait
+}
+
+// prune drops buckets that have been idle long enough to refill completely;
+// must be called with mu held.
+func (l *limiter) prune(now time.Time) {
+	full := time.Duration(l.burst / l.rate * float64(time.Second))
+	for c, b := range l.buckets {
+		if now.Sub(b.last) >= full {
+			delete(l.buckets, c)
+		}
+	}
+}
+
+// clients reports the number of tracked client buckets.
+func (l *limiter) clients() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.buckets)
+}

@@ -1,0 +1,43 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+)
+
+// drainTimeout bounds how long a graceful shutdown waits for in-flight
+// requests before cutting them off.
+const drainTimeout = 15 * time.Second
+
+// RunServer is the shared serve-until-signalled scaffold of the repo's
+// daemons (factcheckd, webapp, mockapi): it runs srv until ctx is
+// cancelled, then drains gracefully — stop accepting, finish in-flight
+// requests (up to drainTimeout), run the app-specific drain hook (nil for
+// none), and log the outcome. The log reports "drain cut off" instead of
+// "drained" when the timeout expired with requests still in flight.
+func RunServer(ctx context.Context, srv *http.Server, name string, logw io.Writer, drain func()) error {
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	fmt.Fprintf(logw, "%s: serving on %s\n", name, srv.Addr)
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	fmt.Fprintf(logw, "%s: draining...\n", name)
+	shCtx, cancel := context.WithTimeout(context.Background(), drainTimeout)
+	defer cancel()
+	err := srv.Shutdown(shCtx)
+	if drain != nil {
+		drain()
+	}
+	if err != nil {
+		fmt.Fprintf(logw, "%s: drain cut off: %v\n", name, err)
+		return err
+	}
+	fmt.Fprintf(logw, "%s: drained\n", name)
+	return nil
+}

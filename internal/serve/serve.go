@@ -1,0 +1,749 @@
+// Package serve is the online fact-verification service: the serving layer
+// that turns the offline benchmark substrate into a request/response API
+// able to answer ad-hoc "is this fact true?" queries without running a
+// whole grid.
+//
+// A request passes through five layers, in order:
+//
+//  1. a per-client token-bucket rate limiter (429 + Retry-After);
+//  2. a bounded admission queue — when every slot is taken the request is
+//     rejected immediately with 503 + Retry-After instead of queueing
+//     unboundedly (accepted requests, not goroutines, are the queue);
+//  3. singleflight coalescing: N concurrent requests for the same
+//     (dataset, method, model, fact) trigger exactly one verification and
+//     share its outcome;
+//  4. a sharded in-memory verdict LRU layered over the content-addressed
+//     result store (internal/results): whole-cell snapshots hydrate the
+//     LRU on first touch, and on-demand verdicts are persisted back via
+//     asynchronous whole-cell fills, so the CLI, the webapp and the
+//     service all share one store;
+//  5. execution on a shared sched.Executor, capping verification
+//     concurrency independently of how many connections were accepted.
+//
+// Every verdict is deterministic, so a response is byte-identical whether
+// it came from the LRU, a store snapshot or a fresh verification — the
+// cache layers are invisible except in latency.
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"net"
+	"net/http"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"factcheck/internal/consensus"
+	"factcheck/internal/core"
+	"factcheck/internal/dataset"
+	"factcheck/internal/llm"
+	"factcheck/internal/sched"
+	"factcheck/internal/strategy"
+)
+
+// Config parameterises the service. The zero value is filled with the
+// defaults documented on each field.
+type Config struct {
+	// QueueDepth bounds how many requests may be admitted (queued or
+	// executing) at once; further requests get 503 + Retry-After.
+	// Default 64.
+	QueueDepth int
+	// Workers caps concurrent verifications on the shared executor,
+	// independently of QueueDepth. Default: the benchmark's Parallelism.
+	Workers int
+	// CacheCapacity bounds the verdict LRU (entries across all shards).
+	// Default 65536.
+	CacheCapacity int
+	// Rate and Burst configure the per-client token bucket (tokens per
+	// second / bucket capacity). Defaults 50 and 100.
+	Rate  float64
+	Burst float64
+	// RetryAfter is the hint returned with 503 responses. Default 1s.
+	RetryAfter time.Duration
+	// FillCells enables asynchronous whole-cell fills after an on-demand
+	// verification, persisting the cell to the store for every later
+	// consumer. Fills are deduplicated per cell and run one cell at a
+	// time on the shared executor.
+	FillCells bool
+	// MaxBatch bounds /v1/verify/batch request size. Default 64.
+	MaxBatch int
+}
+
+// DefaultConfig returns the production defaults (with FillCells on).
+func DefaultConfig() Config {
+	return Config{FillCells: true}
+}
+
+func (c *Config) fill(bench *core.Benchmark) {
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 64
+	}
+	if c.Workers <= 0 {
+		c.Workers = bench.Config.Parallelism
+	}
+	if c.CacheCapacity <= 0 {
+		c.CacheCapacity = 1 << 16
+	}
+	if c.Rate <= 0 {
+		c.Rate = 50
+	}
+	if c.Burst <= 0 {
+		c.Burst = 100
+	}
+	if c.RetryAfter <= 0 {
+		c.RetryAfter = time.Second
+	}
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = 64
+	}
+}
+
+// Service answers online verification requests over one benchmark instance
+// and one result store.
+type Service struct {
+	bench *core.Benchmark
+	store *core.Store
+	cfg   Config
+
+	cache   *verdictCache
+	limiter *limiter
+	exec    *sched.Executor
+	admit   chan struct{}
+
+	// verify is the single-fact verification function; tests stub it to
+	// count calls. Defaults to the benchmark's VerifyFact.
+	verify func(context.Context, core.Cell, *dataset.Fact) (strategy.Outcome, error)
+
+	// flight dedupes concurrent resolutions of the same verdict key.
+	flightMu sync.Mutex
+	flight   map[verdictKey]*call
+
+	// filler dedupes and serialises background whole-cell fills; Drain
+	// waits them out.
+	filler *core.CellFiller
+
+	stats serviceStats
+}
+
+// call is one in-flight verdict resolution; followers block on done and
+// share the leader's result.
+type call struct {
+	done chan struct{}
+	out  strategy.Outcome
+	src  string
+	err  error
+}
+
+type serviceStats struct {
+	requests      atomic.Uint64
+	rateLimited   atomic.Uint64
+	queueRejected atomic.Uint64
+	lruHits       atomic.Uint64
+	storeHits     atomic.Uint64
+	computed      atomic.Uint64
+	coalesced     atomic.Uint64
+	fills         atomic.Uint64
+}
+
+// New builds a service over a benchmark and a result store (use
+// core.NewMemoryStore for a cache-only service).
+func New(bench *core.Benchmark, store *core.Store, cfg Config) *Service {
+	cfg.fill(bench)
+	s := &Service{
+		bench:   bench,
+		store:   store,
+		cfg:     cfg,
+		cache:   newVerdictCache(cfg.CacheCapacity),
+		limiter: newLimiter(cfg.Rate, cfg.Burst, time.Now),
+		exec:    sched.NewExecutor(cfg.Workers),
+		admit:   make(chan struct{}, cfg.QueueDepth),
+		flight:  map[verdictKey]*call{},
+	}
+	s.verify = bench.VerifyFact
+	s.filler = core.NewCellFiller(s.fillCell)
+	return s
+}
+
+// Drain completes graceful shutdown: background cell fills still queued
+// are discarded (a later process recomputes them), the fill in flight
+// finishes and persists, then the executor stops (letting started
+// verifications finish). Drain time is therefore bounded by one cell, not
+// by however many cold cells the final request burst touched. Call after
+// http.Server.Shutdown has drained the handlers.
+func (s *Service) Drain() {
+	s.filler.Close()
+	s.exec.Close()
+}
+
+// --- verdict resolution --------------------------------------------------
+
+// verdict resolves one (cell, fact) verdict through the lookup stack:
+// LRU, singleflight, store snapshot (hydrating the LRU), executor-bounded
+// verification. The source tells which layer answered: "lru", "store" or
+// "computed" (followers of a coalesced call inherit the leader's source).
+func (s *Service) verdict(ctx context.Context, cell core.Cell, f *dataset.Fact, idx int) (strategy.Outcome, string, error) {
+	key := verdictKey{cell: cell, factID: f.ID}
+	for {
+		if out, ok := s.cache.get(key); ok {
+			s.stats.lruHits.Add(1)
+			return out, "lru", nil
+		}
+		s.flightMu.Lock()
+		if c, ok := s.flight[key]; ok {
+			s.flightMu.Unlock()
+			s.stats.coalesced.Add(1)
+			select {
+			case <-c.done:
+				// A leader whose own client disconnected reports a context
+				// error that says nothing about this follower's request: a
+				// follower with a live context retries (one of them becomes
+				// the new leader) instead of inheriting the 500.
+				if c.err != nil && ctx.Err() == nil &&
+					(errors.Is(c.err, context.Canceled) || errors.Is(c.err, context.DeadlineExceeded)) {
+					continue
+				}
+				return c.out, c.src, c.err
+			case <-ctx.Done():
+				return strategy.Outcome{}, "", ctx.Err()
+			}
+		}
+		c := &call{done: make(chan struct{})}
+		s.flight[key] = c
+		s.flightMu.Unlock()
+
+		c.out, c.src, c.err = s.resolve(ctx, key, cell, f, idx)
+		s.flightMu.Lock()
+		delete(s.flight, key)
+		s.flightMu.Unlock()
+		close(c.done)
+		return c.out, c.src, c.err
+	}
+}
+
+// resolve is the singleflight leader's path: store probe, then verify.
+func (s *Service) resolve(ctx context.Context, key verdictKey, cell core.Cell, f *dataset.Fact, idx int) (strategy.Outcome, string, error) {
+	fp := s.bench.CellKey(cell).Fingerprint()
+	if outs, ok := s.store.Get(fp); ok && idx < len(outs) {
+		s.stats.storeHits.Add(1)
+		s.hydrateCell(cell, outs)
+		return outs[idx], "store", nil
+	}
+	var out strategy.Outcome
+	err := s.exec.Do(ctx, func(ctx context.Context) error {
+		var err error
+		out, err = s.verify(ctx, cell, f)
+		return err
+	})
+	if err != nil {
+		return strategy.Outcome{}, "", err
+	}
+	s.stats.computed.Add(1)
+	s.cache.put(key, out)
+	if s.cfg.FillCells {
+		s.filler.Fill(cell)
+	}
+	return out, "computed", nil
+}
+
+// hydrateCell loads a whole-cell snapshot into the verdict LRU, so every
+// fact of a touched cell becomes an LRU hit.
+func (s *Service) hydrateCell(cell core.Cell, outs []strategy.Outcome) {
+	facts := s.bench.Datasets[cell.Dataset].Facts
+	for i, out := range outs {
+		if i >= len(facts) {
+			break
+		}
+		s.cache.put(verdictKey{cell: cell, factID: facts[i].ID}, out)
+	}
+}
+
+// fillCell verifies the rest of a cell and persists the snapshot, so one
+// ad-hoc verdict warms the store for every later consumer (service, CLI,
+// webapp). It runs under the shared core.CellFiller (deduped per cell, one
+// at a time, failures forgotten for retry) and bounds its verification on
+// the shared executor — a fill never multiplies service-wide verification
+// concurrency.
+func (s *Service) fillCell(cell core.Cell) error {
+	d := s.bench.Datasets[cell.Dataset]
+	outs := make([]strategy.Outcome, len(d.Facts))
+	for i, f := range d.Facts {
+		// Verdicts already cached are identical to recomputed ones
+		// (determinism), so reuse them instead of re-verifying.
+		if out, ok := s.cache.get(verdictKey{cell: cell, factID: f.ID}); ok {
+			outs[i] = out
+			continue
+		}
+		var out strategy.Outcome
+		err := s.exec.Do(context.Background(), func(ctx context.Context) error {
+			var err error
+			out, err = s.verify(ctx, cell, f)
+			return err
+		})
+		if err != nil {
+			return err
+		}
+		outs[i] = out
+	}
+	if err := s.store.Put(s.bench.CellKey(cell).Fingerprint(), outs); err != nil {
+		return err
+	}
+	s.hydrateCell(cell, outs)
+	s.stats.fills.Add(1)
+	return nil
+}
+
+// --- HTTP API ------------------------------------------------------------
+
+// VerifyRequest asks for one verdict.
+type VerifyRequest struct {
+	Dataset string `json:"dataset"`
+	Method  string `json:"method"`
+	Model   string `json:"model"`
+	FactID  string `json:"fact_id"`
+}
+
+// VerdictResponse is one verdict. All fields except Source derive solely
+// from the deterministic outcome, so repeated requests are byte-identical
+// regardless of which layer answered.
+type VerdictResponse struct {
+	Dataset          string  `json:"dataset"`
+	Method           string  `json:"method"`
+	Model            string  `json:"model"`
+	FactID           string  `json:"fact_id"`
+	Verdict          string  `json:"verdict"`
+	Gold             bool    `json:"gold"`
+	Correct          bool    `json:"correct"`
+	LatencyMS        float64 `json:"latency_ms"`
+	Attempts         int     `json:"attempts"`
+	PromptTokens     int     `json:"prompt_tokens"`
+	CompletionTokens int     `json:"completion_tokens"`
+	Explanation      string  `json:"explanation"`
+	// Source is the layer that answered: "lru", "store" or "computed".
+	Source string `json:"source"`
+}
+
+// BatchRequest asks for several verdicts in one round trip.
+type BatchRequest struct {
+	Requests []VerifyRequest `json:"requests"`
+}
+
+// BatchItem is one batch result: a verdict or a per-item error.
+type BatchItem struct {
+	Verdict *VerdictResponse `json:"verdict,omitempty"`
+	Error   string           `json:"error,omitempty"`
+}
+
+// BatchResponse mirrors BatchRequest order.
+type BatchResponse struct {
+	Results []BatchItem `json:"results"`
+}
+
+// VoteItem is one model's vote in a consensus response.
+type VoteItem struct {
+	Model   string `json:"model"`
+	Verdict string `json:"verdict"`
+}
+
+// ConsensusResponse is the DKA majority vote over the open-source models.
+type ConsensusResponse struct {
+	FactID  string     `json:"fact_id"`
+	Dataset string     `json:"dataset"`
+	Method  string     `json:"method"`
+	Votes   []VoteItem `json:"votes"`
+	Final   bool       `json:"final"`
+	Tie     bool       `json:"tie"`
+	Gold    bool       `json:"gold"`
+}
+
+// Stats is the /statsz payload.
+type Stats struct {
+	Requests      uint64 `json:"requests"`
+	RateLimited   uint64 `json:"rate_limited"`
+	QueueRejected uint64 `json:"queue_rejected"`
+	LRUHits       uint64 `json:"lru_hits"`
+	StoreHits     uint64 `json:"store_hits"`
+	Computed      uint64 `json:"computed"`
+	Coalesced     uint64 `json:"coalesced"`
+	CellFills     uint64 `json:"cell_fills"`
+	CacheLen      int    `json:"cache_len"`
+	CacheCapacity int    `json:"cache_capacity"`
+	QueueDepth    int    `json:"queue_depth"`
+	QueueCap      int    `json:"queue_cap"`
+	StoreCells    int    `json:"store_cells"`
+	Clients       int    `json:"clients"`
+}
+
+// Stats snapshots the service counters.
+func (s *Service) Stats() Stats {
+	return Stats{
+		Requests:      s.stats.requests.Load(),
+		RateLimited:   s.stats.rateLimited.Load(),
+		QueueRejected: s.stats.queueRejected.Load(),
+		LRUHits:       s.stats.lruHits.Load(),
+		StoreHits:     s.stats.storeHits.Load(),
+		Computed:      s.stats.computed.Load(),
+		Coalesced:     s.stats.coalesced.Load(),
+		CellFills:     s.stats.fills.Load(),
+		CacheLen:      s.cache.len(),
+		CacheCapacity: s.cfg.CacheCapacity,
+		QueueDepth:    len(s.admit),
+		QueueCap:      cap(s.admit),
+		StoreCells:    s.store.Len(),
+		Clients:       s.limiter.clients(),
+	}
+}
+
+// Handler returns the service's HTTP handler:
+//
+//	POST /v1/verify                                    -> VerdictResponse
+//	POST /v1/verify/batch                              -> BatchResponse
+//	GET  /v1/verdict/{dataset}/{method}/{model}/{fact} -> VerdictResponse (no compute; 404 when absent)
+//	GET  /v1/consensus/{fact}                          -> ConsensusResponse
+//	GET  /v1/facts                                     -> fact IDs per dataset
+//	GET  /healthz, GET /statsz
+//
+// Verification endpoints sit behind the rate limiter and admission queue;
+// health, stats and fact listing bypass both.
+func (s *Service) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/verify", s.admitted(s.handleVerify))
+	mux.HandleFunc("POST /v1/verify/batch", s.admitted(s.handleBatch))
+	mux.HandleFunc("GET /v1/verdict/{dataset}/{method}/{model}/{fact}", s.admitted(s.handleVerdict))
+	mux.HandleFunc("GET /v1/consensus/{fact}", s.admitted(s.handleConsensus))
+	mux.HandleFunc("GET /v1/facts", s.handleFacts)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+	mux.HandleFunc("GET /statsz", func(w http.ResponseWriter, _ *http.Request) {
+		writeJSON(w, http.StatusOK, s.Stats())
+	})
+	return mux
+}
+
+// clientID keys the rate limiter: an explicit X-Client-ID header when the
+// caller provides one, else the connection's source address.
+func clientID(r *http.Request) string {
+	if id := r.Header.Get("X-Client-ID"); id != "" {
+		return id
+	}
+	host, _, err := net.SplitHostPort(r.RemoteAddr)
+	if err != nil {
+		return r.RemoteAddr
+	}
+	return host
+}
+
+func retrySeconds(d time.Duration) int {
+	sec := int(math.Ceil(d.Seconds()))
+	if sec < 1 {
+		sec = 1
+	}
+	return sec
+}
+
+// admitted wraps a handler with the rate limiter (429) and the bounded
+// admission queue (503): the two backpressure layers every verification
+// endpoint sits behind. An admitted request holds its queue slot until the
+// handler returns, so QueueDepth bounds queued-plus-executing requests and
+// nothing ever waits unboundedly.
+func (s *Service) admitted(next http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		s.stats.requests.Add(1)
+		if ok, wait := s.limiter.allow(clientID(r)); !ok {
+			s.stats.rateLimited.Add(1)
+			w.Header().Set("Retry-After", strconv.Itoa(retrySeconds(wait)))
+			httpError(w, http.StatusTooManyRequests, "rate limit exceeded")
+			return
+		}
+		select {
+		case s.admit <- struct{}{}:
+			defer func() { <-s.admit }()
+		default:
+			s.stats.queueRejected.Add(1)
+			w.Header().Set("Retry-After", strconv.Itoa(retrySeconds(s.cfg.RetryAfter)))
+			httpError(w, http.StatusServiceUnavailable, "admission queue full")
+			return
+		}
+		next(w, r)
+	}
+}
+
+// apiError pairs a message with its HTTP status.
+type apiError struct {
+	status int
+	msg    string
+}
+
+func (e *apiError) Error() string { return e.msg }
+
+// parseTarget validates the request coordinates and resolves the fact.
+func (s *Service) parseTarget(req VerifyRequest) (core.Cell, *dataset.Fact, int, *apiError) {
+	dn := dataset.Name(req.Dataset)
+	d, ok := s.bench.Datasets[dn]
+	if !ok {
+		return core.Cell{}, nil, 0, &apiError{http.StatusNotFound, "unknown dataset " + req.Dataset}
+	}
+	method := llm.Method(req.Method)
+	okMethod := false
+	for _, m := range s.bench.Config.Methods {
+		if m == method {
+			okMethod = true
+			break
+		}
+	}
+	if !okMethod {
+		return core.Cell{}, nil, 0, &apiError{http.StatusBadRequest, "unknown method " + req.Method}
+	}
+	okModel := false
+	for _, m := range s.bench.Config.Models {
+		if m == req.Model {
+			okModel = true
+			break
+		}
+	}
+	if !okModel {
+		return core.Cell{}, nil, 0, &apiError{http.StatusNotFound, "unknown model " + req.Model}
+	}
+	idx, ok := s.bench.FactIndex(dn)[req.FactID]
+	if !ok {
+		return core.Cell{}, nil, 0, &apiError{http.StatusNotFound,
+			fmt.Sprintf("unknown fact %s in dataset %s", req.FactID, req.Dataset)}
+	}
+	return core.Cell{Dataset: dn, Method: method, Model: req.Model}, d.Facts[idx], idx, nil
+}
+
+func verdictResponse(cell core.Cell, out strategy.Outcome, source string) *VerdictResponse {
+	return &VerdictResponse{
+		Dataset:          string(cell.Dataset),
+		Method:           string(cell.Method),
+		Model:            cell.Model,
+		FactID:           out.FactID,
+		Verdict:          out.Verdict.String(),
+		Gold:             out.Gold,
+		Correct:          out.Correct,
+		LatencyMS:        float64(out.Latency) / float64(time.Millisecond),
+		Attempts:         out.Attempts,
+		PromptTokens:     out.PromptTokens,
+		CompletionTokens: out.CompletionTokens,
+		Explanation:      out.Explanation,
+		Source:           source,
+	}
+}
+
+// maxBodyBytes caps request bodies: the backpressure contract bounds
+// memory end to end, so the decoder must not materialise an arbitrarily
+// large body before validation runs. 1 MiB fits any legal batch with room
+// to spare.
+const maxBodyBytes = 1 << 20
+
+// decodeBody decodes a JSON request body under maxBodyBytes, mapping an
+// oversized body to 413 and malformed JSON to 400.
+func decodeBody(w http.ResponseWriter, r *http.Request, v any) *apiError {
+	r.Body = http.MaxBytesReader(w, r.Body, maxBodyBytes)
+	if err := json.NewDecoder(r.Body).Decode(v); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			return &apiError{http.StatusRequestEntityTooLarge,
+				fmt.Sprintf("request body exceeds %d bytes", tooBig.Limit)}
+		}
+		return &apiError{http.StatusBadRequest, "malformed request body: " + err.Error()}
+	}
+	return nil
+}
+
+func (s *Service) handleVerify(w http.ResponseWriter, r *http.Request) {
+	var req VerifyRequest
+	if aerr := decodeBody(w, r, &req); aerr != nil {
+		httpError(w, aerr.status, aerr.msg)
+		return
+	}
+	resp, aerr := s.resolveOne(r.Context(), req)
+	if aerr != nil {
+		httpError(w, aerr.status, aerr.msg)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// resolveOne runs one VerifyRequest through validation and the verdict
+// stack, mapping failures to API errors.
+func (s *Service) resolveOne(ctx context.Context, req VerifyRequest) (*VerdictResponse, *apiError) {
+	cell, f, idx, aerr := s.parseTarget(req)
+	if aerr != nil {
+		return nil, aerr
+	}
+	out, source, err := s.verdict(ctx, cell, f, idx)
+	if err != nil {
+		return nil, &apiError{http.StatusInternalServerError, err.Error()}
+	}
+	return verdictResponse(cell, out, source), nil
+}
+
+func (s *Service) handleBatch(w http.ResponseWriter, r *http.Request) {
+	var req BatchRequest
+	if aerr := decodeBody(w, r, &req); aerr != nil {
+		httpError(w, aerr.status, aerr.msg)
+		return
+	}
+	if len(req.Requests) == 0 {
+		httpError(w, http.StatusBadRequest, "empty batch")
+		return
+	}
+	if len(req.Requests) > s.cfg.MaxBatch {
+		httpError(w, http.StatusBadRequest,
+			fmt.Sprintf("batch of %d exceeds limit %d", len(req.Requests), s.cfg.MaxBatch))
+		return
+	}
+	// The admission middleware charged one token; a batch is one request
+	// but len verifications, so charge the remainder — otherwise batching
+	// would multiply a client's effective rate by MaxBatch.
+	if extra := len(req.Requests) - 1; extra > 0 {
+		if float64(len(req.Requests)) > s.cfg.Burst {
+			httpError(w, http.StatusBadRequest,
+				fmt.Sprintf("batch of %d exceeds the per-client burst capacity %g", len(req.Requests), s.cfg.Burst))
+			return
+		}
+		if ok, wait := s.limiter.allowN(clientID(r), float64(extra)); !ok {
+			s.stats.rateLimited.Add(1)
+			w.Header().Set("Retry-After", strconv.Itoa(retrySeconds(wait)))
+			httpError(w, http.StatusTooManyRequests, "rate limit exceeded")
+			return
+		}
+	}
+	// Items fan out concurrently — the executor already caps how many
+	// verifications actually run at once, so a cold batch costs ~(k /
+	// workers) verification latencies instead of k serial ones. Writes
+	// are index-addressed, so result order mirrors request order.
+	resp := BatchResponse{Results: make([]BatchItem, len(req.Requests))}
+	var wg sync.WaitGroup
+	for i, item := range req.Requests {
+		wg.Add(1)
+		go func(i int, item VerifyRequest) {
+			defer wg.Done()
+			v, aerr := s.resolveOne(r.Context(), item)
+			if aerr != nil {
+				resp.Results[i] = BatchItem{Error: aerr.msg}
+				return
+			}
+			resp.Results[i] = BatchItem{Verdict: v}
+		}(i, item)
+	}
+	wg.Wait()
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleVerdict is the read-only lookup: it answers from the LRU or a
+// store snapshot and never verifies — a miss is 404 (POST /v1/verify to
+// compute).
+func (s *Service) handleVerdict(w http.ResponseWriter, r *http.Request) {
+	req := VerifyRequest{
+		Dataset: r.PathValue("dataset"),
+		Method:  r.PathValue("method"),
+		Model:   r.PathValue("model"),
+		FactID:  r.PathValue("fact"),
+	}
+	cell, f, idx, aerr := s.parseTarget(req)
+	if aerr != nil {
+		httpError(w, aerr.status, aerr.msg)
+		return
+	}
+	key := verdictKey{cell: cell, factID: f.ID}
+	if out, ok := s.cache.get(key); ok {
+		s.stats.lruHits.Add(1)
+		writeJSON(w, http.StatusOK, verdictResponse(cell, out, "lru"))
+		return
+	}
+	if outs, ok := s.store.Get(s.bench.CellKey(cell).Fingerprint()); ok && idx < len(outs) {
+		s.stats.storeHits.Add(1)
+		s.hydrateCell(cell, outs)
+		writeJSON(w, http.StatusOK, verdictResponse(cell, outs[idx], "store"))
+		return
+	}
+	httpError(w, http.StatusNotFound, "verdict not computed; POST /v1/verify to compute it")
+}
+
+// handleConsensus answers the DKA majority vote of the open-source models
+// (the paper's §3.3 consensus without arbitration; ties are reported).
+func (s *Service) handleConsensus(w http.ResponseWriter, r *http.Request) {
+	factID := r.PathValue("fact")
+	f, ok := s.bench.FactByID(factID)
+	if !ok {
+		httpError(w, http.StatusNotFound, "unknown fact "+factID)
+		return
+	}
+	idx, ok := s.bench.FactIndex(f.Dataset)[factID]
+	if !ok {
+		httpError(w, http.StatusNotFound, "unknown fact "+factID)
+		return
+	}
+	var voters []string
+	for _, model := range s.bench.Config.Models {
+		if model != llm.GPT4oMini { // commercial model is an arbiter, not a voter (§3.3)
+			voters = append(voters, model)
+		}
+	}
+	// One consensus answer is len(voters) verifications; the middleware
+	// charged one token, charge the remainder. A burst smaller than the
+	// voter count could never be satisfied — surface the misconfiguration
+	// instead of an eternal 429.
+	if float64(len(voters)) > s.cfg.Burst {
+		httpError(w, http.StatusBadRequest,
+			fmt.Sprintf("consensus requires %d verifications, exceeding the per-client burst capacity %g",
+				len(voters), s.cfg.Burst))
+		return
+	}
+	if extra := len(voters) - 1; extra > 0 {
+		if ok, wait := s.limiter.allowN(clientID(r), float64(extra)); !ok {
+			s.stats.rateLimited.Add(1)
+			w.Header().Set("Retry-After", strconv.Itoa(retrySeconds(wait)))
+			httpError(w, http.StatusTooManyRequests, "rate limit exceeded")
+			return
+		}
+	}
+	var votes []consensus.Vote
+	resp := ConsensusResponse{FactID: factID, Dataset: string(f.Dataset), Method: string(llm.MethodDKA), Gold: f.Gold}
+	for _, model := range voters {
+		cell := core.Cell{Dataset: f.Dataset, Method: llm.MethodDKA, Model: model}
+		out, _, err := s.verdict(r.Context(), cell, f, idx)
+		if err != nil {
+			httpError(w, http.StatusInternalServerError, err.Error())
+			return
+		}
+		votes = append(votes, consensus.Vote{Model: model, Verdict: out.Verdict})
+		resp.Votes = append(resp.Votes, VoteItem{Model: model, Verdict: out.Verdict.String()})
+	}
+	if len(votes) == 0 {
+		httpError(w, http.StatusUnprocessableEntity, "no open-source models configured for consensus")
+		return
+	}
+	resp.Final, resp.Tie = consensus.Majority(votes)
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Service) handleFacts(w http.ResponseWriter, _ *http.Request) {
+	byDataset := map[string][]string{}
+	for _, dn := range s.bench.Config.Datasets {
+		d := s.bench.Datasets[dn]
+		ids := make([]string, len(d.Facts))
+		for i, f := range d.Facts {
+			ids[i] = f.ID
+		}
+		byDataset[string(dn)] = ids
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"datasets": byDataset})
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func httpError(w http.ResponseWriter, status int, msg string) {
+	writeJSON(w, status, map[string]string{"error": msg})
+}

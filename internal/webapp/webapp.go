@@ -43,20 +43,14 @@ type App struct {
 	tmpl  *template.Template
 
 	// store backs verdict lookups; a memory-only store when no directory
-	// is configured. factIdx maps fact IDs to their index in the dataset's
-	// fact slice (the cell snapshots' outcome order).
-	store   *core.Store
-	factIdx map[dataset.Name]map[string]int
+	// is configured.
+	store *core.Store
 
-	// filling dedupes asynchronous on-demand cell fills; fillSem admits
-	// one fill at a time (a cold fact page requests every (method, model)
-	// cell at once — serialising keeps background work bounded by one
-	// cell's worker pool instead of all of them); fillWG lets shutdown and
-	// tests drain them.
-	fillMu  sync.Mutex
-	fillWG  sync.WaitGroup
-	fillSem chan struct{}
-	filling map[core.Cell]bool
+	// filler dedupes and serialises asynchronous on-demand cell fills (a
+	// cold fact page requests every (method, model) cell at once — one
+	// fill at a time keeps background work bounded by one cell's worker
+	// pool instead of all of them).
+	filler *core.CellFiller
 
 	// studies memoizes the error-clustering computation per
 	// (dataset, model) with singleflight semantics.
@@ -84,8 +78,6 @@ func New(b *core.Benchmark, opts ...Option) (*App, error) {
 		bench:   b,
 		rules:   rules.NewEngine(b.World),
 		tmpl:    t,
-		fillSem: make(chan struct{}, 1),
-		filling: map[core.Cell]bool{},
 		studies: map[studyKey]*study{},
 	}
 	for _, o := range opts {
@@ -94,14 +86,13 @@ func New(b *core.Benchmark, opts ...Option) (*App, error) {
 	if a.store == nil {
 		a.store = core.NewMemoryStore()
 	}
-	a.factIdx = map[dataset.Name]map[string]int{}
-	for dn, d := range b.Datasets {
-		idx := make(map[string]int, len(d.Facts))
-		for i, f := range d.Facts {
-			idx[f.ID] = i
+	a.filler = core.NewCellFiller(func(cell core.Cell) error {
+		outs, err := b.RunCell(context.Background(), cell.Dataset, cell.Method, cell.Model)
+		if err != nil {
+			return err
 		}
-		a.factIdx[dn] = idx
-	}
+		return a.store.Put(b.CellKey(cell).Fingerprint(), outs)
+	})
 	return a, nil
 }
 
@@ -112,55 +103,17 @@ func New(b *core.Benchmark, opts ...Option) (*App, error) {
 // so both paths return identical values.
 func (a *App) cellOutcome(ctx context.Context, cell core.Cell, f *dataset.Fact) (strategy.Outcome, error) {
 	if outs, ok := a.store.Get(a.bench.CellKey(cell).Fingerprint()); ok {
-		if i, ok := a.factIdx[cell.Dataset][f.ID]; ok && i < len(outs) {
+		if i, ok := a.bench.FactIndex(cell.Dataset)[f.ID]; ok && i < len(outs) {
 			return outs[i], nil
 		}
 	}
-	a.fillCellAsync(cell)
-	v, err := a.bench.Verifier(cell.Method)
-	if err != nil {
-		return strategy.Outcome{}, err
-	}
-	m, err := a.bench.Model(cell.Model)
-	if err != nil {
-		return strategy.Outcome{}, err
-	}
-	return v.Verify(ctx, m, f)
-}
-
-// fillCellAsync computes a full cell in the background and persists it to
-// the store; concurrent requests for the same cell coalesce into one fill,
-// and distinct cells queue on fillSem so at most one cell fills at a time
-// (its RunCell fan-out already uses the app's full parallelism). Failed
-// fills are forgotten so a later request retries.
-func (a *App) fillCellAsync(cell core.Cell) {
-	a.fillMu.Lock()
-	if a.filling[cell] {
-		a.fillMu.Unlock()
-		return
-	}
-	a.filling[cell] = true
-	a.fillWG.Add(1)
-	a.fillMu.Unlock()
-	go func() {
-		defer a.fillWG.Done()
-		a.fillSem <- struct{}{}
-		defer func() { <-a.fillSem }()
-		outs, err := a.bench.RunCell(context.Background(), cell.Dataset, cell.Method, cell.Model)
-		if err == nil {
-			err = a.store.Put(a.bench.CellKey(cell).Fingerprint(), outs)
-		}
-		if err != nil {
-			a.fillMu.Lock()
-			delete(a.filling, cell)
-			a.fillMu.Unlock()
-		}
-	}()
+	a.filler.Fill(cell)
+	return a.bench.VerifyFact(ctx, cell, f)
 }
 
 // WaitFills blocks until every in-flight on-demand cell fill has finished
 // (graceful shutdown, tests).
-func (a *App) WaitFills() { a.fillWG.Wait() }
+func (a *App) WaitFills() { a.filler.Wait() }
 
 // Handler returns the app's HTTP handler.
 func (a *App) Handler() http.Handler {
