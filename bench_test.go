@@ -16,6 +16,7 @@ import (
 	"net/http/httptest"
 	"os"
 	"runtime"
+	"sort"
 	"strconv"
 	"sync"
 	"sync/atomic"
@@ -29,10 +30,12 @@ import (
 	"factcheck/internal/kgcheck"
 	"factcheck/internal/llm"
 	"factcheck/internal/rag"
+	"factcheck/internal/rerank"
 	"factcheck/internal/rules"
 	"factcheck/internal/search"
 	"factcheck/internal/serve"
 	"factcheck/internal/strategy"
+	"factcheck/internal/text"
 )
 
 var (
@@ -723,6 +726,120 @@ func benchmarkSearchPath(b *testing.B, indexed bool, par int) {
 		}()
 	}
 	wg.Wait()
+}
+
+// --- sparse scoring substrate benches ------------------------------------
+
+// benchmarkRerankDocs measures phase 4a of the RAG pipeline in isolation:
+// fetching and reranking a fact's full candidate pool (up to the pipeline's
+// CandidateCap of 120 docs) against the verbalised sentence, then selecting
+// k_d. The dense path re-embeds the reference and every candidate per call,
+// exactly as the retired pipeline did; the sparse path embeds the reference
+// once and consumes the doc table's precomputed vectors. Scores and
+// selection are bit-identical (see internal/rag's golden tests); only the
+// cost differs.
+func benchmarkRerankDocs(b *testing.B, sparse bool) {
+	bench := core.NewBenchmark(core.Config{Scale: 0.1, Small: true})
+	ranker := rerank.NewDocumentRanker()
+	f := bench.Datasets[dataset.FactBench].Facts[0]
+	sentence := strategy.ClaimFor(f).Sentence
+	items, err := bench.Engine.Search(f.ID, sentence, rag.DefaultConfig().CandidateCap)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if len(items) < 60 {
+		b.Fatalf("pool too small for a doc-rerank bench: %d candidates", len(items))
+	}
+	kd := rag.DefaultConfig().SelectedDocs
+	type scoredDoc struct {
+		id    string
+		score float64
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		docs := make([]scoredDoc, 0, len(items))
+		if sparse {
+			refVec := text.SparseEmbed(sentence)
+			for _, it := range items {
+				de, err := bench.Engine.FetchEvidence(it.DocID)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if de.Empty || de.Text == "" {
+					continue
+				}
+				s := ranker.ScoreVec(refVec, sentence, de.Vec, de.Full)
+				docs = append(docs, scoredDoc{id: de.DocID, score: s})
+			}
+		} else {
+			for _, it := range items {
+				d, err := bench.Engine.Fetch(it.DocID)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if d.Empty || d.Text == "" {
+					continue
+				}
+				s := ranker.Score(sentence, d.Title+" "+d.Text)
+				docs = append(docs, scoredDoc{id: d.DocID, score: s})
+			}
+		}
+		sort.SliceStable(docs, func(i, j int) bool {
+			if docs[i].score != docs[j].score {
+				return docs[i].score > docs[j].score
+			}
+			return docs[i].id < docs[j].id
+		})
+		if len(docs) > kd {
+			docs = docs[:kd]
+		}
+	}
+}
+
+// BenchmarkRerankDocs is the tentpole's microbench: the dense/sparse gap on
+// a full candidate-pool document rerank.
+func BenchmarkRerankDocs(b *testing.B) {
+	b.Run("dense", func(b *testing.B) { benchmarkRerankDocs(b, false) })
+	b.Run("sparse", func(b *testing.B) { benchmarkRerankDocs(b, true) })
+}
+
+// benchmarkColdCell times one cold, store-less verification cell — every
+// fact of the FactBench x RAG x gemma2 slice verified end-to-end with no
+// result store, no verdict cache, and the evidence cache dropped before
+// each iteration, so every timed run pays full retrieval (question
+// generation and ranking, SERP queries, document reranking, chunking) and
+// model simulation for every fact. The static corpus substrate — document
+// pools and inverted indexes — is materialised once outside the timer, as
+// in PR 2's steady-state search benches: that is the serving steady state,
+// where the 512-fact shard store is warm but nothing about a request's
+// verification is cached. The dense baseline re-embeds the reference and
+// every candidate per rerank call, exactly as the retired pipeline did.
+func benchmarkColdCell(b *testing.B, dense bool) {
+	cfg := core.Config{Scale: 0.05, Small: true}
+	ctx := context.Background()
+	bench := core.NewBenchmark(cfg)
+	bench.Pipeline.DenseScoring = dense
+	// Warm pools and indexes; verification state is re-cooled per iteration.
+	if _, err := bench.RunCell(ctx, dataset.FactBench, llm.MethodRAG, llm.Gemma2); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		bench.Pipeline.ClearCache()
+		b.StartTimer()
+		if _, err := bench.RunCell(ctx, dataset.FactBench, llm.MethodRAG, llm.Gemma2); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkColdCell is the tentpole's macrobench: the dense/sparse gap on a
+// whole cold verification cell. Outputs are byte-identical across the two
+// paths (golden-tested); the gap is pure scoring-substrate cost.
+func BenchmarkColdCell(b *testing.B) {
+	b.Run("dense", func(b *testing.B) { benchmarkColdCell(b, true) })
+	b.Run("sparse", func(b *testing.B) { benchmarkColdCell(b, false) })
 }
 
 // BenchmarkSearchScan times the retired linear-scan ranking (O(pool·dims)

@@ -1,0 +1,220 @@
+// Command benchjson converts `go test -bench` text output into a stable
+// JSON document, so CI can record benchmark runs as artefacts
+// (BENCH_<n>.json) and the repo accumulates a machine-readable perf
+// trajectory instead of prose claims.
+//
+// Usage:
+//
+//	go test -bench . -benchtime 3x ./... | benchjson -o BENCH.json
+//
+// Besides the raw per-benchmark numbers, the converter derives speedup
+// ratios for dense/sparse benchmark pairs (a parent benchmark with exactly
+// the sub-benchmarks "dense" and "sparse"), the shape of this repo's
+// differential perf benches.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Benchmark is one parsed result line.
+type Benchmark struct {
+	// Name is the benchmark name without the -GOMAXPROCS suffix.
+	Name string `json:"name"`
+	// Procs is the GOMAXPROCS suffix (1 when absent).
+	Procs      int     `json:"procs"`
+	Iterations int64   `json:"iterations"`
+	NsPerOp    float64 `json:"ns_per_op"`
+	// BytesPerOp and AllocsPerOp are present only under -benchmem.
+	BytesPerOp  *float64 `json:"bytes_per_op,omitempty"`
+	AllocsPerOp *float64 `json:"allocs_per_op,omitempty"`
+}
+
+// Speedup is a derived dense-vs-sparse ratio.
+type Speedup struct {
+	Benchmark string  `json:"benchmark"`
+	DenseNs   float64 `json:"dense_ns_per_op"`
+	SparseNs  float64 `json:"sparse_ns_per_op"`
+	// Ratio is dense / sparse: >1 means the sparse path is faster.
+	Ratio float64 `json:"ratio"`
+}
+
+// Doc is the emitted document.
+type Doc struct {
+	Goos       string      `json:"goos,omitempty"`
+	Goarch     string      `json:"goarch,omitempty"`
+	CPU        string      `json:"cpu,omitempty"`
+	Benchmarks []Benchmark `json:"benchmarks"`
+	Speedups   []Speedup   `json:"speedups,omitempty"`
+}
+
+func main() {
+	if err := run(os.Args[1:], os.Stdin, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, in io.Reader, out io.Writer) error {
+	outPath := ""
+	for i := 0; i < len(args); i++ {
+		switch args[i] {
+		case "-o":
+			if i+1 >= len(args) {
+				return fmt.Errorf("-o needs a file argument")
+			}
+			i++
+			outPath = args[i]
+		default:
+			return fmt.Errorf("unknown argument %q (usage: benchjson [-o FILE] < bench-output)", args[i])
+		}
+	}
+	doc, err := Parse(in)
+	if err != nil {
+		return err
+	}
+	if len(doc.Benchmarks) == 0 {
+		return fmt.Errorf("no benchmark lines found in input")
+	}
+	enc, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	enc = append(enc, '\n')
+	if outPath != "" {
+		return os.WriteFile(outPath, enc, 0o644)
+	}
+	_, err = out.Write(enc)
+	return err
+}
+
+// Parse reads `go test -bench` output and builds the document.
+func Parse(in io.Reader) (*Doc, error) {
+	doc := &Doc{}
+	sc := bufio.NewScanner(in)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "goos: "):
+			doc.Goos = strings.TrimPrefix(line, "goos: ")
+		case strings.HasPrefix(line, "goarch: "):
+			doc.Goarch = strings.TrimPrefix(line, "goarch: ")
+		case strings.HasPrefix(line, "cpu: "):
+			doc.CPU = strings.TrimPrefix(line, "cpu: ")
+		case strings.HasPrefix(line, "Benchmark"):
+			b, ok := parseLine(line)
+			if ok {
+				doc.Benchmarks = append(doc.Benchmarks, b)
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	doc.Speedups = deriveSpeedups(doc.Benchmarks)
+	return doc, nil
+}
+
+// parseLine parses one result line, e.g.
+//
+//	BenchmarkColdCell/sparse-4   5   55315806 ns/op   12 B/op   3 allocs/op
+func parseLine(line string) (Benchmark, bool) {
+	f := strings.Fields(line)
+	if len(f) < 4 {
+		return Benchmark{}, false
+	}
+	name, procs := splitProcs(f[0])
+	iters, err := strconv.ParseInt(f[1], 10, 64)
+	if err != nil {
+		return Benchmark{}, false
+	}
+	b := Benchmark{Name: name, Procs: procs, Iterations: iters}
+	seen := false
+	for i := 2; i+1 < len(f); i += 2 {
+		v, err := strconv.ParseFloat(f[i], 64)
+		if err != nil {
+			return Benchmark{}, false
+		}
+		switch f[i+1] {
+		case "ns/op":
+			b.NsPerOp = v
+			seen = true
+		case "B/op":
+			b.BytesPerOp = ptr(v)
+		case "allocs/op":
+			b.AllocsPerOp = ptr(v)
+		}
+	}
+	return b, seen
+}
+
+func ptr(v float64) *float64 { return &v }
+
+// splitProcs strips the trailing -GOMAXPROCS suffix go test appends.
+func splitProcs(name string) (string, int) {
+	i := strings.LastIndex(name, "-")
+	if i < 0 {
+		return name, 1
+	}
+	p, err := strconv.Atoi(name[i+1:])
+	if err != nil || p <= 0 {
+		return name, 1
+	}
+	return name[:i], p
+}
+
+// deriveSpeedups emits a ratio for every parent benchmark that has exactly
+// a "dense" and a "sparse" sub-benchmark (first occurrence wins when a
+// -count run repeats lines).
+func deriveSpeedups(bs []Benchmark) []Speedup {
+	type pair struct{ dense, sparse float64 }
+	pairs := map[string]*pair{}
+	var order []string
+	get := func(parent string) *pair {
+		p, ok := pairs[parent]
+		if !ok {
+			p = &pair{}
+			pairs[parent] = p
+			order = append(order, parent)
+		}
+		return p
+	}
+	for _, b := range bs {
+		parent, leaf, ok := strings.Cut(b.Name, "/")
+		if !ok {
+			continue
+		}
+		switch leaf {
+		case "dense":
+			if p := get(parent); p.dense == 0 {
+				p.dense = b.NsPerOp
+			}
+		case "sparse":
+			if p := get(parent); p.sparse == 0 {
+				p.sparse = b.NsPerOp
+			}
+		}
+	}
+	sort.Strings(order)
+	var out []Speedup
+	for _, parent := range order {
+		p := pairs[parent]
+		if p.dense > 0 && p.sparse > 0 {
+			out = append(out, Speedup{
+				Benchmark: parent,
+				DenseNs:   p.dense,
+				SparseNs:  p.sparse,
+				Ratio:     p.dense / p.sparse,
+			})
+		}
+	}
+	return out
+}

@@ -1,0 +1,108 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: factcheck
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkColdCell/dense-4         	       5	 185017352 ns/op
+BenchmarkColdCell/sparse-4        	       5	  55315806 ns/op
+BenchmarkRerankDocs/dense-4       	       5	    605813 ns/op
+BenchmarkRerankDocs/sparse-4      	       5	     45828 ns/op
+BenchmarkOverlap-4                	  500000	      2436 ns/op	     448 B/op	       5 allocs/op
+BenchmarkSearchIndexed/par1       	     200	     36000 ns/op
+PASS
+ok  	factcheck	2.740s
+`
+
+func TestParseSample(t *testing.T) {
+	doc, err := Parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if doc.Goos != "linux" || doc.Goarch != "amd64" || doc.CPU == "" {
+		t.Errorf("header not parsed: %+v", doc)
+	}
+	if len(doc.Benchmarks) != 6 {
+		t.Fatalf("parsed %d benchmarks, want 6", len(doc.Benchmarks))
+	}
+	b := doc.Benchmarks[0]
+	if b.Name != "BenchmarkColdCell/dense" || b.Procs != 4 || b.Iterations != 5 || b.NsPerOp != 185017352 {
+		t.Errorf("first benchmark wrong: %+v", b)
+	}
+	ov := doc.Benchmarks[4]
+	if ov.Name != "BenchmarkOverlap" || ov.BytesPerOp == nil || *ov.BytesPerOp != 448 ||
+		ov.AllocsPerOp == nil || *ov.AllocsPerOp != 5 {
+		t.Errorf("benchmem fields wrong: %+v", ov)
+	}
+	// par1 has no numeric procs suffix: name stays intact.
+	if doc.Benchmarks[5].Name != "BenchmarkSearchIndexed/par1" || doc.Benchmarks[5].Procs != 1 {
+		t.Errorf("par1 benchmark wrong: %+v", doc.Benchmarks[5])
+	}
+}
+
+func TestDeriveSpeedups(t *testing.T) {
+	doc, err := Parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.Speedups) != 2 {
+		t.Fatalf("derived %d speedups, want 2: %+v", len(doc.Speedups), doc.Speedups)
+	}
+	// Sorted by parent name: ColdCell before RerankDocs.
+	cc := doc.Speedups[0]
+	if cc.Benchmark != "BenchmarkColdCell" {
+		t.Fatalf("first speedup is %q", cc.Benchmark)
+	}
+	if want := 185017352.0 / 55315806.0; cc.Ratio != want {
+		t.Errorf("ColdCell ratio = %v, want %v", cc.Ratio, want)
+	}
+}
+
+func TestRunWritesFile(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "bench.json")
+	if err := run([]string{"-o", out}, strings.NewReader(sample), nil); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc Doc
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatalf("output is not valid JSON: %v", err)
+	}
+	if len(doc.Benchmarks) != 6 || len(doc.Speedups) != 2 {
+		t.Errorf("round-trip lost data: %d benchmarks, %d speedups", len(doc.Benchmarks), len(doc.Speedups))
+	}
+}
+
+func TestRunStdout(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(nil, strings.NewReader(sample), &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !json.Valid(buf.Bytes()) {
+		t.Fatal("stdout output is not valid JSON")
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run([]string{"-o"}, strings.NewReader(sample), nil); err == nil {
+		t.Error("missing -o argument not rejected")
+	}
+	if err := run([]string{"--bogus"}, strings.NewReader(sample), nil); err == nil {
+		t.Error("unknown flag not rejected")
+	}
+	if err := run(nil, strings.NewReader("no benchmarks here\n"), &bytes.Buffer{}); err == nil {
+		t.Error("empty input not rejected")
+	}
+}

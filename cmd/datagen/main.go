@@ -117,8 +117,16 @@ func run(out string, scale float64, small, writeDocs bool, maxDocFacts int) erro
 		if err := writeStream(qpath, func(enc *json.Encoder) error {
 			for _, f := range d.Facts {
 				sentence := strategy.ClaimFor(f).Sentence
-				for _, q := range question.Generate(f, question.DefaultK) {
-					q.Score = ranker.Score(sentence, q.Text)
+				qs := question.Generate(f, question.DefaultK)
+				texts := make([]string, len(qs))
+				for i := range qs {
+					texts[i] = qs[i].Text
+				}
+				// Rank embeds the sentence once for all k_q questions.
+				for _, r := range rerank.Rank(ranker, sentence, texts) {
+					qs[r.Index].Score = r.Score
+				}
+				for _, q := range qs {
 					if err := enc.Encode(questionRecord{FactID: f.ID, Text: q.Text, Score: q.Score}); err != nil {
 						return err
 					}

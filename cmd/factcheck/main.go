@@ -21,6 +21,9 @@
 //	          and reused, so interrupted runs resume where they died and
 //	          config deltas recompute only the missing cells (stdout stays
 //	          byte-identical to a cold run)
+//	-cpuprofile / -memprofile
+//	          write pprof CPU / heap profiles, so perf claims about the
+//	          verification path are grounded in captures, not guesses
 package main
 
 import (
@@ -34,6 +37,7 @@ import (
 	"factcheck/internal/core"
 	"factcheck/internal/dataset"
 	"factcheck/internal/llm"
+	"factcheck/internal/prof"
 )
 
 func main() {
@@ -53,9 +57,19 @@ func run(args []string) error {
 	par := fs.Int("par", 0, "grid worker-pool parallelism (default GOMAXPROCS)")
 	progress := fs.Bool("progress", false, "stream per-cell completion to stderr")
 	storeDir := fs.String("store", "", "result store directory (resume interrupted runs, reuse across config deltas)")
+	profFlags := prof.Register(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	stopProf, profErr := profFlags.Start()
+	if profErr != nil {
+		return profErr
+	}
+	defer func() {
+		if perr := stopProf(); perr != nil {
+			fmt.Fprintln(os.Stderr, "factcheck:", perr)
+		}
+	}()
 	artifacts := fs.Args()
 	if len(artifacts) == 0 {
 		artifacts = []string{"all"}

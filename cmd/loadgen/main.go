@@ -6,7 +6,7 @@
 //
 //	loadgen [-addr http://localhost:8095] [-mix uniform] [-n 1000] [-c 8]
 //	        [-seed 1] [-method DKA] [-models m1,m2] [-batch 16]
-//	        [-zipf 1.2] [-digest FILE]
+//	        [-zipf 1.2] [-digest FILE] [-cpuprofile FILE] [-memprofile FILE]
 //
 // Mixes (all seeded, so a mix replays identically):
 //
@@ -44,6 +44,7 @@ import (
 	"time"
 
 	"factcheck/internal/llm"
+	"factcheck/internal/prof"
 	"factcheck/internal/serve"
 )
 
@@ -291,6 +292,15 @@ func run(args []string, out io.Writer) error {
 	if *fs.n <= 0 || *fs.c <= 0 {
 		return fmt.Errorf("-n and -c must be positive")
 	}
+	stopProf, profErr := fs.prof.Start()
+	if profErr != nil {
+		return profErr
+	}
+	defer func() {
+		if perr := stopProf(); perr != nil {
+			fmt.Fprintln(os.Stderr, "loadgen:", perr)
+		}
+	}()
 	models := strings.Split(*fs.models, ",")
 	client := &http.Client{Timeout: *fs.timeout}
 	addr := strings.TrimSuffix(*fs.addr, "/")
@@ -407,6 +417,7 @@ type flags struct {
 	zipfS   *float64
 	digest  *string
 	timeout *time.Duration
+	prof    *prof.Flags
 }
 
 func newFlagSet() *flags {
@@ -424,5 +435,6 @@ func newFlagSet() *flags {
 		zipfS:   fs.Float64("zipf", 1.2, "zipf skew exponent (zipf mix; > 1)"),
 		digest:  fs.String("digest", "", "write the verdict digest to this file"),
 		timeout: fs.Duration("timeout", 60*time.Second, "per-request HTTP timeout"),
+		prof:    prof.Register(fs),
 	}
 }

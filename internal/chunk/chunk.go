@@ -5,7 +5,12 @@
 // chunks overlap by size-1 sentences.
 package chunk
 
-import "strings"
+import (
+	"strings"
+	"sync"
+
+	"factcheck/internal/text"
+)
 
 // DefaultWindow is the paper's configured sliding-window size (Table 4).
 const DefaultWindow = 3
@@ -46,23 +51,127 @@ func SplitSentences(s string) []string {
 // advancing one sentence per chunk. A document shorter than the window
 // yields a single chunk containing the whole text. Empty text yields nil.
 func Sliding(docID, text string, window int) []Chunk {
+	return NewSplit(text).Windows(docID, window)
+}
+
+// Split is the precomputed sentence segmentation of one document: every
+// sentence joined into a single string, with per-sentence offsets, so
+// sliding windows of any size are substrings of the shared backing string
+// instead of per-window strings.Join copies. The search engine's doc table
+// caches one Split per fetched document and serves every window size from
+// it.
+type Split struct {
+	// Joined is all sentences joined by single spaces — the exact text the
+	// window-size-n chunk over all sentences would contain.
+	Joined string
+	// ends[i] is the exclusive end offset of sentence i in Joined. Sentence
+	// i starts at 0 (i == 0) or ends[i-1]+1 (skipping the joining space).
+	ends []int
+
+	// tokOnce guards the lazy per-sentence token streams behind WindowVecs.
+	tokOnce sync.Once
+	// toks is the content-token stream of Joined; tokEnds[i] is the number
+	// of tokens in sentences 0..i, so sentence i's tokens are
+	// toks[tokEnds[i-1]:tokEnds[i]].
+	toks    []string
+	tokEnds []int
+}
+
+// NewSplit segments text once. The result is immutable apart from the lazy
+// token cache and safe for concurrent use.
+func NewSplit(t string) *Split {
+	sents := SplitSentences(t)
+	if len(sents) == 0 {
+		return &Split{}
+	}
+	sp := &Split{
+		Joined: strings.Join(sents, " "),
+		ends:   make([]int, len(sents)),
+	}
+	off := 0
+	for i, s := range sents {
+		off += len(s)
+		sp.ends[i] = off
+		off++ // joining space
+	}
+	return sp
+}
+
+// Sentences returns the number of sentences in the document.
+func (sp *Split) Sentences() int { return len(sp.ends) }
+
+// start returns the offset of sentence i in Joined.
+func (sp *Split) start(i int) int {
+	if i == 0 {
+		return 0
+	}
+	return sp.ends[i-1] + 1
+}
+
+// Windows returns the sliding windows of `window` sentences as substrings
+// of the shared Joined string — output-identical to the retired per-window
+// strings.Join, without re-copying each sentence `window` times.
+func (sp *Split) Windows(docID string, window int) []Chunk {
 	if window <= 0 {
 		window = DefaultWindow
 	}
-	sents := SplitSentences(text)
-	if len(sents) == 0 {
+	n := len(sp.ends)
+	if n == 0 {
 		return nil
 	}
-	if len(sents) <= window {
-		return []Chunk{{DocID: docID, Seq: 0, Text: strings.Join(sents, " ")}}
+	if n <= window {
+		return []Chunk{{DocID: docID, Seq: 0, Text: sp.Joined}}
 	}
-	out := make([]Chunk, 0, len(sents)-window+1)
-	for i := 0; i+window <= len(sents); i++ {
+	out := make([]Chunk, 0, n-window+1)
+	for i := 0; i+window <= n; i++ {
 		out = append(out, Chunk{
 			DocID: docID,
 			Seq:   i,
-			Text:  strings.Join(sents[i:i+window], " "),
+			Text:  sp.Joined[sp.start(i):sp.ends[i+window-1]],
 		})
+	}
+	return out
+}
+
+// tokenize builds the per-sentence token streams once.
+func (sp *Split) tokenize() {
+	sp.tokOnce.Do(func() {
+		sp.tokEnds = make([]int, len(sp.ends))
+		for i := range sp.ends {
+			sp.toks = append(sp.toks, text.ContentTokens(sp.Joined[sp.start(i):sp.ends[i]])...)
+			sp.tokEnds[i] = len(sp.toks)
+		}
+	})
+}
+
+// WindowVecs returns the sparse embedding of every window of `window`
+// sentences, built from a single tokenize pass over the document: window
+// vectors reuse the per-sentence token streams instead of re-tokenizing the
+// overlapping text window-times. Each vector is bit-identical to
+// text.SparseEmbed of the matching Windows chunk text (tokens never span
+// the sentence-joining space, and SparseEmbedTokens is insensitive to token
+// order within the stream).
+func (sp *Split) WindowVecs(window int) []text.SparseVector {
+	if window <= 0 {
+		window = DefaultWindow
+	}
+	n := len(sp.ends)
+	if n == 0 {
+		return nil
+	}
+	sp.tokenize()
+	tokStart := func(i int) int {
+		if i == 0 {
+			return 0
+		}
+		return sp.tokEnds[i-1]
+	}
+	if n <= window {
+		return []text.SparseVector{text.SparseEmbedTokens(sp.toks)}
+	}
+	out := make([]text.SparseVector, 0, n-window+1)
+	for i := 0; i+window <= n; i++ {
+		out = append(out, text.SparseEmbedTokens(sp.toks[tokStart(i):sp.tokEnds[i+window-1]]))
 	}
 	return out
 }

@@ -234,8 +234,14 @@ func (b *Benchmark) ComputeRAGStats(sample int) RAGStats {
 			st.Facts++
 			sentence := strategy.ClaimFor(f).Sentence
 			qs := question.Generate(f, question.DefaultK)
+			texts := make([]string, len(qs))
 			for i := range qs {
-				qs[i].Score = ranker.Score(sentence, qs[i].Text)
+				texts[i] = qs[i].Text
+			}
+			// Rank embeds the reference sentence once for all k_q questions
+			// on vector-aware rankers; scores are identical either way.
+			for _, r := range rerank.Rank(ranker, sentence, texts) {
+				qs[r.Index].Score = r.Score
 			}
 			perFact = append(perFact, qs)
 

@@ -335,6 +335,11 @@ type Materialized struct {
 	// text.EmbedTokens(Terms) equals text.Embed(Title + " " + Text) bit for
 	// bit, which is the determinism contract the indexed ranking relies on.
 	Terms []string
+	// Vec is the precomputed sparse embedding of the term stream —
+	// bit-identical to text.SparseEmbed(Title + " " + Text) — so the index
+	// builder and the document reranker consume it instead of re-embedding
+	// the document per query or per fact.
+	Vec text.SparseVector
 }
 
 // Materialize generates the fact's full pool — metadata, body text and term
@@ -345,10 +350,12 @@ func (g *Generator) Materialize(f *dataset.Fact) []Materialized {
 	out := make([]Materialized, len(docs))
 	for i, d := range docs {
 		body := g.Text(f, d)
+		terms := text.ContentTokens(d.Title + " " + body)
 		out[i] = Materialized{
 			Doc:   d,
 			Text:  body,
-			Terms: text.ContentTokens(d.Title + " " + body),
+			Terms: terms,
+			Vec:   text.SparseEmbedTokens(terms),
 		}
 	}
 	return out

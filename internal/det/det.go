@@ -5,7 +5,6 @@
 package det
 
 import (
-	"hash/fnv"
 	"math"
 	"math/rand/v2"
 )
@@ -13,14 +12,51 @@ import (
 // Hash64 hashes the given parts (with separators) into a 64-bit key. The
 // raw FNV-1a sum is passed through a splitmix64 finaliser: FNV's high bits
 // barely change across inputs sharing a long prefix (e.g. sequential
-// document ids), and Uniform consumes the high bits.
+// document ids), and Uniform consumes the high bits. The FNV-1a loop is
+// inlined — identical to hash/fnv's sum64a over the same bytes — because
+// every stochastic decision in the benchmark funnels through here and the
+// hash.Hash indirection allocated on each call.
 func Hash64(parts ...string) uint64 {
-	h := fnv.New64a()
+	return mix64(hashParts(offset64, parts...))
+}
+
+// FNV-1a 64-bit parameters (identical to hash/fnv's sum64a).
+const (
+	offset64 = 14695981039346656037
+	prime64  = 1099511628211
+)
+
+// hashParts folds parts (with separators) into a running FNV-1a state.
+func hashParts(h uint64, parts ...string) uint64 {
 	for _, p := range parts {
-		h.Write([]byte(p))
-		h.Write([]byte{0x1f})
+		for i := 0; i < len(p); i++ {
+			h ^= uint64(p[i])
+			h *= prime64
+		}
+		h ^= 0x1f // part separator
+		h *= prime64
 	}
-	return mix64(h.Sum64())
+	return h
+}
+
+// Key is a partially applied Hash64: the raw FNV-1a state after hashing a
+// fixed prefix of parts. Extending a Key with the remaining parts produces
+// exactly the draw Hash64/Uniform would produce over prefix+rest — hot
+// loops that pair one constant prefix with many suffixes (the SERP jitter
+// hashing the query against every pool document) precompute the prefix
+// once instead of re-hashing it per suffix.
+type Key uint64
+
+// NewKey captures the hash state of the given prefix parts.
+func NewKey(parts ...string) Key {
+	return Key(hashParts(offset64, parts...))
+}
+
+// Uniform returns the deterministic uniform sample in [0,1) keyed by the
+// prefix plus parts: NewKey(a...).Uniform(b...) == Uniform(a..., b...).
+func (k Key) Uniform(parts ...string) float64 {
+	h := mix64(hashParts(uint64(k), parts...))
+	return float64(h>>11) / float64(1<<53)
 }
 
 // mix64 is the splitmix64 finaliser, a full-avalanche bijection.

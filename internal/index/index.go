@@ -18,7 +18,8 @@
 package index
 
 import (
-	"sort"
+	"slices"
+	"strings"
 
 	"factcheck/internal/text"
 )
@@ -60,17 +61,22 @@ func NewBuilder(capHint int) *Builder {
 
 // Add indexes one document from its term stream (content tokens of
 // title + body, as corpus.Materialized carries). The document's weights are
-// derived via text.EmbedTokens, so they are bit-identical to the dense
-// vector the linear-scan engine embedded.
+// derived via text.SparseEmbedTokens, bit-identical to the dense vector the
+// linear-scan engine embedded.
 func (b *Builder) Add(docID string, terms []string) {
+	b.AddVec(docID, text.SparseEmbedTokens(terms))
+}
+
+// AddVec indexes one document from its precomputed sparse embedding (the
+// vector corpus.Materialized carries), skipping the embed pass entirely.
+// Sparse dims are ascending and posting lists grow in doc order, so the
+// index is identical to the one Add builds.
+func (b *Builder) AddVec(docID string, v text.SparseVector) {
 	doc := int32(len(b.ids))
 	b.ids = append(b.ids, docID)
-	v := text.EmbedTokens(terms)
-	for dim := 0; dim < text.VectorDim; dim++ {
-		if w := v[dim]; w != 0 {
-			b.postings[dim] = append(b.postings[dim], Posting{Doc: doc, Weight: w})
-			b.n++
-		}
+	for i, dim := range v.Dims {
+		b.postings[int(dim)] = append(b.postings[int(dim)], Posting{Doc: doc, Weight: v.Weights[i]})
+		b.n++
 	}
 }
 
@@ -114,7 +120,6 @@ func (ix *Index) TopK(q text.Vector, k int, perturb func(docID string) float64) 
 	if k <= 0 || n == 0 {
 		return nil
 	}
-
 	// Term-at-a-time accumulation, query dimensions ascending: each
 	// document's accumulator receives exactly the non-zero products of the
 	// dense cosine loop, in the same order.
@@ -128,7 +133,36 @@ func (ix *Index) TopK(q text.Vector, k int, perturb func(docID string) float64) 
 			acc[p.Doc] += float64(qw) * float64(p.Weight)
 		}
 	}
+	return ix.selectTopK(acc, k, perturb)
+}
 
+// TopKSparse is TopK over a sparse query vector: accumulation skips the
+// dense 1024-dimension sweep and visits only the query's non-zero
+// dimensions — already ascending in a SparseVector — so the accumulated
+// scores, and therefore the selected top k, are bit-identical to TopK over
+// the dense equivalent.
+func (ix *Index) TopKSparse(q text.SparseVector, k int, perturb func(docID string) float64) []Hit {
+	n := len(ix.ids)
+	if k > n {
+		k = n
+	}
+	if k <= 0 || n == 0 {
+		return nil
+	}
+	acc := make([]float64, n)
+	for i, dim := range q.Dims {
+		qw := q.Weights[i]
+		for _, p := range ix.postings[int(dim)] {
+			acc[p.Doc] += float64(qw) * float64(p.Weight)
+		}
+	}
+	return ix.selectTopK(acc, k, perturb)
+}
+
+// selectTopK turns the accumulated cosines into the k best hits under
+// (score desc, doc ID asc), applying the clamp and the perturbation.
+func (ix *Index) selectTopK(acc []float64, k int, perturb func(docID string) float64) []Hit {
+	n := len(ix.ids)
 	// Bounded min-heap of the k best seen so far; the root is the current
 	// worst, ordered by (score asc, doc ID desc) so "worse than root" means
 	// "not in the top k".
@@ -161,11 +195,17 @@ func (ix *Index) TopK(q text.Vector, k int, perturb func(docID string) float64) 
 		h[0] = hit
 		siftDown(h, 0, worse)
 	}
-	sort.Slice(h, func(i, j int) bool {
-		if h[i].Score != h[j].Score {
-			return h[i].Score > h[j].Score
+	// (score desc, ID asc) is a total order — IDs are unique — so the
+	// non-reflective generic sort yields the same permutation the retired
+	// sort.Slice did.
+	slices.SortFunc(h, func(a, b Hit) int {
+		switch {
+		case a.Score > b.Score:
+			return -1
+		case a.Score < b.Score:
+			return 1
 		}
-		return h[i].ID < h[j].ID
+		return strings.Compare(a.ID, b.ID)
 	})
 	return h
 }

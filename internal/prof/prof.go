@@ -1,0 +1,66 @@
+// Package prof wires the conventional -cpuprofile / -memprofile flags into
+// the CLIs, so performance claims about the verification and serving paths
+// can be grounded in pprof captures instead of guesses: run any workload
+// with -cpuprofile and feed the output to `go tool pprof`.
+package prof
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Flags holds the profile destinations registered by Register.
+type Flags struct {
+	// CPU is the CPU-profile output path ("" = disabled).
+	CPU string
+	// Mem is the heap-profile output path, written at stop ("" = disabled).
+	Mem string
+}
+
+// Register adds -cpuprofile and -memprofile to the flag set.
+func Register(fs *flag.FlagSet) *Flags {
+	f := &Flags{}
+	fs.StringVar(&f.CPU, "cpuprofile", "", "write a CPU profile to this file")
+	fs.StringVar(&f.Mem, "memprofile", "", "write a heap profile to this file on exit")
+	return f
+}
+
+// Start begins CPU profiling when requested and returns a stop function
+// that finalises the CPU profile and writes the heap profile. Callers must
+// invoke stop exactly once, on success and error paths alike (defer it).
+func (f *Flags) Start() (stop func() error, err error) {
+	var cpuFile *os.File
+	if f.CPU != "" {
+		cpuFile, err = os.Create(f.CPU)
+		if err != nil {
+			return nil, fmt.Errorf("prof: create cpu profile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return nil, fmt.Errorf("prof: start cpu profile: %w", err)
+		}
+	}
+	return func() error {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			if err := cpuFile.Close(); err != nil {
+				return fmt.Errorf("prof: close cpu profile: %w", err)
+			}
+		}
+		if f.Mem != "" {
+			mf, err := os.Create(f.Mem)
+			if err != nil {
+				return fmt.Errorf("prof: create mem profile: %w", err)
+			}
+			defer mf.Close()
+			runtime.GC() // capture the retained heap, not allocation noise
+			if err := pprof.WriteHeapProfile(mf); err != nil {
+				return fmt.Errorf("prof: write mem profile: %w", err)
+			}
+		}
+		return nil
+	}, nil
+}

@@ -8,7 +8,8 @@ package rag
 
 import (
 	"fmt"
-	"sort"
+	"slices"
+	"strings"
 	"sync"
 	"time"
 
@@ -18,6 +19,7 @@ import (
 	"factcheck/internal/question"
 	"factcheck/internal/rerank"
 	"factcheck/internal/search"
+	"factcheck/internal/text"
 	"factcheck/internal/verbalize"
 )
 
@@ -76,6 +78,12 @@ type Pipeline struct {
 	// DisableCache turns off evidence caching (used by ablation benches
 	// that mutate Config between calls).
 	DisableCache bool
+	// DenseScoring forces the retired dense scoring path: every rerank call
+	// re-embeds both strings and chunking re-splits fetched text. It is the
+	// differential baseline — golden tests pin the sparse path (precomputed
+	// doc vectors, reference embedded once per fact) byte-identical to it,
+	// and the cold-cell benches measure the gap.
+	DenseScoring bool
 
 	cache evidenceCache
 }
@@ -221,6 +229,12 @@ func (p *Pipeline) ClearCache() {
 	p.cache.clear()
 }
 
+// retrieve runs phases 1–4. The sparse path is the production one:
+// the sentence is embedded once, document vectors come precomputed from the
+// engine's doc table, and chunking reuses the doc table's sentence splits.
+// DenseScoring (or a searcher/ranker without vector support) falls back to
+// the dense reference path; both produce byte-identical Evidence — golden
+// tested, since result-store fingerprints and served verdicts flow from it.
 func (p *Pipeline) retrieve(f *dataset.Fact) (*Evidence, error) {
 	cfg := p.Config
 	ev := &Evidence{}
@@ -228,13 +242,35 @@ func (p *Pipeline) retrieve(f *dataset.Fact) (*Evidence, error) {
 	// Phase 1: triple transformation.
 	ev.Sentence = verbalize.Sentence(f)
 
-	// Phase 2: question generation and ranking.
+	// The sparse path needs a vector-aware ranker for each stage it
+	// accelerates; stages degrade to the dense path independently.
+	qRanker, qVec := p.QuestionRanker.(rerank.VecScorer)
+	dRanker, dVec := p.DocRanker.(rerank.VecScorer)
+	if p.DenseScoring {
+		qVec, dVec = false, false
+	}
+	var sentVec text.SparseVector
+	if qVec || dVec {
+		sentVec = text.SparseEmbed(ev.Sentence)
+	}
+
+	// Phase 2: question generation and ranking. The reference sentence is
+	// embedded exactly once for all k_q candidates.
 	qs := question.Generate(f, cfg.NumQuestions)
 	texts := make([]string, len(qs))
 	for i := range qs {
 		texts[i] = qs[i].Text
 	}
-	ranked := rerank.Rank(p.QuestionRanker, ev.Sentence, texts)
+	var ranked []rerank.Ranked
+	if qVec {
+		cands := make([]rerank.Candidate, len(texts))
+		for i, t := range texts {
+			cands[i] = rerank.Candidate{Text: t, Vec: text.SparseEmbed(t)}
+		}
+		ranked = rerank.RankVecs(qRanker, sentVec, ev.Sentence, cands)
+	} else {
+		ranked = rerank.Rank(rerank.DenseOnly(p.QuestionRanker), ev.Sentence, texts)
+	}
 	for _, r := range ranked {
 		qs[r.Index].Score = r.Score
 	}
@@ -273,37 +309,92 @@ func (p *Pipeline) retrieve(f *dataset.Fact) (*Evidence, error) {
 		serpItems = serpItems[:cfg.CandidateCap]
 	}
 
-	// Phase 4a: fetch and rerank documents against the sentence.
+	// Phase 4a: fetch and rerank documents against the sentence. On the
+	// sparse path each candidate's vector comes precomputed from the doc
+	// table — no document is ever re-embedded — and the batch scorer
+	// amortises the reference's noise-key prefix across the whole pool.
+	// dVec is already false under DenseScoring, which keeps the dense
+	// baseline on plain Fetch as well.
+	fetcher, fetchVec := p.Searcher.(search.EvidenceFetcher)
+	fetchVec = fetchVec && dVec
+	var scoreVec func(cand text.SparseVector, candText string) float64
+	if dVec {
+		if bs, ok := dRanker.(rerank.BatchScorer); ok {
+			scoreVec = bs.ScoreBatch(sentVec, ev.Sentence)
+		} else {
+			scoreVec = func(cand text.SparseVector, candText string) float64 {
+				return dRanker.ScoreVec(sentVec, ev.Sentence, cand, candText)
+			}
+		}
+	}
 	type scoredDoc struct {
 		doc   search.DocPayload
+		ev    search.DocEvidence // sparse path only
 		score float64
 	}
 	var docs []scoredDoc
 	for _, it := range serpItems {
+		if fetchVec {
+			de, err := fetcher.FetchEvidence(it.DocID)
+			if err != nil {
+				return nil, fmt.Errorf("rag: fetch %s: %w", it.DocID, err)
+			}
+			if de.Empty || de.Text == "" {
+				continue // extraction failures carry no usable evidence
+			}
+			docs = append(docs, scoredDoc{doc: de.DocPayload, ev: de, score: scoreVec(de.Vec, de.Full)})
+			continue
+		}
 		d, err := p.Searcher.Fetch(it.DocID)
 		if err != nil {
 			return nil, fmt.Errorf("rag: fetch %s: %w", it.DocID, err)
 		}
 		if d.Empty || d.Text == "" {
-			continue // extraction failures carry no usable evidence
+			continue
 		}
-		s := p.DocRanker.Score(ev.Sentence, d.Title+" "+d.Text)
+		var s float64
+		if dVec {
+			// Vector-aware ranker over a plain searcher (e.g. the HTTP
+			// client): embed the fetched candidate once, reference still
+			// embedded once per fact.
+			full := d.Title + " " + d.Text
+			s = scoreVec(text.SparseEmbed(full), full)
+		} else {
+			s = p.DocRanker.Score(ev.Sentence, d.Title+" "+d.Text)
+		}
 		docs = append(docs, scoredDoc{doc: d, score: s})
 	}
-	sort.SliceStable(docs, func(i, j int) bool {
-		if docs[i].score != docs[j].score {
-			return docs[i].score > docs[j].score
+	// Sort an index permutation instead of the fat entries (a scoredDoc
+	// carries two payload structs; swapping them dominated the sort).
+	// (score desc, doc ID asc) is a total order over unique doc IDs, so the
+	// permutation equals the retired sort.SliceStable's order exactly.
+	order := make([]int, len(docs))
+	for i := range order {
+		order[i] = i
+	}
+	slices.SortFunc(order, func(a, b int) int {
+		switch {
+		case docs[a].score > docs[b].score:
+			return -1
+		case docs[a].score < docs[b].score:
+			return 1
 		}
-		return docs[i].doc.DocID < docs[j].doc.DocID
+		return strings.Compare(docs[a].doc.DocID, docs[b].doc.DocID)
 	})
-	if len(docs) > cfg.SelectedDocs {
-		docs = docs[:cfg.SelectedDocs]
+	if len(order) > cfg.SelectedDocs {
+		order = order[:cfg.SelectedDocs]
 	}
 
-	// Phase 4b: sliding-window chunking.
-	for _, sd := range docs {
+	// Phase 4b: sliding-window chunking, served from the doc table's cached
+	// sentence splits on the sparse path.
+	for _, i := range order {
+		sd := &docs[i]
 		ev.Docs = append(ev.Docs, sd.doc)
-		ev.Chunks = append(ev.Chunks, chunk.Sliding(sd.doc.DocID, sd.doc.Text, cfg.Window)...)
+		if fetchVec {
+			ev.Chunks = append(ev.Chunks, sd.ev.Chunks(cfg.Window)...)
+		} else {
+			ev.Chunks = append(ev.Chunks, chunk.Sliding(sd.doc.DocID, sd.doc.Text, cfg.Window)...)
+		}
 	}
 	if len(ev.Chunks) > cfg.MaxChunks {
 		ev.Chunks = ev.Chunks[:cfg.MaxChunks]

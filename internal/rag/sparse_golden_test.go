@@ -1,0 +1,86 @@
+package rag
+
+import (
+	"reflect"
+	"testing"
+
+	"factcheck/internal/corpus"
+	"factcheck/internal/dataset"
+	"factcheck/internal/search"
+	"factcheck/internal/world"
+)
+
+// goldenPipelines builds two pipelines over the same engine: the sparse
+// production path and the retired dense reference path. Evidence caching is
+// off so each call exercises retrieval in full.
+func goldenPipelines(t *testing.T) (sparse, dense *Pipeline, d *dataset.Dataset) {
+	t.Helper()
+	w := world.New(world.SmallConfig())
+	d = dataset.Build(w, dataset.FactBench, 0.1)
+	gen := corpus.NewGenerator(w)
+	e := search.NewEngine(gen, d)
+	sparse = New(e)
+	sparse.DisableCache = true
+	dense = New(e)
+	dense.DisableCache = true
+	dense.DenseScoring = true
+	return sparse, dense, d
+}
+
+// TestSparseRetrieveMatchesDenseGolden is the pipeline-level golden test:
+// for every fact of the fixture dataset, the sparse path's Evidence —
+// question scores, query selection, document ranks, chunk texts, simulated
+// latency — must equal the dense path's bit for bit. Result-store
+// fingerprints, PR 3/4 snapshots and served verdicts all hang off this.
+func TestSparseRetrieveMatchesDenseGolden(t *testing.T) {
+	sparse, dense, d := goldenPipelines(t)
+	if len(d.Facts) < 3 {
+		t.Fatalf("fixture has %d facts, need >= 3", len(d.Facts))
+	}
+	for _, f := range d.Facts {
+		sev, err := sparse.Retrieve(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dev, err := dense.Retrieve(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(sev, dev) {
+			t.Fatalf("fact %s: sparse evidence differs from dense reference:\nsparse: %+v\ndense:  %+v", f.ID, sev, dev)
+		}
+	}
+}
+
+// TestSparseRetrieveMatchesDenseAcrossConfigs sweeps the config axes that
+// steer the rewired stages (window size, candidate cap, selected docs,
+// question threshold) and pins sparse == dense under each.
+func TestSparseRetrieveMatchesDenseAcrossConfigs(t *testing.T) {
+	sparse, dense, d := goldenPipelines(t)
+	mutate := []func(*Config){
+		func(c *Config) { c.Window = 1 },
+		func(c *Config) { c.Window = 5 },
+		func(c *Config) { c.CandidateCap = 7 },
+		func(c *Config) { c.SelectedDocs = 2 },
+		func(c *Config) { c.Tau = 0.1; c.SelectedQuestions = 5 },
+		func(c *Config) { c.FilterSKG = false },
+	}
+	f := d.Facts[1]
+	for i, m := range mutate {
+		scfg, dcfg := DefaultConfig(), DefaultConfig()
+		m(&scfg)
+		m(&dcfg)
+		sparse.Config, dense.Config = scfg, dcfg
+		sev, err := sparse.Retrieve(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dev, err := dense.Retrieve(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(sev, dev) {
+			t.Fatalf("config mutation %d: sparse evidence differs from dense", i)
+		}
+	}
+}

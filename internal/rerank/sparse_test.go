@@ -1,0 +1,83 @@
+package rerank
+
+import (
+	"reflect"
+	"testing"
+
+	"factcheck/internal/text"
+)
+
+var scorePairs = []struct{ ref, cand string }{
+	{"Marie Curie was married to Pierre Curie.", "Marie Curie and Pierre Curie: the record"},
+	{"Marie Curie was married to Pierre Curie.", "Regional news roundup"},
+	{"Who founded the company?", "The company was founded by its chairman in 1901."},
+	{"", "non-empty candidate"},
+	{"shared tokens only", "shared tokens only"},
+}
+
+// TestScoreVecMatchesScore pins the vector path bit-identical to the dense
+// Score for both calibration profiles.
+func TestScoreVecMatchesScore(t *testing.T) {
+	for _, ce := range []*CrossEncoder{NewQuestionRanker(), NewDocumentRanker()} {
+		for _, p := range scorePairs {
+			dense := ce.Score(p.ref, p.cand)
+			sparse := ce.ScoreVec(text.SparseEmbed(p.ref), p.ref, text.SparseEmbed(p.cand), p.cand)
+			if dense != sparse {
+				t.Errorf("%s: ScoreVec(%q, %q) = %v, Score = %v", ce.Name(), p.ref, p.cand, sparse, dense)
+			}
+		}
+	}
+}
+
+// TestRankFastPathMatchesDense pins Rank's vector-aware fast path (one
+// reference embedding) against the per-call dense path via DenseOnly.
+func TestRankFastPathMatchesDense(t *testing.T) {
+	ce := NewQuestionRanker()
+	ref := "Marie Curie was married to Pierre Curie."
+	cands := []string{
+		"Who was Marie Curie married to?",
+		"Was Marie Curie married to Pierre Curie?",
+		"Which prize did Marie Curie win?",
+		"Regional news roundup",
+		"",
+	}
+	fast := Rank(ce, ref, cands)
+	slow := Rank(DenseOnly(ce), ref, cands)
+	if !reflect.DeepEqual(fast, slow) {
+		t.Fatalf("Rank fast path %v != dense path %v", fast, slow)
+	}
+}
+
+// TestRankVecsMatchesRank pins the batch API over precomputed candidate
+// vectors against Rank over the raw texts.
+func TestRankVecsMatchesRank(t *testing.T) {
+	ce := NewDocumentRanker()
+	ref := "The subject was born in the capital."
+	texts := []string{
+		"The subject was born in the capital. Multiple records agree on this point.",
+		"Contrary to some claims, it is not the case that the subject was born there.",
+		"Archive digest",
+	}
+	cands := make([]Candidate, len(texts))
+	for i, c := range texts {
+		cands[i] = Candidate{Text: c, Vec: text.SparseEmbed(c)}
+	}
+	got := RankVecs(ce, text.SparseEmbed(ref), ref, cands)
+	want := Rank(ce, ref, texts)
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("RankVecs = %v, Rank = %v", got, want)
+	}
+}
+
+// TestDenseOnlyHidesVecScorer guards the baseline wrapper: the wrapped
+// scorer must not satisfy VecScorer, or benches would silently measure
+// sparse against sparse.
+func TestDenseOnlyHidesVecScorer(t *testing.T) {
+	var s Scorer = DenseOnly(NewQuestionRanker())
+	if _, ok := s.(VecScorer); ok {
+		t.Fatal("DenseOnly exposes VecScorer")
+	}
+	if s.Name() != NewQuestionRanker().Name() {
+		t.Errorf("DenseOnly changes Name: %q", s.Name())
+	}
+}

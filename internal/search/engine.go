@@ -12,6 +12,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"factcheck/internal/chunk"
 	"factcheck/internal/corpus"
 	"factcheck/internal/dataset"
 	"factcheck/internal/det"
@@ -145,9 +146,28 @@ type factPool struct {
 	scanVecs []text.Vector
 }
 
+// pooledDoc is one doc-table row: the document, its body, the full
+// "Title + body" rerank-candidate string (body aliases its tail, so the
+// concatenation costs no extra memory), the sparse embedding precomputed by
+// corpus.Materialize, and the lazily built sentence split serving sliding
+// windows of any size. The split is built only for fetched documents, so
+// the extra memory stays bounded by the fetch traffic within the
+// MaxCachedFacts shard budget.
 type pooledDoc struct {
 	doc  *corpus.Document
-	text string
+	full string // Title + " " + body
+	text string // body; substring of full
+	vec  text.SparseVector
+
+	splitOnce sync.Once
+	split     *chunk.Split
+}
+
+// sentenceSplit returns the document's sentence split, computing it on
+// first use (safe for concurrent fetchers).
+func (d *pooledDoc) sentenceSplit() *chunk.Split {
+	d.splitOnce.Do(func() { d.split = chunk.NewSplit(d.text) })
+	return d.split
 }
 
 // NewEngine builds an engine over the documents of the given datasets.
@@ -279,10 +299,23 @@ func (e *Engine) materialize(f *dataset.Fact) *factPool {
 	}
 	b := index.NewBuilder(len(ms))
 	for i, m := range ms {
-		d := &pooledDoc{doc: m.Doc, text: m.Text}
+		vec := m.Vec
+		if vec.NNZ() == 0 && len(m.Terms) > 0 {
+			// Pool sources other than corpus.Generator may fill only the
+			// term stream; embed it here so the doc table always carries a
+			// usable vector.
+			vec = text.SparseEmbedTokens(m.Terms)
+		}
+		full := m.Doc.Title + " " + m.Text
+		d := &pooledDoc{
+			doc:  m.Doc,
+			full: full,
+			text: full[len(m.Doc.Title)+1:],
+			vec:  vec,
+		}
 		p.docs[i] = d
 		p.byID[m.Doc.ID] = d
-		b.Add(m.Doc.ID, m.Terms)
+		b.AddVec(m.Doc.ID, vec)
 	}
 	p.idx = b.Build()
 	return p
@@ -296,10 +329,15 @@ func (e *Engine) Warm(factID string) error {
 	return err
 }
 
+// serpJitterScale is the magnitude of the deterministic SERP perturbation,
+// shared by the production path (which pre-hashes the query prefix) and
+// the scan reference.
+const serpJitterScale = 0.05
+
 // serpJitter is the deterministic per-(query,doc) score perturbation:
 // SERPs rank by more than lexical relevance (authority, freshness).
 func serpJitter(query, docID string) float64 {
-	return 0.05 * det.Uniform("serp", query, docID)
+	return serpJitterScale * det.Uniform("serp", query, docID)
 }
 
 // Search implements Searcher. Ranking is cosine relevance of the query to
@@ -315,9 +353,13 @@ func (e *Engine) Search(factID, query string, n int) ([]SERPItem, error) {
 	if err != nil {
 		return nil, err
 	}
-	qv := text.Embed(query)
-	hits := p.idx.TopK(qv, n, func(docID string) float64 {
-		return serpJitter(query, docID)
+	qv := text.SparseEmbed(query)
+	// One partial hash covers the ("serp", query) prefix for the whole
+	// pool; each document extends it with its ID only. Values are identical
+	// to serpJitter(query, docID).
+	key := det.NewKey("serp", query)
+	hits := p.idx.TopKSparse(qv, n, func(docID string) float64 {
+		return serpJitterScale * key.Uniform(docID)
 	})
 	out := make([]SERPItem, len(hits))
 	for i, h := range hits {
@@ -352,7 +394,7 @@ func (e *Engine) ScanSearch(factID, query string, n int) ([]SERPItem, error) {
 	p.scanOnce.Do(func() {
 		p.scanVecs = make([]text.Vector, len(p.docs))
 		for i, d := range p.docs {
-			p.scanVecs[i] = text.Embed(d.doc.Title + " " + d.text)
+			p.scanVecs[i] = text.Embed(d.full)
 		}
 	})
 	qv := text.Embed(query)
@@ -391,18 +433,88 @@ func (e *Engine) ScanSearch(factID, query string, n int) ([]SERPItem, error) {
 
 // Fetch implements Searcher with an O(1) doc-table lookup.
 func (e *Engine) Fetch(docID string) (DocPayload, error) {
-	factID, ok := factIDOfDoc(docID)
-	if !ok {
-		return DocPayload{}, fmt.Errorf("search: %w %q", ErrMalformedDocID, docID)
-	}
-	p, err := e.pool(factID)
+	d, err := e.lookup(docID)
 	if err != nil {
 		return DocPayload{}, err
 	}
+	return d.payload(), nil
+}
+
+// DocEvidence is a fetched document together with its precomputed scoring
+// state: the full "Title + body" rerank-candidate string, the sparse
+// embedding of that string (computed once at materialisation), and access
+// to the shared sentence split behind sliding-window chunking. It is what
+// the vector-aware RAG pipeline consumes instead of re-embedding and
+// re-splitting every candidate per fact.
+type DocEvidence struct {
+	DocPayload
+	// Full is Title + " " + Text, the exact candidate string document
+	// rerankers score (Text aliases its tail; no extra copy).
+	Full string
+	// Vec is the precomputed sparse embedding of Full, bit-identical to
+	// text.SparseEmbed(Full).
+	Vec text.SparseVector
+
+	pooled *pooledDoc
+}
+
+// Chunks returns the document's sliding windows of `window` sentences from
+// the doc table's cached sentence split — output-identical to
+// chunk.Sliding(DocID, Text, window).
+func (d DocEvidence) Chunks(window int) []chunk.Chunk {
+	return d.pooled.sentenceSplit().Windows(d.DocID, window)
+}
+
+// ChunkVecs returns the sparse embeddings of the document's windows of
+// `window` sentences, built from the split's single tokenize pass; entry i
+// is bit-identical to text.SparseEmbed(Chunks(window)[i].Text).
+func (d DocEvidence) ChunkVecs(window int) []text.SparseVector {
+	return d.pooled.sentenceSplit().WindowVecs(window)
+}
+
+// EvidenceFetcher is implemented by searchers whose doc table carries
+// precomputed per-document scoring state. The in-process Engine implements
+// it; the HTTP client does not (vectors don't travel over the mock API), so
+// consumers fall back to Fetch plus on-the-fly embedding.
+type EvidenceFetcher interface {
+	// FetchEvidence retrieves a document with its precomputed vector and
+	// chunk state.
+	FetchEvidence(docID string) (DocEvidence, error)
+}
+
+// FetchEvidence implements EvidenceFetcher.
+func (e *Engine) FetchEvidence(docID string) (DocEvidence, error) {
+	d, err := e.lookup(docID)
+	if err != nil {
+		return DocEvidence{}, err
+	}
+	return DocEvidence{
+		DocPayload: d.payload(),
+		Full:       d.full,
+		Vec:        d.vec,
+		pooled:     d,
+	}, nil
+}
+
+// lookup resolves a doc ID to its doc-table row.
+func (e *Engine) lookup(docID string) (*pooledDoc, error) {
+	factID, ok := factIDOfDoc(docID)
+	if !ok {
+		return nil, fmt.Errorf("search: %w %q", ErrMalformedDocID, docID)
+	}
+	p, err := e.pool(factID)
+	if err != nil {
+		return nil, err
+	}
 	d, ok := p.byID[docID]
 	if !ok {
-		return DocPayload{}, fmt.Errorf("search: %w %q", ErrUnknownDoc, docID)
+		return nil, fmt.Errorf("search: %w %q", ErrUnknownDoc, docID)
 	}
+	return d, nil
+}
+
+// payload builds the wire-form document.
+func (d *pooledDoc) payload() DocPayload {
 	return DocPayload{
 		DocID: d.doc.ID,
 		URL:   d.doc.URL,
@@ -410,7 +522,7 @@ func (e *Engine) Fetch(docID string) (DocPayload, error) {
 		Title: d.doc.Title,
 		Text:  d.text,
 		Empty: d.doc.Empty,
-	}, nil
+	}
 }
 
 // Stats summarises the index store's state.

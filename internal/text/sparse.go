@@ -1,0 +1,110 @@
+package text
+
+import (
+	"math"
+	"slices"
+)
+
+// SparseVector is the sparse form of a hashed term vector: the non-zero
+// dimensions of the equivalent dense Vector, ascending, with their weights.
+// A typical sentence has 10–40 non-zero terms out of VectorDim = 1024, so
+// sparse embedding and scoring touch two orders of magnitude less data than
+// the dense path while producing bit-identical numbers (see SparseCosine).
+type SparseVector struct {
+	// Dims holds the non-zero hashed dimensions in strictly ascending order.
+	Dims []int32
+	// Weights holds the matching term weights, (1+log tf)/‖v‖, exactly as
+	// Embed computes them.
+	Weights []float32
+}
+
+// NNZ returns the number of non-zero dimensions.
+func (v SparseVector) NNZ() int { return len(v.Dims) }
+
+// Dense expands the sparse vector to its dense equivalent. It is the
+// bridge used by equivalence tests and dense-only consumers.
+func (v SparseVector) Dense() Vector {
+	var d Vector
+	for i, dim := range v.Dims {
+		d[dim] = v.Weights[i]
+	}
+	return d
+}
+
+// SparseEmbed is Embed producing a SparseVector: Dense() of the result is
+// bit-identical to Embed(s).
+func SparseEmbed(s string) SparseVector {
+	return SparseEmbedTokens(ContentTokens(s))
+}
+
+// SparseEmbedTokens is EmbedTokens producing a SparseVector (stopwords must
+// already be removed). The weights are computed in ascending dimension
+// order — the order EmbedTokens' dense loops visit non-zero entries — so
+// every float operation matches the dense path and the result is
+// bit-identical.
+func SparseEmbedTokens(toks []string) SparseVector {
+	if len(toks) == 0 {
+		return SparseVector{}
+	}
+	dims := make([]int32, len(toks))
+	for i, t := range toks {
+		dims[i] = int32(HashToken(t))
+	}
+	slices.Sort(dims)
+
+	out := SparseVector{
+		Dims:    dims[:0],
+		Weights: make([]float32, 0, len(dims)),
+	}
+	var norm float64
+	for i := 0; i < len(dims); {
+		j := i + 1
+		for j < len(dims) && dims[j] == dims[i] {
+			j++
+		}
+		// Dense Embed counts tf by float32 increments; integer run lengths
+		// convert to the same float32 values exactly.
+		w := float32(1 + math.Log(float64(float32(j-i))))
+		out.Dims = append(out.Dims, dims[i])
+		out.Weights = append(out.Weights, w)
+		norm += float64(w) * float64(w)
+		i = j
+	}
+	if norm > 0 {
+		inv := float32(1 / math.Sqrt(norm))
+		for i := range out.Weights {
+			out.Weights[i] *= inv
+		}
+	}
+	return out
+}
+
+// SparseCosine returns the cosine similarity of two sparse vectors,
+// bit-identical to Cosine over their dense equivalents: the merge join
+// visits shared dimensions in ascending order — the order the dense loop
+// adds non-zero products — and the dimensions it skips contribute exactly
+// +0.0 to the dense accumulator, an identity under IEEE-754 addition for
+// the non-negative partial sums involved.
+func SparseCosine(a, b SparseVector) float64 {
+	var dot float64
+	i, j := 0, 0
+	for i < len(a.Dims) && j < len(b.Dims) {
+		switch {
+		case a.Dims[i] < b.Dims[j]:
+			i++
+		case a.Dims[i] > b.Dims[j]:
+			j++
+		default:
+			dot += float64(a.Weights[i]) * float64(b.Weights[j])
+			i++
+			j++
+		}
+	}
+	if dot > 1 {
+		dot = 1
+	}
+	if dot < -1 {
+		dot = -1
+	}
+	return dot
+}

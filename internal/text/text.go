@@ -7,10 +7,10 @@
 package text
 
 import (
-	"hash/fnv"
 	"math"
-	"strings"
+	"sort"
 	"unicode"
+	"unicode/utf8"
 )
 
 // stopwords is a compact English stopword list. Verification sentences are
@@ -35,13 +35,19 @@ func IsStopword(tok string) bool { return stopwords[tok] }
 // snake_case identifiers (common in KG predicates such as isMarriedTo or
 // Alexander_III_of_Russia) so that KG-encoded strings and natural language
 // share a token space.
+//
+// Runes are lower-cased as they are appended to a reused byte buffer, so
+// each token costs exactly one allocation (its string) instead of the
+// builder-grow + String + ToLower trio — tokenisation sits under every
+// embed of every corpus document, and the paper-scale corpus tokenises
+// millions of them.
 func Tokenize(s string) []string {
 	var toks []string
-	var cur strings.Builder
+	buf := make([]byte, 0, 32)
 	flush := func() {
-		if cur.Len() > 0 {
-			toks = append(toks, strings.ToLower(cur.String()))
-			cur.Reset()
+		if len(buf) > 0 {
+			toks = append(toks, string(buf))
+			buf = buf[:0]
 		}
 	}
 	prevLower := false
@@ -54,14 +60,14 @@ func Tokenize(s string) []string {
 			if (unicode.IsUpper(r) && prevLower) || prevDigit {
 				flush()
 			}
-			cur.WriteRune(r)
 			prevLower = unicode.IsLower(r)
+			buf = utf8.AppendRune(buf, unicode.ToLower(r))
 			prevDigit = false
 		case unicode.IsDigit(r):
-			if !prevDigit && cur.Len() > 0 {
+			if !prevDigit && len(buf) > 0 {
 				flush()
 			}
-			cur.WriteRune(r)
+			buf = utf8.AppendRune(buf, r)
 			prevLower = false
 			prevDigit = true
 		default:
@@ -93,11 +99,20 @@ const VectorDim = 1024
 // Vector is a dense hashed bag-of-words representation of a text.
 type Vector [VectorDim]float32
 
-// HashToken maps a token to its vector dimension.
+// HashToken maps a token to its vector dimension via FNV-1a, inlined so
+// the per-token hash is allocation- and interface-free (it runs once per
+// token of every embedded string).
 func HashToken(tok string) int {
-	h := fnv.New32a()
-	h.Write([]byte(tok))
-	return int(h.Sum32() & (VectorDim - 1))
+	const (
+		offset32 = 2166136261
+		prime32  = 16777619
+	)
+	h := uint32(offset32)
+	for i := 0; i < len(tok); i++ {
+		h ^= uint32(tok[i])
+		h *= prime32
+	}
+	return int(h & (VectorDim - 1))
 }
 
 // Embed builds a hashed term-frequency vector for s, stopwords removed,
@@ -159,34 +174,63 @@ func Similarity(a, b string) float64 {
 func Sigmoid(x float64) float64 { return 1 / (1 + math.Exp(-x)) }
 
 // Overlap returns the Jaccard overlap of the content-token sets of a and b.
+// It works on sorted, deduplicated token slices with a two-pointer
+// intersection instead of two throwaway hash sets; the quotient of the two
+// integer set sizes is unchanged.
 func Overlap(a, b string) float64 {
-	sa := map[string]bool{}
-	for _, t := range ContentTokens(a) {
-		sa[t] = true
-	}
-	sb := map[string]bool{}
-	for _, t := range ContentTokens(b) {
-		sb[t] = true
-	}
+	sa := uniqueSorted(ContentTokens(a))
+	sb := uniqueSorted(ContentTokens(b))
 	if len(sa) == 0 || len(sb) == 0 {
 		return 0
 	}
 	inter := 0
-	for t := range sa {
-		if sb[t] {
+	i, j := 0, 0
+	for i < len(sa) && j < len(sb) {
+		switch {
+		case sa[i] < sb[j]:
+			i++
+		case sa[i] > sb[j]:
+			j++
+		default:
 			inter++
+			i++
+			j++
 		}
 	}
 	return float64(inter) / float64(len(sa)+len(sb)-inter)
 }
 
+// uniqueSorted sorts toks in place and removes duplicates.
+func uniqueSorted(toks []string) []string {
+	sort.Strings(toks)
+	out := toks[:0]
+	for i, t := range toks {
+		if i == 0 || t != toks[i-1] {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
 // CountTokens approximates the LLM token count of s. Real tokenisers emit
 // roughly 1.3 tokens per whitespace word for English; we reproduce that
 // constant so the benchmark's token accounting has realistic magnitudes.
+// Words are counted in place (the same maximal non-space runs
+// strings.Fields returns) — this runs on every prompt and evidence chunk of
+// every simulated call, so it must not allocate the field slice.
 func CountTokens(s string) int {
 	if s == "" {
 		return 0
 	}
-	words := len(strings.Fields(s))
+	words := 0
+	inField := false
+	for _, r := range s {
+		if unicode.IsSpace(r) {
+			inField = false
+		} else if !inField {
+			words++
+			inField = true
+		}
+	}
 	return int(math.Ceil(float64(words) * 1.3))
 }
