@@ -24,6 +24,7 @@ import (
 
 	"factcheck/internal/accuracy"
 	"factcheck/internal/core"
+	"factcheck/internal/corpus"
 	"factcheck/internal/dataset"
 	"factcheck/internal/det"
 	"factcheck/internal/eval"
@@ -36,6 +37,7 @@ import (
 	"factcheck/internal/serve"
 	"factcheck/internal/strategy"
 	"factcheck/internal/text"
+	"factcheck/internal/world"
 )
 
 var (
@@ -672,12 +674,28 @@ func BenchmarkSearchEngine(b *testing.B) {
 
 // --- retrieval substrate benches ----------------------------------------
 
+// searchOnce issues one SERP query over the named retrieval path: "scan"
+// (dense cosine + full sort), "indexed" (posting lists + top-k heap,
+// exhaustive) or "pruned" (impact-ordered blocks + max-score skipping, the
+// production path). All three return byte-identical results (see the golden
+// ladder in internal/search); only the cost differs.
+func searchOnce(e *search.Engine, mode, factID, q string, n int) error {
+	var err error
+	switch mode {
+	case "scan":
+		_, err = e.ScanSearch(factID, q, n)
+	case "indexed":
+		_, err = e.IndexedSearch(factID, q, n)
+	default:
+		_, err = e.Search(factID, q, n)
+	}
+	return err
+}
+
 // benchmarkSearchPath measures steady-state SERP query cost — pools warmed
-// outside the timer — over the indexed (posting lists + top-k heap) or scan
-// (dense cosine + full sort) path, with `par` goroutines issuing queries
-// concurrently. Results of the two paths are byte-identical (see the golden
-// test in internal/search); only the cost differs.
-func benchmarkSearchPath(b *testing.B, indexed bool, par int) {
+// outside the timer — over one retrieval path, with `par` goroutines
+// issuing queries concurrently.
+func benchmarkSearchPath(b *testing.B, mode string, par int) {
 	bench, _, _ := grid(b)
 	facts := ablationFacts(bench, 16)
 	queries := []string{
@@ -712,13 +730,7 @@ func benchmarkSearchPath(b *testing.B, indexed bool, par int) {
 				}
 				f := facts[i%len(facts)]
 				q := queries[i%len(queries)]
-				var err error
-				if indexed {
-					_, err = bench.Engine.Search(f.ID, q, search.DefaultSERPSize)
-				} else {
-					_, err = bench.Engine.ScanSearch(f.ID, q, search.DefaultSERPSize)
-				}
-				if err != nil {
+				if err := searchOnce(bench.Engine, mode, f.ID, q, search.DefaultSERPSize); err != nil {
 					b.Error(err)
 					return
 				}
@@ -842,17 +854,86 @@ func BenchmarkColdCell(b *testing.B) {
 	b.Run("sparse", func(b *testing.B) { benchmarkColdCell(b, false) })
 }
 
-// BenchmarkSearchScan times the retired linear-scan ranking (O(pool·dims)
-// cosine + full sort) at 1 and 8 concurrent query streams.
-func BenchmarkSearchScan(b *testing.B) {
-	b.Run("par1", func(b *testing.B) { benchmarkSearchPath(b, false, 1) })
-	b.Run("par8", func(b *testing.B) { benchmarkSearchPath(b, false, 8) })
+// corpusScaleEngine builds a standalone search engine whose per-fact pools
+// follow `scale`× the paper's size distribution (mean ≈155·scale docs), so
+// the scan/indexed/pruned asymptotics separate as the corpus grows. Pools
+// for the benched facts are materialised (and both paths' per-pool state
+// warmed) outside the timer.
+func corpusScaleEngine(b *testing.B, scale int) (*search.Engine, []*dataset.Fact) {
+	b.Helper()
+	w := world.New(world.SmallConfig())
+	d := dataset.Build(w, dataset.FactBench, 0.2)
+	gen := corpus.NewGenerator(w)
+	gen.MeanDocs *= float64(scale)
+	gen.StdDocs *= float64(scale)
+	gen.MaxDocs *= scale
+	e := search.NewEngine(gen, d)
+	facts := d.Facts
+	if len(facts) > 4 {
+		facts = facts[:4]
+	}
+	for _, f := range facts {
+		if _, err := e.Search(f.ID, "warm", 1); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := e.ScanSearch(f.ID, "warm", 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return e, facts
 }
 
-// BenchmarkSearchIndexed times the posting-list + bounded-heap ranking on
-// the same workload; the gap versus BenchmarkSearchScan is the tentpole win
-// and widens with pool size and core count.
-func BenchmarkSearchIndexed(b *testing.B) {
-	b.Run("par1", func(b *testing.B) { benchmarkSearchPath(b, true, 1) })
-	b.Run("par8", func(b *testing.B) { benchmarkSearchPath(b, true, 8) })
+// benchmarkSearchScale runs steady-state SERP queries over one retrieval
+// path at a given corpus scale. Queries are fact-derived, like the RAG
+// pipeline's (the claim sentence and its entity labels) — the production
+// retrieval workload, where query terms overlap the fact's pool.
+func benchmarkSearchScale(b *testing.B, mode string, scale int) {
+	e, facts := corpusScaleEngine(b, scale)
+	type job struct{ factID, query string }
+	var jobs []job
+	for _, f := range facts {
+		c := strategy.ClaimFor(f)
+		for _, q := range []string{
+			c.Sentence,
+			f.Subject.Label + " " + f.Object.Label,
+			"evidence about " + c.Sentence,
+			"the record " + f.Object.Label,
+		} {
+			jobs = append(jobs, job{f.ID, q})
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		j := jobs[i%len(jobs)]
+		if err := searchOnce(e, mode, j.factID, j.query, search.DefaultSERPSize); err != nil {
+			b.Fatal(err)
+		}
+	}
 }
+
+// searchBench enumerates one path's sub-benchmarks: 1 and 8 concurrent
+// query streams over the shared grid fixture, plus single-stream runs at
+// growing corpus scales. The corpus-scale series is where the pruned path's
+// sublinear behaviour shows: scan grows linearly with pool size, indexed
+// with postings per query dimension, pruned only with the blocks that can
+// still beat the heap floor.
+func searchBench(b *testing.B, mode string) {
+	b.Run("par1", func(b *testing.B) { benchmarkSearchPath(b, mode, 1) })
+	b.Run("par8", func(b *testing.B) { benchmarkSearchPath(b, mode, 8) })
+	for _, scale := range []int{1, 10, 100} {
+		b.Run(fmt.Sprintf("corpus%dx", scale), func(b *testing.B) { benchmarkSearchScale(b, mode, scale) })
+	}
+}
+
+// BenchmarkSearchScan times the retired linear-scan ranking (O(pool·dims)
+// cosine + full sort).
+func BenchmarkSearchScan(b *testing.B) { searchBench(b, "scan") }
+
+// BenchmarkSearchIndexed times the exhaustive posting-list + bounded-heap
+// ranking; the gap versus BenchmarkSearchScan is PR 2's win.
+func BenchmarkSearchIndexed(b *testing.B) { searchBench(b, "indexed") }
+
+// BenchmarkSearchPruned times the production path: impact-ordered block
+// postings with max-score early termination. The gap versus
+// BenchmarkSearchIndexed is this PR's win and widens with corpus scale.
+func BenchmarkSearchPruned(b *testing.B) { searchBench(b, "pruned") }

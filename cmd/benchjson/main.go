@@ -8,9 +8,13 @@
 //	go test -bench . -benchtime 3x ./... | benchjson -o BENCH.json
 //
 // Besides the raw per-benchmark numbers, the converter derives speedup
-// ratios for dense/sparse benchmark pairs (a parent benchmark with exactly
-// the sub-benchmarks "dense" and "sparse"), the shape of this repo's
-// differential perf benches.
+// ratios between comparable variants of one benchmark group — the shape of
+// this repo's differential perf benches. A variant is recognised either as
+// a leaf sub-benchmark (BenchmarkRerankDocs/sparse) or as a camel-case
+// suffix on the top-level name (BenchmarkSearchPruned/corpus10x), so
+// scale-suffixed groups pair up too. Within a family every lower-ranked
+// variant is a baseline for every higher-ranked one: dense < sparse, and
+// scan < indexed < pruned.
 package main
 
 import (
@@ -37,12 +41,14 @@ type Benchmark struct {
 	AllocsPerOp *float64 `json:"allocs_per_op,omitempty"`
 }
 
-// Speedup is a derived dense-vs-sparse ratio.
+// Speedup is a derived baseline-vs-variant ratio for one benchmark group.
 type Speedup struct {
-	Benchmark string  `json:"benchmark"`
-	DenseNs   float64 `json:"dense_ns_per_op"`
-	SparseNs  float64 `json:"sparse_ns_per_op"`
-	// Ratio is dense / sparse: >1 means the sparse path is faster.
+	Benchmark  string  `json:"benchmark"`
+	Baseline   string  `json:"baseline"`
+	Variant    string  `json:"variant"`
+	BaselineNs float64 `json:"baseline_ns_per_op"`
+	VariantNs  float64 `json:"variant_ns_per_op"`
+	// Ratio is baseline / variant: >1 means the variant is faster.
 	Ratio float64 `json:"ratio"`
 }
 
@@ -171,49 +177,85 @@ func splitProcs(name string) (string, int) {
 	return name[:i], p
 }
 
-// deriveSpeedups emits a ratio for every parent benchmark that has exactly
-// a "dense" and a "sparse" sub-benchmark (first occurrence wins when a
-// -count run repeats lines).
-func deriveSpeedups(bs []Benchmark) []Speedup {
-	type pair struct{ dense, sparse float64 }
-	pairs := map[string]*pair{}
-	var order []string
-	get := func(parent string) *pair {
-		p, ok := pairs[parent]
-		if !ok {
-			p = &pair{}
-			pairs[parent] = p
-			order = append(order, parent)
+// variantFamilies ranks comparable benchmark variants. Within a family,
+// every lower-ranked variant is a baseline for every higher-ranked one;
+// variants from different families never pair.
+var variantFamilies = [][]string{
+	{"dense", "sparse"},
+	{"scan", "indexed", "pruned"},
+}
+
+// splitVariant extracts the variant from a benchmark name. Two spellings
+// are recognised: a variant leaf sub-benchmark (BenchmarkRerankDocs/sparse
+// -> group BenchmarkRerankDocs) and a camel-case suffix on the top-level
+// segment (BenchmarkSearchPruned/corpus10x -> group
+// BenchmarkSearch/corpus10x), which is how scale-suffixed benchmarks keep
+// their scale in the group key.
+func splitVariant(name string) (group, variant string, ok bool) {
+	if i := strings.LastIndex(name, "/"); i >= 0 {
+		leaf := name[i+1:]
+		for _, fam := range variantFamilies {
+			for _, v := range fam {
+				if leaf == v {
+					return name[:i], v, true
+				}
+			}
 		}
-		return p
 	}
+	head, rest, _ := strings.Cut(name, "/")
+	for _, fam := range variantFamilies {
+		for _, v := range fam {
+			suffix := strings.ToUpper(v[:1]) + v[1:]
+			base, found := strings.CutSuffix(head, suffix)
+			if !found || base == "" || base == "Benchmark" {
+				continue
+			}
+			if rest != "" {
+				base += "/" + rest
+			}
+			return base, v, true
+		}
+	}
+	return "", "", false
+}
+
+// deriveSpeedups emits a ratio for every (baseline, variant) pair of one
+// family present under the same benchmark group (first occurrence wins when
+// a -count run repeats lines).
+func deriveSpeedups(bs []Benchmark) []Speedup {
+	groups := map[string]map[string]float64{}
+	var order []string
 	for _, b := range bs {
-		parent, leaf, ok := strings.Cut(b.Name, "/")
+		g, v, ok := splitVariant(b.Name)
 		if !ok {
 			continue
 		}
-		switch leaf {
-		case "dense":
-			if p := get(parent); p.dense == 0 {
-				p.dense = b.NsPerOp
-			}
-		case "sparse":
-			if p := get(parent); p.sparse == 0 {
-				p.sparse = b.NsPerOp
-			}
+		m := groups[g]
+		if m == nil {
+			m = map[string]float64{}
+			groups[g] = m
+			order = append(order, g)
+		}
+		if _, dup := m[v]; !dup {
+			m[v] = b.NsPerOp
 		}
 	}
 	sort.Strings(order)
 	var out []Speedup
-	for _, parent := range order {
-		p := pairs[parent]
-		if p.dense > 0 && p.sparse > 0 {
-			out = append(out, Speedup{
-				Benchmark: parent,
-				DenseNs:   p.dense,
-				SparseNs:  p.sparse,
-				Ratio:     p.dense / p.sparse,
-			})
+	for _, g := range order {
+		m := groups[g]
+		for _, fam := range variantFamilies {
+			for i, base := range fam {
+				for _, v := range fam[i+1:] {
+					bn, vn := m[base], m[v]
+					if bn > 0 && vn > 0 {
+						out = append(out, Speedup{
+							Benchmark: g, Baseline: base, Variant: v,
+							BaselineNs: bn, VariantNs: vn, Ratio: bn / vn,
+						})
+					}
+				}
+			}
 		}
 	}
 	return out

@@ -57,13 +57,90 @@ func TestDeriveSpeedups(t *testing.T) {
 	if len(doc.Speedups) != 2 {
 		t.Fatalf("derived %d speedups, want 2: %+v", len(doc.Speedups), doc.Speedups)
 	}
-	// Sorted by parent name: ColdCell before RerankDocs.
+	// Sorted by group name: ColdCell before RerankDocs. The lone
+	// BenchmarkSearchIndexed/par1 has no scan or pruned sibling, so it
+	// yields no pair.
 	cc := doc.Speedups[0]
-	if cc.Benchmark != "BenchmarkColdCell" {
-		t.Fatalf("first speedup is %q", cc.Benchmark)
+	if cc.Benchmark != "BenchmarkColdCell" || cc.Baseline != "dense" || cc.Variant != "sparse" {
+		t.Fatalf("first speedup is %+v", cc)
 	}
 	if want := 185017352.0 / 55315806.0; cc.Ratio != want {
 		t.Errorf("ColdCell ratio = %v, want %v", cc.Ratio, want)
+	}
+}
+
+func TestSplitVariant(t *testing.T) {
+	tests := []struct {
+		name, group, variant string
+		ok                   bool
+	}{
+		{"BenchmarkColdCell/dense", "BenchmarkColdCell", "dense", true},
+		{"BenchmarkRerankDocs/sparse", "BenchmarkRerankDocs", "sparse", true},
+		{"BenchmarkSearchScan/corpus10x", "BenchmarkSearch/corpus10x", "scan", true},
+		{"BenchmarkSearchIndexed/corpus10x", "BenchmarkSearch/corpus10x", "indexed", true},
+		{"BenchmarkSearchPruned/corpus100x", "BenchmarkSearch/corpus100x", "pruned", true},
+		{"BenchmarkSearchIndexed/par1", "BenchmarkSearch/par1", "indexed", true},
+		{"BenchmarkSearchPruned", "BenchmarkSearch", "pruned", true},
+		{"BenchmarkTopKWarm/pruned", "BenchmarkTopKWarm", "pruned", true},
+		{"BenchmarkOverlap", "", "", false},
+		{"BenchmarkScan", "", "", false}, // bare "Benchmark" is not a group
+		{"BenchmarkColdCell/other", "", "", false},
+	}
+	for _, tc := range tests {
+		g, v, ok := splitVariant(tc.name)
+		if g != tc.group || v != tc.variant || ok != tc.ok {
+			t.Errorf("splitVariant(%q) = (%q, %q, %v), want (%q, %q, %v)",
+				tc.name, g, v, ok, tc.group, tc.variant, tc.ok)
+		}
+	}
+}
+
+// TestDeriveSpeedupTriples: a scan/indexed/pruned triple at two corpus
+// scales yields every ordered pair per scale, and families never mix.
+func TestDeriveSpeedupTriples(t *testing.T) {
+	const triple = `BenchmarkSearchScan/corpus1x-4      10   100000 ns/op
+BenchmarkSearchIndexed/corpus1x-4   10    40000 ns/op
+BenchmarkSearchPruned/corpus1x-4    10    20000 ns/op
+BenchmarkSearchScan/corpus10x-4     10  1000000 ns/op
+BenchmarkSearchPruned/corpus10x-4   10   100000 ns/op
+BenchmarkTopKWarm/indexed-4        100    20000 ns/op	0 B/op	0 allocs/op
+BenchmarkTopKWarm/pruned-4         100    10000 ns/op	0 B/op	0 allocs/op
+`
+	doc, err := Parse(strings.NewReader(triple))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Speedup{
+		{"BenchmarkSearch/corpus10x", "scan", "pruned", 1000000, 100000, 10},
+		{"BenchmarkSearch/corpus1x", "scan", "indexed", 100000, 40000, 2.5},
+		{"BenchmarkSearch/corpus1x", "scan", "pruned", 100000, 20000, 5},
+		{"BenchmarkSearch/corpus1x", "indexed", "pruned", 40000, 20000, 2},
+		{"BenchmarkTopKWarm", "indexed", "pruned", 20000, 10000, 2},
+	}
+	if len(doc.Speedups) != len(want) {
+		t.Fatalf("derived %d speedups, want %d: %+v", len(doc.Speedups), len(want), doc.Speedups)
+	}
+	for i, w := range want {
+		if doc.Speedups[i] != w {
+			t.Errorf("speedup %d = %+v, want %+v", i, doc.Speedups[i], w)
+		}
+	}
+}
+
+// TestDeriveSpeedupFirstWins: -count reruns repeat lines; the first
+// occurrence of each variant is the one recorded.
+func TestDeriveSpeedupFirstWins(t *testing.T) {
+	const repeated = `BenchmarkColdCell/dense-4    5   200 ns/op
+BenchmarkColdCell/sparse-4   5   100 ns/op
+BenchmarkColdCell/dense-4    5   999 ns/op
+BenchmarkColdCell/sparse-4   5   999 ns/op
+`
+	doc, err := Parse(strings.NewReader(repeated))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.Speedups) != 1 || doc.Speedups[0].Ratio != 2 {
+		t.Fatalf("speedups = %+v, want one dense/sparse pair at ratio 2", doc.Speedups)
 	}
 }
 

@@ -281,6 +281,22 @@ func fetchTargets(client *http.Client, addr string) ([]target, error) {
 	return ts, nil
 }
 
+// fetchStats snapshots the server's /statsz counters; loadgen prints the
+// retrieval block so per-layer reports show how much posting-list work the
+// run induced (and how much the pruned top-k skipped).
+func fetchStats(client *http.Client, addr string) (serve.Stats, error) {
+	var st serve.Stats
+	resp, err := client.Get(addr + "/statsz")
+	if err != nil {
+		return st, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return st, fmt.Errorf("GET /statsz: status %d", resp.StatusCode)
+	}
+	return st, json.NewDecoder(resp.Body).Decode(&st)
+}
+
 func run(args []string, out io.Writer) error {
 	fs := newFlagSet()
 	if err := fs.fs.Parse(args); err != nil {
@@ -376,6 +392,13 @@ func run(args []string, out io.Writer) error {
 		percentile(latencies, 0.50), percentile(latencies, 0.95),
 		percentile(latencies, 0.99), percentile(latencies, 1.0))
 	fmt.Fprintf(out, "sources: lru=%d store=%d computed=%d\n", sources["lru"], sources["store"], sources["computed"])
+	if st, err := fetchStats(client, addr); err != nil {
+		fmt.Fprintf(out, "retrieval: unavailable (%v)\n", err)
+	} else {
+		fmt.Fprintf(out, "retrieval: queries=%d postings_touched=%d blocks_skipped=%d docs_scored=%d\n",
+			st.Retrieval.SearchQueries, st.Retrieval.PostingsTouched,
+			st.Retrieval.BlocksSkipped, st.Retrieval.DocsScored)
+	}
 	fmt.Fprintf(out, "digest: %016x (%d distinct verdicts)\n", digest, len(verdicts))
 	if *fs.digest != "" {
 		// A rejected request's verdict never entered the map, so the

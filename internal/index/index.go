@@ -7,6 +7,14 @@
 // bounded min-heap, replacing the full O(pool · log pool) sort with
 // O(pool · log k).
 //
+// Beyond the exhaustive paths (TopK over a dense query, TopKSparse over a
+// sparse one), the index carries an impact-ordered block layout — each
+// dimension's posting list cut into fixed-size blocks with per-block and
+// per-dimension max weights, blocks visited in descending-max order — that
+// powers TopKPruned, a max-score/WAND-style early-termination top-k which
+// skips whole blocks provably unable to reach the running heap floor (see
+// pruned.go for the provable-skip invariant).
+//
 // Determinism contract: for any query q and document d, the accumulated
 // score equals text.Cosine(text.Embed(q), text.Embed(title+" "+body)) bit
 // for bit. Accumulation visits query dimensions in ascending order — the
@@ -14,12 +22,12 @@
 // contribute exactly +0.0, which is an identity under IEEE-754 addition for
 // the non-negative partial sums involved. The selected top k under the
 // total order (score desc, doc ID asc) is therefore byte-identical to
-// sorting the full pool and truncating.
+// sorting the full pool and truncating — for all three paths.
 package index
 
 import (
+	"math"
 	"slices"
-	"strings"
 
 	"factcheck/internal/text"
 )
@@ -32,13 +40,51 @@ type Posting struct {
 	Weight float32
 }
 
+// DefaultBlockSize is the posting-block length the builder uses unless
+// overridden: small enough that one cold block skip saves real work on the
+// paper's ~155-doc pools, large enough that block metadata stays a few
+// percent of posting memory at 10×/100× corpus scale.
+const DefaultBlockSize = 64
+
+// block is one fixed-size slice of a dimension's posting list. Postings
+// within a block stay document-ascending; the per-dimension block *order*
+// is descending by Max, so pruned traversal sees the highest upper bounds
+// first and can stop at the first block that cannot beat the heap floor.
+type block struct {
+	// Off and N delimit the block's postings within the dimension's list.
+	Off, N int32
+	// Max is the largest weight in the block: Weight <= Max for every
+	// posting of the block, so qw·Max bounds the block's contribution.
+	Max float32
+}
+
+// dimList is one dimension's postings plus its pruning metadata.
+type dimList struct {
+	// postings is the full list, document ascending (the exhaustive paths
+	// scan it directly).
+	postings []Posting
+	// blocks is the impact-ordered block layout: sorted by (Max desc,
+	// Off asc), covering postings exactly.
+	blocks []block
+	// max is the dimension's largest weight (the first block's Max).
+	max float32
+}
+
 // Index is an immutable inverted index over one document pool.
 type Index struct {
-	// postings maps a hashed term dimension to its posting list, document
-	// ascending. Dimensions absent from every document are absent here.
-	postings map[int][]Posting
+	// dims maps a hashed term dimension to its posting list and block
+	// metadata. Dimensions absent from every document are absent here.
+	dims map[int32]*dimList
 	// ids is the pool-ordered document ID table.
 	ids []string
+	// docOff/docDims/docWts are the forward store: document d's sparse
+	// vector is docDims[docOff[d]:docOff[d+1]] (ascending dimensions) with
+	// matching weights. TopKPruned scores a surviving candidate by merge-
+	// joining the query against this row — the same ascending-dimension
+	// product order as the dense loop, hence bit-identical scores.
+	docOff  []int32
+	docDims []int32
+	docWts  []float32
 	// nPostings is the total posting count, for stats.
 	nPostings int
 }
@@ -46,17 +92,33 @@ type Index struct {
 // Builder accumulates documents into an Index. Documents must be added in
 // pool order; the builder is not safe for concurrent use.
 type Builder struct {
-	postings map[int][]Posting
-	ids      []string
-	n        int
+	dims      map[int32]*dimList
+	ids       []string
+	docOff    []int32
+	docDims   []int32
+	docWts    []float32
+	n         int
+	blockSize int
 }
 
 // NewBuilder returns a builder sized for about capHint documents.
 func NewBuilder(capHint int) *Builder {
 	return &Builder{
-		postings: make(map[int][]Posting),
-		ids:      make([]string, 0, capHint),
+		dims:      make(map[int32]*dimList),
+		ids:       make([]string, 0, capHint),
+		docOff:    append(make([]int32, 0, capHint+1), 0),
+		blockSize: DefaultBlockSize,
 	}
+}
+
+// WithBlockSize overrides the posting-block length (tests use tiny blocks
+// to force cross-block boundaries on small pools). Must be called before
+// the first Add; returns the builder for chaining.
+func (b *Builder) WithBlockSize(n int) *Builder {
+	if n > 0 {
+		b.blockSize = n
+	}
+	return b
 }
 
 // Add indexes one document from its term stream (content tokens of
@@ -75,16 +137,67 @@ func (b *Builder) AddVec(docID string, v text.SparseVector) {
 	doc := int32(len(b.ids))
 	b.ids = append(b.ids, docID)
 	for i, dim := range v.Dims {
-		b.postings[int(dim)] = append(b.postings[int(dim)], Posting{Doc: doc, Weight: v.Weights[i]})
+		dl, ok := b.dims[dim]
+		if !ok {
+			dl = &dimList{}
+			b.dims[dim] = dl
+		}
+		dl.postings = append(dl.postings, Posting{Doc: doc, Weight: v.Weights[i]})
 		b.n++
 	}
+	b.docDims = append(b.docDims, v.Dims...)
+	b.docWts = append(b.docWts, v.Weights...)
+	b.docOff = append(b.docOff, int32(len(b.docDims)))
 }
 
-// Build finalises the index. The builder must not be reused afterwards.
+// Build finalises the index: per-dimension maxima and the impact-ordered
+// block layout are computed here, once, so every later query prunes against
+// immutable metadata. The builder must not be reused afterwards.
 func (b *Builder) Build() *Index {
-	ix := &Index{postings: b.postings, ids: b.ids, nPostings: b.n}
-	b.postings = nil
+	bs := int32(b.blockSize)
+	for _, dl := range b.dims {
+		n := int32(len(dl.postings))
+		dl.blocks = make([]block, 0, (n+bs-1)/bs)
+		for off := int32(0); off < n; off += bs {
+			ln := min(bs, n-off)
+			mx := float32(0)
+			for _, p := range dl.postings[off : off+ln] {
+				if p.Weight > mx {
+					mx = p.Weight
+				}
+			}
+			dl.blocks = append(dl.blocks, block{Off: off, N: ln, Max: mx})
+		}
+		// Impact order: highest block max first; offset ascending on ties
+		// keeps the layout deterministic.
+		slices.SortFunc(dl.blocks, func(a, c block) int {
+			switch {
+			case a.Max > c.Max:
+				return -1
+			case a.Max < c.Max:
+				return 1
+			case a.Off < c.Off:
+				return -1
+			case a.Off > c.Off:
+				return 1
+			}
+			return 0
+		})
+		dl.max = dl.blocks[0].Max
+	}
+	ix := &Index{
+		dims:      b.dims,
+		ids:       b.ids,
+		docOff:    b.docOff,
+		docDims:   b.docDims,
+		docWts:    b.docWts,
+		nPostings: b.n,
+	}
+	b.dims = nil
 	b.ids = nil
+	b.docOff = nil
+	b.docDims = nil
+	b.docWts = nil
 	return ix
 }
 
@@ -93,6 +206,15 @@ func (ix *Index) Docs() int { return len(ix.ids) }
 
 // Postings returns the total number of postings (non-zero term weights).
 func (ix *Index) Postings() int { return ix.nPostings }
+
+// Blocks returns the total posting-block count across all dimensions.
+func (ix *Index) Blocks() int {
+	n := 0
+	for _, dl := range ix.dims {
+		n += len(dl.blocks)
+	}
+	return n
+}
 
 // ID returns the doc ID at pool position i.
 func (ix *Index) ID(i int) string { return ix.ids[i] }
@@ -107,12 +229,78 @@ type Hit struct {
 	Score float64
 }
 
+// PruneStats counts the work of one TopKPruned call. The exhaustive paths
+// leave it zero.
+type PruneStats struct {
+	// PostingsTouched counts postings read: block postings examined plus
+	// forward-store entries consumed while exact-scoring candidates.
+	PostingsTouched int
+	// BlocksSkipped counts posting blocks proven unable to reach the heap
+	// floor and never read (including blocks of whole dimensions the
+	// suffix bound eliminated).
+	BlocksSkipped int
+	// DocsScored counts documents exact-scored (candidates plus any
+	// perturbation-only sweep).
+	DocsScored int
+}
+
+// Arena holds the per-query scratch state of the top-k paths: dense
+// accumulators, the bounded heap, the pruned path's candidate keys and
+// floor histograms. Reusing one arena across queries makes warm top-k
+// calls allocation-free; the engine pools arenas behind a sync.Pool. An
+// Arena is not safe for concurrent use, and the hit slice a top-k call
+// returns aliases the arena — copy it out before the next call on the
+// same arena.
+type Arena struct {
+	acc   []float64
+	hits  []Hit
+	keys  []uint64
+	tmp   []Hit
+	qdims []qdim
+	sfx   []float64
+	// hist buckets clamped partial accumulators during traversal — each a
+	// lower bound on its document's final score — and the final clamped
+	// accumulators once traversal ends. histFloor turns "k entries at or
+	// above an edge" into a provable lower bound on the k-th best score.
+	hist [histBuckets]int32
+	// Stats describes the last TopKPruned call on this arena.
+	Stats PruneStats
+}
+
+// qdim is one query dimension resolved against the index, carrying its
+// max-score contribution bound.
+type qdim struct {
+	qw float64 // query weight, widened once
+	c  float64 // qw·dimMax: the dimension's max possible contribution
+	dl *dimList
+}
+
+// accumulator returns a zeroed n-sized accumulator from the arena.
+func (a *Arena) accumulator(n int) []float64 {
+	if cap(a.acc) < n {
+		a.acc = make([]float64, n)
+	}
+	a.acc = a.acc[:n]
+	clear(a.acc)
+	return a.acc
+}
+
+// heap returns an empty k-capacity hit buffer from the arena.
+func (a *Arena) heap(k int) []Hit {
+	if cap(a.hits) < k {
+		a.hits = make([]Hit, 0, k)
+	}
+	return a.hits[:0]
+}
+
 // TopK scores every pool document against the query vector and returns the
 // k best under (score desc, doc ID asc). perturb, when non-nil, adds an
 // extra per-document score component (the engine's deterministic SERP
 // jitter) after the cosine is clamped to [0,1] — every document receives
-// it, including those sharing no term with the query.
-func (ix *Index) TopK(q text.Vector, k int, perturb func(docID string) float64) []Hit {
+// it, including those sharing no term with the query. a may be nil (a
+// temporary arena is allocated); when non-nil the returned slice aliases
+// it.
+func (ix *Index) TopK(q text.Vector, k int, perturb func(docID string) float64, a *Arena) []Hit {
 	n := len(ix.ids)
 	if k > n {
 		k = n
@@ -120,20 +308,27 @@ func (ix *Index) TopK(q text.Vector, k int, perturb func(docID string) float64) 
 	if k <= 0 || n == 0 {
 		return nil
 	}
+	if a == nil {
+		a = &Arena{}
+	}
 	// Term-at-a-time accumulation, query dimensions ascending: each
 	// document's accumulator receives exactly the non-zero products of the
 	// dense cosine loop, in the same order.
-	acc := make([]float64, n)
+	acc := a.accumulator(n)
 	for dim := 0; dim < text.VectorDim; dim++ {
 		qw := q[dim]
 		if qw == 0 {
 			continue
 		}
-		for _, p := range ix.postings[dim] {
+		dl, ok := ix.dims[int32(dim)]
+		if !ok {
+			continue
+		}
+		for _, p := range dl.postings {
 			acc[p.Doc] += float64(qw) * float64(p.Weight)
 		}
 	}
-	return ix.selectTopK(acc, k, perturb)
+	return ix.selectTopK(acc, k, perturb, a)
 }
 
 // TopKSparse is TopK over a sparse query vector: accumulation skips the
@@ -141,7 +336,7 @@ func (ix *Index) TopK(q text.Vector, k int, perturb func(docID string) float64) 
 // dimensions — already ascending in a SparseVector — so the accumulated
 // scores, and therefore the selected top k, are bit-identical to TopK over
 // the dense equivalent.
-func (ix *Index) TopKSparse(q text.SparseVector, k int, perturb func(docID string) float64) []Hit {
+func (ix *Index) TopKSparse(q text.SparseVector, k int, perturb func(docID string) float64, a *Arena) []Hit {
 	n := len(ix.ids)
 	if k > n {
 		k = n
@@ -149,30 +344,31 @@ func (ix *Index) TopKSparse(q text.SparseVector, k int, perturb func(docID strin
 	if k <= 0 || n == 0 {
 		return nil
 	}
-	acc := make([]float64, n)
+	if a == nil {
+		a = &Arena{}
+	}
+	acc := a.accumulator(n)
 	for i, dim := range q.Dims {
+		dl, ok := ix.dims[dim]
+		if !ok {
+			continue
+		}
 		qw := q.Weights[i]
-		for _, p := range ix.postings[int(dim)] {
+		for _, p := range dl.postings {
 			acc[p.Doc] += float64(qw) * float64(p.Weight)
 		}
 	}
-	return ix.selectTopK(acc, k, perturb)
+	return ix.selectTopK(acc, k, perturb, a)
 }
 
 // selectTopK turns the accumulated cosines into the k best hits under
 // (score desc, doc ID asc), applying the clamp and the perturbation.
-func (ix *Index) selectTopK(acc []float64, k int, perturb func(docID string) float64) []Hit {
+func (ix *Index) selectTopK(acc []float64, k int, perturb func(docID string) float64, a *Arena) []Hit {
 	n := len(ix.ids)
 	// Bounded min-heap of the k best seen so far; the root is the current
 	// worst, ordered by (score asc, doc ID desc) so "worse than root" means
 	// "not in the top k".
-	h := make([]Hit, 0, k)
-	worse := func(a, b Hit) bool {
-		if a.Score != b.Score {
-			return a.Score < b.Score
-		}
-		return a.ID > b.ID
-	}
+	h := a.heap(k)
 	for i := 0; i < n; i++ {
 		s := acc[i]
 		// Mirror text.Cosine's clamp before the perturbation is applied.
@@ -183,34 +379,77 @@ func (ix *Index) selectTopK(acc []float64, k int, perturb func(docID string) flo
 		if perturb != nil {
 			s += perturb(id)
 		}
-		hit := Hit{Doc: i, ID: id, Score: s}
-		if len(h) < k {
-			h = append(h, hit)
-			siftUp(h, len(h)-1, worse)
-			continue
-		}
-		if worse(hit, h[0]) {
-			continue
-		}
-		h[0] = hit
-		siftDown(h, 0, worse)
+		h = pushHit(h, k, Hit{Doc: i, ID: id, Score: s})
 	}
-	// (score desc, ID asc) is a total order — IDs are unique — so the
-	// non-reflective generic sort yields the same permutation the retired
-	// sort.Slice did.
-	slices.SortFunc(h, func(a, b Hit) int {
-		switch {
-		case a.Score > b.Score:
-			return -1
-		case a.Score < b.Score:
-			return 1
-		}
-		return strings.Compare(a.ID, b.ID)
-	})
+	return sortHits(h, a)
+}
+
+// pushHit offers a hit to the bounded min-heap, evicting the current floor
+// when the hit beats it.
+func pushHit(h []Hit, k int, hit Hit) []Hit {
+	if len(h) < k {
+		h = append(h, hit)
+		siftUp(h, len(h)-1)
+		return h
+	}
+	if worse(hit, h[0]) {
+		return h
+	}
+	h[0] = hit
+	siftDown(h, 0)
 	return h
 }
 
-func siftUp(h []Hit, i int, worse func(a, b Hit) bool) {
+// worse orders hits (score asc, doc ID desc): "worse than the heap root"
+// means "not in the top k".
+func worse(a, b Hit) bool {
+	if a.Score != b.Score {
+		return a.Score < b.Score
+	}
+	return a.ID > b.ID
+}
+
+// sortHits orders the selected hits (score desc, ID asc) — a total order,
+// IDs are unique — yielding the same permutation the retired sort.Slice
+// did. The hits sort through packed keys — float32-rounded score bits
+// inverted in the high word (ascending uint64 order = descending score),
+// the hit's position low — so the bulk of the work is a closure-free
+// uint64 sort instead of a generic sort dragging 32-byte structs through a
+// comparator. float32 rounding is monotone, so it can only collapse
+// near-equal scores, never reorder distinct ones; runs that collide in
+// float32 (scores within one ulp) are re-ordered by the exact comparator
+// afterwards.
+func sortHits(h []Hit, a *Arena) []Hit {
+	if len(h) < 2 {
+		return h
+	}
+	keys := a.keys[:0]
+	for i, t := range h {
+		keys = append(keys, uint64(^math.Float32bits(float32(t.Score)))<<32|uint64(uint32(i)))
+	}
+	a.keys = keys
+	slices.Sort(keys)
+	tmp := append(a.tmp[:0], h...)
+	a.tmp = tmp
+	for i, key := range keys {
+		h[i] = tmp[uint32(key)]
+	}
+	for s := 0; s < len(h); {
+		e := s + 1
+		for e < len(h) && keys[e]>>32 == keys[s]>>32 {
+			e++
+		}
+		for i := s + 1; i < e; i++ {
+			for j := i; j > s && worse(h[j-1], h[j]); j-- {
+				h[j-1], h[j] = h[j], h[j-1]
+			}
+		}
+		s = e
+	}
+	return h
+}
+
+func siftUp(h []Hit, i int) {
 	for i > 0 {
 		parent := (i - 1) / 2
 		if !worse(h[i], h[parent]) {
@@ -221,7 +460,7 @@ func siftUp(h []Hit, i int, worse func(a, b Hit) bool) {
 	}
 }
 
-func siftDown(h []Hit, i int, worse func(a, b Hit) bool) {
+func siftDown(h []Hit, i int) {
 	for {
 		least := i
 		if l := 2*i + 1; l < len(h) && worse(h[l], h[least]) {

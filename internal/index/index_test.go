@@ -71,7 +71,7 @@ func TestTopKMatchesDenseScan(t *testing.T) {
 	for _, q := range queries {
 		qv := text.Embed(q)
 		for _, k := range []int{1, 3, 10, 50, 100} {
-			got := ix.TopK(qv, k, perturb)
+			got := ix.TopK(qv, k, perturb, nil)
 			want := scanRank(qv, vecs, ids, k, perturb)
 			if len(got) != len(want) {
 				t.Fatalf("q=%q k=%d: %d hits, want %d", q, k, len(got), len(want))
@@ -95,7 +95,7 @@ func TestTopKTieBreakByDocID(t *testing.T) {
 		b.Add(id, []string{"same", "tokens"})
 	}
 	ix := b.Build()
-	hits := ix.TopK(text.Embed("same tokens"), 4, nil)
+	hits := ix.TopK(text.Embed("same tokens"), 4, nil, nil)
 	want := []string{"f-d0000", "f-d0001", "f-d0002", "f-d0003"}
 	for i, w := range want {
 		if hits[i].ID != w {
@@ -106,17 +106,17 @@ func TestTopKTieBreakByDocID(t *testing.T) {
 
 func TestTopKEdgeCases(t *testing.T) {
 	ix, _, _ := buildFixture(5)
-	if got := ix.TopK(text.Embed("anything"), 0, nil); got != nil {
+	if got := ix.TopK(text.Embed("anything"), 0, nil, nil); got != nil {
 		t.Errorf("k=0: got %d hits, want none", len(got))
 	}
-	if got := ix.TopK(text.Embed("anything"), -1, nil); got != nil {
+	if got := ix.TopK(text.Embed("anything"), -1, nil, nil); got != nil {
 		t.Errorf("k<0: got %d hits, want none", len(got))
 	}
-	if got := ix.TopK(text.Embed("anything"), 99, nil); len(got) != 5 {
+	if got := ix.TopK(text.Embed("anything"), 99, nil, nil); len(got) != 5 {
 		t.Errorf("k>pool: got %d hits, want 5", len(got))
 	}
 	empty := NewBuilder(0).Build()
-	if got := empty.TopK(text.Embed("anything"), 10, nil); got != nil {
+	if got := empty.TopK(text.Embed("anything"), 10, nil, nil); got != nil {
 		t.Errorf("empty index: got %d hits, want none", len(got))
 	}
 	if empty.Docs() != 0 || empty.Postings() != 0 {

@@ -1,0 +1,260 @@
+package index
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"reflect"
+	"strings"
+	"testing"
+
+	"factcheck/internal/det"
+	"factcheck/internal/text"
+)
+
+// prunedEqualSparse asserts the full golden ladder rung at the index level:
+// TopKPruned == TopKSparse, byte for byte (DeepEqual covers Doc, ID and the
+// float64 Score bits).
+func prunedEqualSparse(t *testing.T, ix *Index, q text.SparseVector, k int, perturb func(string) float64, bound float64, label string) {
+	t.Helper()
+	want := ix.TopKSparse(q, k, perturb, nil)
+	got := ix.TopKPruned(q, k, perturb, bound, nil)
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("%s: pruned != sparse\npruned: %v\nsparse: %v", label, got, want)
+	}
+}
+
+// TestTopKPrunedMatchesSparse sweeps queries, k values, perturbations and
+// block sizes over a mixed fixture: every combination must be
+// byte-identical to the exhaustive path.
+func TestTopKPrunedMatchesSparse(t *testing.T) {
+	docs := []string{
+		"alpha beta gamma delta",
+		"alpha alpha beta",
+		"gamma delta epsilon zeta",
+		"unrelated filler content entirely",
+		"alpha beta gamma delta epsilon zeta eta theta",
+		"",
+		"beta beta beta gamma",
+		"zeta eta theta iota",
+		"alpha epsilon iota",
+		"delta delta gamma",
+	}
+	queries := []string{"alpha beta", "epsilon zeta eta", "nothing matches here", "", "delta", "alpha beta gamma delta epsilon"}
+	perturbs := []struct {
+		fn    func(string) float64
+		bound float64
+	}{
+		{nil, 0},
+		{func(id string) float64 { return 0.05 * det.Uniform("serp", "q", id) }, 0.05},
+	}
+	for _, bs := range []int{1, 2, 3, 7, DefaultBlockSize} {
+		b := NewBuilder(len(docs)).WithBlockSize(bs)
+		for i, d := range docs {
+			b.Add(fmt.Sprintf("f-d%04d", i), text.ContentTokens(d))
+		}
+		ix := b.Build()
+		for _, q := range queries {
+			for pi, p := range perturbs {
+				for _, k := range []int{0, 1, 3, 6, len(docs), 99} {
+					prunedEqualSparse(t, ix, text.SparseEmbed(q), k, p.fn, p.bound,
+						fmt.Sprintf("bs=%d q=%q perturb=%d k=%d", bs, q, pi, k))
+				}
+			}
+		}
+	}
+}
+
+// TestTopKPrunedRandomized is a seeded fuzz sweep: random corpora, random
+// queries, every block size — pruned must stay byte-identical to sparse.
+func TestTopKPrunedRandomized(t *testing.T) {
+	vocab := strings.Fields("alpha beta gamma delta epsilon zeta eta theta iota kappa lambada muon neutrino quark boson lepton hadron photon gluon tachyon")
+	rng := det.Source("pruned-fuzz")
+	for trial := 0; trial < 30; trial++ {
+		n := 1 + rng.IntN(60)
+		bs := 1 + rng.IntN(9)
+		b := NewBuilder(n).WithBlockSize(bs)
+		for i := 0; i < n; i++ {
+			var toks []string
+			for w := rng.IntN(12); w > 0; w-- {
+				toks = append(toks, vocab[rng.IntN(len(vocab))])
+			}
+			b.Add(fmt.Sprintf("f-d%04d", i), toks)
+		}
+		ix := b.Build()
+		var qtoks []string
+		for w := rng.IntN(6); w > 0; w-- {
+			qtoks = append(qtoks, vocab[rng.IntN(len(vocab))])
+		}
+		q := text.SparseEmbed(strings.Join(qtoks, " "))
+		k := 1 + rng.IntN(n+3)
+		perturb := func(id string) float64 { return 0.05 * det.Uniform("serp", fmt.Sprint(trial), id) }
+		prunedEqualSparse(t, ix, q, k, perturb, 0.05, fmt.Sprintf("trial=%d n=%d bs=%d k=%d", trial, n, bs, k))
+	}
+}
+
+// FuzzTopKPruned lets the fuzzer pick corpus shape, block size, k and the
+// query; the invariant is always byte-equality with the exhaustive path.
+func FuzzTopKPruned(f *testing.F) {
+	f.Add(uint64(1), 3, 2, "alpha beta")
+	f.Add(uint64(7), 1, 1, "gamma")
+	f.Add(uint64(42), 100, 64, "")
+	f.Fuzz(func(t *testing.T, seed uint64, k, bs int, query string) {
+		if k < -1 || k > 1000 || bs < 0 || bs > 256 || len(query) > 200 {
+			t.Skip()
+		}
+		vocab := []string{"alpha", "beta", "gamma", "delta", "epsilon", "zeta", "eta"}
+		rng := rand.New(rand.NewPCG(seed, seed^0x9e3779b9))
+		n := int(1 + rng.Uint64()%40)
+		b := NewBuilder(n).WithBlockSize(bs)
+		for i := 0; i < n; i++ {
+			var toks []string
+			for w := rng.Uint64() % 10; w > 0; w-- {
+				toks = append(toks, vocab[rng.Uint64()%uint64(len(vocab))])
+			}
+			b.Add(fmt.Sprintf("f-d%04d", i), toks)
+		}
+		ix := b.Build()
+		perturb := func(id string) float64 { return 0.05 * det.Uniform("serp", query, id) }
+		want := ix.TopKSparse(text.SparseEmbed(query), k, perturb, nil)
+		got := ix.TopKPruned(text.SparseEmbed(query), k, perturb, 0.05, nil)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("pruned != sparse for seed=%d k=%d bs=%d q=%q", seed, k, bs, query)
+		}
+	})
+}
+
+// TestTopKPrunedEdgeCases covers the degenerate inputs: k <= 0, k beyond
+// the pool, an all-zero query vector and an empty index.
+func TestTopKPrunedEdgeCases(t *testing.T) {
+	b := NewBuilder(5)
+	for i := 0; i < 5; i++ {
+		b.Add(fmt.Sprintf("f-d%04d", i), []string{"alpha", "beta"})
+	}
+	ix := b.Build()
+	perturb := func(id string) float64 { return 0.05 * det.Uniform("edge", id) }
+	if got := ix.TopKPruned(text.SparseEmbed("alpha"), 0, perturb, 0.05, nil); got != nil {
+		t.Errorf("k=0: got %d hits, want none", len(got))
+	}
+	if got := ix.TopKPruned(text.SparseEmbed("alpha"), -3, perturb, 0.05, nil); got != nil {
+		t.Errorf("k<0: got %d hits, want none", len(got))
+	}
+	if got := ix.TopKPruned(text.SparseEmbed("alpha"), 99, perturb, 0.05, nil); len(got) != 5 {
+		t.Errorf("k>pool: got %d hits, want 5", len(got))
+	}
+	// All-zero query: every document scores clamp(0)+perturb, exactly as
+	// the exhaustive accumulator would.
+	prunedEqualSparse(t, ix, text.SparseVector{}, 3, perturb, 0.05, "all-zero query")
+	if got := ix.TopKPruned(text.SparseVector{}, 2, nil, 0, nil); len(got) != 2 ||
+		got[0].ID != "f-d0000" || got[1].ID != "f-d0001" {
+		t.Errorf("all-zero query, nil perturb: got %v, want the two smallest IDs at score 0", got)
+	}
+	empty := NewBuilder(0).Build()
+	if got := empty.TopKPruned(text.SparseEmbed("alpha"), 4, perturb, 0.05, nil); got != nil {
+		t.Errorf("empty index: got %d hits, want none", len(got))
+	}
+}
+
+// TestTopKPrunedTieAcrossBlocks pins the (score desc, doc ID asc) tie-break
+// when equal scores land in different posting blocks: pool order disagrees
+// with ID order and the tied documents straddle a block boundary.
+func TestTopKPrunedTieAcrossBlocks(t *testing.T) {
+	b := NewBuilder(6).WithBlockSize(2)
+	ids := []string{"f-d0005", "f-d0001", "f-d0004", "f-d0000", "f-d0003", "f-d0002"}
+	for _, id := range ids {
+		b.Add(id, []string{"same", "tokens"})
+	}
+	ix := b.Build()
+	hits := ix.TopKPruned(text.SparseEmbed("same tokens"), 4, nil, 0, nil)
+	want := []string{"f-d0000", "f-d0001", "f-d0002", "f-d0003"}
+	for i, w := range want {
+		if hits[i].ID != w {
+			t.Fatalf("hit %d = %q, want %q (tie-break by ID across blocks)", i, hits[i].ID, w)
+		}
+	}
+	prunedEqualSparse(t, ix, text.SparseEmbed("same tokens"), 4, nil, 0, "tie across blocks")
+}
+
+// TestTopKPrunedBoundaryBlockNotSkipped is the pruning-threshold boundary
+// case: a block whose max-score upper bound exactly equals the heap floor
+// holds a document that ties the floor score with a smaller doc ID — it
+// belongs in the top k, so the block must be scored, not skipped. A buggy
+// `<=` skip (or a missing slack widening) drops f-d0002 from the SERP.
+func TestTopKPrunedBoundaryBlockNotSkipped(t *testing.T) {
+	b := NewBuilder(4).WithBlockSize(2)
+	const dim = int32(5)
+	vec := func(w float32) text.SparseVector {
+		return text.SparseVector{Dims: []int32{dim}, Weights: []float32{w}}
+	}
+	b.AddVec("f-d0001", vec(0.9))
+	b.AddVec("f-d0009", vec(0.5)) // fills the k=2 heap; floor = 0.5 @ f-d0009
+	b.AddVec("f-d0002", vec(0.5)) // second block; block max == heap floor
+	b.AddVec("f-d0008", vec(0.3))
+	ix := b.Build()
+	q := text.SparseVector{Dims: []int32{dim}, Weights: []float32{1}}
+
+	hits := ix.TopKPruned(q, 2, nil, 0, nil)
+	if len(hits) != 2 || hits[0].ID != "f-d0001" || hits[1].ID != "f-d0002" {
+		t.Fatalf("boundary block was pruned: got %v, want [f-d0001 f-d0002]", hits)
+	}
+	prunedEqualSparse(t, ix, q, 2, nil, 0, "block max == heap floor")
+}
+
+// TestTopKPrunedSkipsAndCounters asserts the pruning actually happens on a
+// skewed pool — whole blocks skipped, only a fraction of documents scored —
+// and that the arena's counters report it.
+func TestTopKPrunedSkipsAndCounters(t *testing.T) {
+	const n = 128
+	b := NewBuilder(n).WithBlockSize(8)
+	const dim = int32(11)
+	for i := 0; i < n; i++ {
+		// Strictly descending weights: the first block dominates, every
+		// later block's max falls below the k=3 floor.
+		w := float32(1) - float32(i)/float32(n+1)
+		b.AddVec(fmt.Sprintf("f-d%04d", i), text.SparseVector{Dims: []int32{dim}, Weights: []float32{w}})
+	}
+	ix := b.Build()
+	q := text.SparseVector{Dims: []int32{dim}, Weights: []float32{1}}
+
+	a := &Arena{}
+	hits := ix.TopKPruned(q, 3, nil, 0, a)
+	if len(hits) != 3 || hits[0].ID != "f-d0000" {
+		t.Fatalf("unexpected hits: %v", hits)
+	}
+	if a.Stats.BlocksSkipped < 10 {
+		t.Errorf("BlocksSkipped = %d, want most of the %d blocks", a.Stats.BlocksSkipped, ix.Blocks())
+	}
+	if a.Stats.DocsScored >= n/2 {
+		t.Errorf("DocsScored = %d, want far fewer than %d (pruning ineffective)", a.Stats.DocsScored, n)
+	}
+	if a.Stats.PostingsTouched <= 0 || a.Stats.PostingsTouched >= ix.Postings() {
+		t.Errorf("PostingsTouched = %d, want in (0, %d)", a.Stats.PostingsTouched, ix.Postings())
+	}
+	prunedEqualSparse(t, ix, q, 3, nil, 0, "skewed pool")
+}
+
+// TestArenaReuse runs many different queries through one arena across all
+// three paths: results must be identical to fresh-arena calls (stale
+// accumulators, stamps or heap state would corrupt them).
+func TestArenaReuse(t *testing.T) {
+	ix, _, _ := buildFixture(40)
+	a := &Arena{}
+	queries := []string{"Alexander married the duchess", "prize for chemistry", "league standings", "", "document"}
+	perturb := func(id string) float64 { return 0.05 * det.Uniform("reuse", id) }
+	for round := 0; round < 3; round++ {
+		for _, q := range queries {
+			for _, k := range []int{1, 5, 40} {
+				qv := text.SparseEmbed(q)
+				want := ix.TopKSparse(qv, k, perturb, nil)
+				for _, got := range [][]Hit{
+					ix.TopKSparse(qv, k, perturb, a),
+					ix.TopKPruned(qv, k, perturb, 0.05, a),
+					ix.TopK(text.Embed(q), k, perturb, a),
+				} {
+					if !reflect.DeepEqual(append([]Hit(nil), got...), want) {
+						t.Fatalf("round %d q=%q k=%d: arena-reuse result diverged", round, q, k)
+					}
+				}
+			}
+		}
+	}
+}

@@ -37,8 +37,8 @@ func TestTopKSparseMatchesDense(t *testing.T) {
 	for _, q := range queries {
 		for pi, perturb := range perturbs {
 			for _, k := range []int{0, 1, 3, 6, 99} {
-				dense := ix.TopK(text.Embed(q), k, perturb)
-				sparse := ix.TopKSparse(text.SparseEmbed(q), k, perturb)
+				dense := ix.TopK(text.Embed(q), k, perturb, nil)
+				sparse := ix.TopKSparse(text.SparseEmbed(q), k, perturb, nil)
 				if !reflect.DeepEqual(dense, sparse) {
 					t.Fatalf("q=%q perturb=%d k=%d: dense %v != sparse %v", q, pi, k, dense, sparse)
 				}
@@ -68,7 +68,7 @@ func TestAddVecMatchesAdd(t *testing.T) {
 			ia.Postings(), iv.Postings(), ia.Docs(), iv.Docs())
 	}
 	q := text.SparseEmbed("alpha beta delta epsilon")
-	if got, want := iv.TopKSparse(q, 3, nil), ia.TopKSparse(q, 3, nil); !reflect.DeepEqual(got, want) {
+	if got, want := iv.TopKSparse(q, 3, nil, nil), ia.TopKSparse(q, 3, nil, nil); !reflect.DeepEqual(got, want) {
 		t.Fatalf("rankings differ: %v vs %v", got, want)
 	}
 }

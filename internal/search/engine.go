@@ -113,7 +113,36 @@ type Engine struct {
 	shards [engineShards]engineShard
 	// cached counts entries across all shards (the global LRU budget).
 	cached atomic.Int64
+	// arenas pools per-query top-k scratch state (accumulators, heap,
+	// candidate stamps), so warm queries allocate nothing.
+	arenas sync.Pool
+	// retrieval accumulates pruning counters across all queries.
+	retrieval retrievalCounters
+	// qvMu guards qvCache, a bounded memo of sparse query embeddings.
+	// Production SERP queries repeat heavily — every verification method
+	// re-issues the same fact-derived queries — and embedding is pure, so
+	// memoising it keeps tokenisation off the warm query path.
+	qvMu    sync.RWMutex
+	qvCache map[string]text.SparseVector
 }
+
+// retrievalCounters aggregates the pruned path's work counters.
+type retrievalCounters struct {
+	queries         atomic.Int64
+	postingsTouched atomic.Int64
+	blocksSkipped   atomic.Int64
+	docsScored      atomic.Int64
+}
+
+// arena checks a pooled top-k arena out; release returns it.
+func (e *Engine) arena() *index.Arena {
+	if a, ok := e.arenas.Get().(*index.Arena); ok {
+		return a
+	}
+	return &index.Arena{}
+}
+
+func (e *Engine) release(a *index.Arena) { e.arenas.Put(a) }
 
 // engineShard is one LRU partition of the fact store.
 type engineShard struct {
@@ -329,6 +358,32 @@ func (e *Engine) Warm(factID string) error {
 	return err
 }
 
+// maxCachedQueryVecs bounds the query-embedding memo; on overflow the memo
+// resets wholesale — cheaper than LRU bookkeeping for a cache this small,
+// and correctness never depends on a hit.
+const maxCachedQueryVecs = 4096
+
+// queryVec returns the sparse embedding of q, memoised across queries.
+func (e *Engine) queryVec(q string) text.SparseVector {
+	e.qvMu.RLock()
+	v, ok := e.qvCache[q]
+	e.qvMu.RUnlock()
+	if ok {
+		return v
+	}
+	v = text.SparseEmbed(q)
+	e.qvMu.Lock()
+	if e.qvCache == nil {
+		e.qvCache = make(map[string]text.SparseVector, 64)
+	}
+	if len(e.qvCache) >= maxCachedQueryVecs {
+		clear(e.qvCache)
+	}
+	e.qvCache[q] = v
+	e.qvMu.Unlock()
+	return v
+}
+
 // serpJitterScale is the magnitude of the deterministic SERP perturbation,
 // shared by the production path (which pre-hashes the query prefix) and
 // the scan reference.
@@ -342,9 +397,11 @@ func serpJitter(query, docID string) float64 {
 
 // Search implements Searcher. Ranking is cosine relevance of the query to
 // title+body with a small deterministic tie-break jitter, mimicking the
-// opaque ordering of a web SERP. Scoring runs term-at-a-time over the
-// fact's posting lists with bounded-heap top-k selection; results are
-// byte-identical to the retired full-scan ranking (see ScanSearch).
+// opaque ordering of a web SERP. Scoring runs over the impact-ordered
+// block postings with max-score/WAND early termination (index.TopKPruned):
+// blocks provably unable to reach the heap floor are never read, and the
+// jitter magnitude is folded into every upper bound, so results stay
+// byte-identical to the exhaustive paths (see IndexedSearch/ScanSearch).
 func (e *Engine) Search(factID, query string, n int) ([]SERPItem, error) {
 	if n <= 0 {
 		n = DefaultSERPSize
@@ -353,14 +410,53 @@ func (e *Engine) Search(factID, query string, n int) ([]SERPItem, error) {
 	if err != nil {
 		return nil, err
 	}
-	qv := text.SparseEmbed(query)
+	qv := e.queryVec(query)
 	// One partial hash covers the ("serp", query) prefix for the whole
 	// pool; each document extends it with its ID only. Values are identical
 	// to serpJitter(query, docID).
 	key := det.NewKey("serp", query)
+	a := e.arena()
+	// key.Uniform is in [0,1), so the jitter never exceeds serpJitterScale
+	// — the perturbation bound the pruned path folds into its skips.
+	hits := p.idx.TopKPruned(qv, n, func(docID string) float64 {
+		return serpJitterScale * key.Uniform(docID)
+	}, serpJitterScale, a)
+	out := serpItems(p, hits)
+	e.retrieval.queries.Add(1)
+	e.retrieval.postingsTouched.Add(int64(a.Stats.PostingsTouched))
+	e.retrieval.blocksSkipped.Add(int64(a.Stats.BlocksSkipped))
+	e.retrieval.docsScored.Add(int64(a.Stats.DocsScored))
+	e.release(a)
+	return out, nil
+}
+
+// IndexedSearch is the exhaustive posting-list ranking the pruned path
+// replaced: term-at-a-time accumulation over every posting of every query
+// dimension, bounded-heap selection. Kept as the mid-rung of the golden
+// differential ladder (Search == IndexedSearch == ScanSearch, byte for
+// byte) and as the bench baseline the pruning win is measured against.
+func (e *Engine) IndexedSearch(factID, query string, n int) ([]SERPItem, error) {
+	if n <= 0 {
+		n = DefaultSERPSize
+	}
+	p, err := e.pool(factID)
+	if err != nil {
+		return nil, err
+	}
+	qv := e.queryVec(query)
+	key := det.NewKey("serp", query)
+	a := e.arena()
 	hits := p.idx.TopKSparse(qv, n, func(docID string) float64 {
 		return serpJitterScale * key.Uniform(docID)
-	})
+	}, a)
+	out := serpItems(p, hits)
+	e.release(a)
+	return out, nil
+}
+
+// serpItems converts arena-backed hits into wire-form SERP items (copied
+// out, so the arena can be released).
+func serpItems(p *factPool, hits []index.Hit) []SERPItem {
 	out := make([]SERPItem, len(hits))
 	for i, h := range hits {
 		d := p.docs[h.Doc].doc
@@ -373,7 +469,7 @@ func (e *Engine) Search(factID, query string, n int) ([]SERPItem, error) {
 			Score: h.Score,
 		}
 	}
-	return out, nil
+	return out
 }
 
 // ScanSearch is the retired linear-scan ranking, kept as the differential
@@ -525,7 +621,8 @@ func (d *pooledDoc) payload() DocPayload {
 	}
 }
 
-// Stats summarises the index store's state.
+// Stats summarises the index store's state and the pruned retrieval path's
+// cumulative work counters.
 type Stats struct {
 	// Facts is the number of known facts; CachedFacts of them are currently
 	// materialised.
@@ -537,13 +634,27 @@ type Stats struct {
 	Hits        int64 `json:"hits"`
 	Misses      int64 `json:"misses"`
 	Evicted     int64 `json:"evicted"`
+	// SearchQueries counts Search calls (the pruned production path);
+	// PostingsTouched, BlocksSkipped and DocsScored accumulate its pruning
+	// counters — the asymptotic story of every query served so far.
+	SearchQueries   int64 `json:"search_queries"`
+	PostingsTouched int64 `json:"postings_touched"`
+	BlocksSkipped   int64 `json:"blocks_skipped"`
+	DocsScored      int64 `json:"docs_scored"`
 }
 
 // Stats returns a point-in-time snapshot of the store. In-flight
 // materialisations count as cached facts but contribute no document or
 // posting counts (the snapshot never blocks on them).
 func (e *Engine) Stats() Stats {
-	st := Stats{Facts: len(e.facts), Shards: engineShards}
+	st := Stats{
+		Facts:           len(e.facts),
+		Shards:          engineShards,
+		SearchQueries:   e.retrieval.queries.Load(),
+		PostingsTouched: e.retrieval.postingsTouched.Load(),
+		BlocksSkipped:   e.retrieval.blocksSkipped.Load(),
+		DocsScored:      e.retrieval.docsScored.Load(),
+	}
 	for i := range e.shards {
 		s := &e.shards[i]
 		s.mu.Lock()

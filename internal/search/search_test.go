@@ -159,10 +159,11 @@ func TestFactIDOfDoc(t *testing.T) {
 	}
 }
 
-// TestSearchIndexedMatchesScan is the golden equivalence test of the
-// inverted-index rewrite: for several facts and queries, the posting-list +
-// heap ranking must match the retired linear-scan ranking byte for byte —
-// same documents, same order, same float64 scores.
+// TestSearchIndexedMatchesScan is the golden differential ladder: for
+// several facts and queries, the pruned path (Search), the exhaustive
+// posting-list path (IndexedSearch) and the retired linear scan
+// (ScanSearch) must agree byte for byte — same documents, same order, same
+// float64 scores.
 func TestSearchIndexedMatchesScan(t *testing.T) {
 	e, d := fixture(t)
 	if len(d.Facts) < 3 {
@@ -178,7 +179,11 @@ func TestSearchIndexedMatchesScan(t *testing.T) {
 		}
 		for _, q := range queries {
 			for _, n := range []int{1, 10, DefaultSERPSize, 10000} {
-				indexed, err := e.Search(f.ID, q, n)
+				pruned, err := e.Search(f.ID, q, n)
+				if err != nil {
+					t.Fatal(err)
+				}
+				indexed, err := e.IndexedSearch(f.ID, q, n)
 				if err != nil {
 					t.Fatal(err)
 				}
@@ -186,18 +191,43 @@ func TestSearchIndexedMatchesScan(t *testing.T) {
 				if err != nil {
 					t.Fatal(err)
 				}
-				if len(indexed) != len(scan) {
-					t.Fatalf("fact %s q=%q n=%d: indexed %d results, scan %d",
-						f.ID, q, n, len(indexed), len(scan))
+				if len(pruned) != len(scan) || len(indexed) != len(scan) {
+					t.Fatalf("fact %s q=%q n=%d: pruned %d, indexed %d, scan %d results",
+						f.ID, q, n, len(pruned), len(indexed), len(scan))
 				}
 				for i := range scan {
-					if indexed[i] != scan[i] {
-						t.Fatalf("fact %s q=%q n=%d result %d:\nindexed %+v\nscan    %+v",
-							f.ID, q, n, i, indexed[i], scan[i])
+					if pruned[i] != scan[i] || indexed[i] != scan[i] {
+						t.Fatalf("fact %s q=%q n=%d result %d:\npruned  %+v\nindexed %+v\nscan    %+v",
+							f.ID, q, n, i, pruned[i], indexed[i], scan[i])
 					}
 				}
 			}
 		}
+	}
+}
+
+// TestRetrievalCounters asserts the pruning counters surfaced via
+// Engine.Stats move when queries run, and that pruning actually skips work
+// on large result-free queries.
+func TestRetrievalCounters(t *testing.T) {
+	e, d := fixture(t)
+	f := d.Facts[0]
+	before := e.Stats()
+	if before.SearchQueries != 0 || before.PostingsTouched != 0 {
+		t.Fatalf("fresh engine has non-zero retrieval counters: %+v", before)
+	}
+	for i := 0; i < 5; i++ {
+		q := verbalize.Sentence(f)
+		if _, err := e.Search(f.ID, fmt.Sprintf("%s %d", q, i), 3); err != nil {
+			t.Fatal(err)
+		}
+	}
+	after := e.Stats()
+	if after.SearchQueries != 5 {
+		t.Errorf("SearchQueries = %d, want 5", after.SearchQueries)
+	}
+	if after.PostingsTouched <= 0 || after.DocsScored <= 0 {
+		t.Errorf("retrieval counters did not move: %+v", after)
 	}
 }
 

@@ -43,6 +43,7 @@ import (
 	"factcheck/internal/dataset"
 	"factcheck/internal/llm"
 	"factcheck/internal/sched"
+	"factcheck/internal/search"
 	"factcheck/internal/strategy"
 )
 
@@ -376,11 +377,17 @@ type Stats struct {
 	QueueCap      int    `json:"queue_cap"`
 	StoreCells    int    `json:"store_cells"`
 	Clients       int    `json:"clients"`
+
+	// Retrieval mirrors the search engine's cumulative counters — cache
+	// behaviour plus the pruned top-k's work accounting (queries, postings
+	// touched, blocks skipped, docs scored).
+	Retrieval search.Stats `json:"retrieval"`
 }
 
 // Stats snapshots the service counters.
 func (s *Service) Stats() Stats {
 	return Stats{
+		Retrieval:     s.bench.Engine.Stats(),
 		Requests:      s.stats.requests.Load(),
 		RateLimited:   s.stats.rateLimited.Load(),
 		QueueRejected: s.stats.queueRejected.Load(),

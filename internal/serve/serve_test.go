@@ -643,6 +643,50 @@ func TestFactsAndStats(t *testing.T) {
 	}
 }
 
+// TestStatszRetrievalCounters: a real (unstubbed) RAG verification performs
+// retrieval, so the engine's cumulative pruning counters surfaced under
+// /statsz "retrieval" must move. The bench engine is shared across tests,
+// so assert on deltas.
+func TestStatszRetrievalCounters(t *testing.T) {
+	svc := newTestService(t, permissive())
+	defer svc.Drain()
+	h := svc.Handler()
+
+	statsz := func() Stats {
+		w := httptest.NewRecorder()
+		h.ServeHTTP(w, httptest.NewRequest("GET", "/statsz", nil))
+		if w.Code != http.StatusOK {
+			t.Fatalf("statsz: %d", w.Code)
+		}
+		var st Stats
+		if err := json.Unmarshal(w.Body.Bytes(), &st); err != nil {
+			t.Fatal(err)
+		}
+		return st
+	}
+
+	before := statsz()
+	f := firstFact(dataset.FactBench)
+	req := VerifyRequest{Dataset: string(dataset.FactBench), Method: string(llm.MethodRAG), Model: llm.Gemma2, FactID: f.ID}
+	if w := postVerify(t, h, req); w.Code != http.StatusOK {
+		t.Fatalf("verify: %d: %s", w.Code, w.Body.String())
+	}
+	after := statsz()
+
+	if after.Retrieval.SearchQueries <= before.Retrieval.SearchQueries {
+		t.Errorf("search_queries did not move: %d -> %d",
+			before.Retrieval.SearchQueries, after.Retrieval.SearchQueries)
+	}
+	if after.Retrieval.PostingsTouched <= before.Retrieval.PostingsTouched {
+		t.Errorf("postings_touched did not move: %d -> %d",
+			before.Retrieval.PostingsTouched, after.Retrieval.PostingsTouched)
+	}
+	if after.Retrieval.DocsScored <= before.Retrieval.DocsScored {
+		t.Errorf("docs_scored did not move: %d -> %d",
+			before.Retrieval.DocsScored, after.Retrieval.DocsScored)
+	}
+}
+
 // TestBodySizeLimit: a request body past maxBodyBytes is rejected with 413
 // before any of it is processed.
 func TestBodySizeLimit(t *testing.T) {
