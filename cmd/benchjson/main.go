@@ -183,6 +183,7 @@ func splitProcs(name string) (string, int) {
 var variantFamilies = [][]string{
 	{"dense", "sparse"},
 	{"scan", "indexed", "pruned"},
+	{"serial", "eager", "adaptive"},
 }
 
 // splitVariant extracts the variant from a benchmark name. Two spellings

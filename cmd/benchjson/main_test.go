@@ -82,6 +82,10 @@ func TestSplitVariant(t *testing.T) {
 		{"BenchmarkSearchIndexed/par1", "BenchmarkSearch/par1", "indexed", true},
 		{"BenchmarkSearchPruned", "BenchmarkSearch", "pruned", true},
 		{"BenchmarkTopKWarm/pruned", "BenchmarkTopKWarm", "pruned", true},
+		{"BenchmarkConsensusSerial/cold", "BenchmarkConsensus/cold", "serial", true},
+		{"BenchmarkConsensusEager/cold", "BenchmarkConsensus/cold", "eager", true},
+		{"BenchmarkConsensusAdaptive/warm", "BenchmarkConsensus/warm", "adaptive", true},
+		{"BenchmarkDecide/adaptive", "BenchmarkDecide", "adaptive", true},
 		{"BenchmarkOverlap", "", "", false},
 		{"BenchmarkScan", "", "", false}, // bare "Benchmark" is not a group
 		{"BenchmarkColdCell/other", "", "", false},
@@ -116,6 +120,35 @@ BenchmarkTopKWarm/pruned-4         100    10000 ns/op	0 B/op	0 allocs/op
 		{"BenchmarkSearch/corpus1x", "scan", "pruned", 100000, 20000, 5},
 		{"BenchmarkSearch/corpus1x", "indexed", "pruned", 40000, 20000, 2},
 		{"BenchmarkTopKWarm", "indexed", "pruned", 20000, 10000, 2},
+	}
+	if len(doc.Speedups) != len(want) {
+		t.Fatalf("derived %d speedups, want %d: %+v", len(doc.Speedups), len(want), doc.Speedups)
+	}
+	for i, w := range want {
+		if doc.Speedups[i] != w {
+			t.Errorf("speedup %d = %+v, want %+v", i, doc.Speedups[i], w)
+		}
+	}
+}
+
+// TestDeriveSpeedupConsensusFamily: the serial/eager/adaptive family pairs
+// within itself (serial as the ultimate baseline) and never against the
+// retrieval families.
+func TestDeriveSpeedupConsensusFamily(t *testing.T) {
+	const lines = `BenchmarkConsensusSerial/cold-4     10   900000 ns/op
+BenchmarkConsensusEager/cold-4      10   300000 ns/op
+BenchmarkConsensusAdaptive/cold-4   10   150000 ns/op
+BenchmarkConsensusAdaptive/warm-4  100    10000 ns/op
+BenchmarkSearchScan/corpus1x-4      10   100000 ns/op
+`
+	doc, err := Parse(strings.NewReader(lines))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Speedup{
+		{"BenchmarkConsensus/cold", "serial", "eager", 900000, 300000, 3},
+		{"BenchmarkConsensus/cold", "serial", "adaptive", 900000, 150000, 6},
+		{"BenchmarkConsensus/cold", "eager", "adaptive", 300000, 150000, 2},
 	}
 	if len(doc.Speedups) != len(want) {
 		t.Fatalf("derived %d speedups, want %d: %+v", len(doc.Speedups), len(want), doc.Speedups)

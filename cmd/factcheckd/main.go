@@ -7,6 +7,7 @@
 //	factcheckd [-addr :8095] [-scale 0.1] [-small] [-par N] [-store DIR]
 //	           [-queue 64] [-workers N] [-cache 65536]
 //	           [-rate 50] [-burst 100] [-maxbatch 64] [-fill=true]
+//	           [-consensus adaptive]
 //
 // With -store, verdicts are layered over the same content-addressed result
 // store cmd/factcheck -store writes: grid-precomputed cells are served
@@ -16,7 +17,8 @@
 //
 // Endpoints: POST /v1/verify, POST /v1/verify/batch,
 // GET /v1/verdict/{dataset}/{method}/{model}/{fact},
-// GET /v1/consensus/{fact}, GET /v1/facts, GET /healthz, GET /statsz.
+// GET /v1/consensus/{fact}?mode=serial|eager|adaptive, GET /v1/facts,
+// GET /healthz, GET /statsz.
 package main
 
 import (
@@ -30,6 +32,7 @@ import (
 	"syscall"
 	"time"
 
+	"factcheck/internal/consensus"
 	"factcheck/internal/core"
 	"factcheck/internal/serve"
 )
@@ -73,6 +76,7 @@ func parseFlags(args []string) (options, error) {
 	fs.Float64Var(&o.cfg.Burst, "burst", 0, "per-client burst capacity (default 100)")
 	fs.IntVar(&o.cfg.MaxBatch, "maxbatch", 0, "maximum /v1/verify/batch size (default 64)")
 	fill := fs.Bool("fill", true, "persist on-demand verdicts back to the store via background whole-cell fills")
+	consensusMode := fs.String("consensus", "", "default /v1/consensus execution mode: serial, eager or adaptive (default adaptive; ?mode= overrides per request)")
 	if err := fs.Parse(args); err != nil {
 		return o, err
 	}
@@ -81,6 +85,13 @@ func parseFlags(args []string) (options, error) {
 	}
 	if o.scale <= 0 || o.scale > 1 {
 		return o, fmt.Errorf("-scale %g out of range (0, 1]", o.scale)
+	}
+	if *consensusMode != "" {
+		m, err := consensus.ParseMode(*consensusMode)
+		if err != nil {
+			return o, fmt.Errorf("-consensus: %w", err)
+		}
+		o.cfg.ConsensusMode = m
 	}
 	o.cfg.FillCells = *fill
 	return o, nil

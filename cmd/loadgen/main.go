@@ -6,7 +6,8 @@
 //
 //	loadgen [-addr http://localhost:8095] [-mix uniform] [-n 1000] [-c 8]
 //	        [-seed 1] [-method DKA] [-models m1,m2] [-batch 16]
-//	        [-zipf 1.2] [-digest FILE] [-cpuprofile FILE] [-memprofile FILE]
+//	        [-zipf 1.2] [-consensus adaptive] [-digest FILE]
+//	        [-cpuprofile FILE] [-memprofile FILE]
 //
 // Mixes (all seeded, so a mix replays identically):
 //
@@ -15,6 +16,11 @@
 //	         hot-fact workload that exercises the verdict LRU and
 //	         singleflight coalescing
 //	batch    the same uniform draw grouped into /v1/verify/batch calls
+//	consensus  GET /v1/consensus lookups drawn uniformly, executed under
+//	         -consensus (serial, eager or adaptive); digest lines carry only
+//	         the mode-independent verdict (final/tie/gold), so an eager run
+//	         and an adaptive run over the same plan must digest identically
+//	         — the early-stop engine's cross-mode equivalence gate
 //
 // Every response is checked against the service's backpressure contract:
 // anything other than 200, 429 or 503 (or a malformed/failed item inside a
@@ -61,13 +67,18 @@ type target struct {
 	facts   []string
 }
 
-// job is one HTTP request: a single verify (len 1) or a batch.
-type job []serve.VerifyRequest
+// job is one HTTP request: a single verify (one reqs entry), a batch
+// (several), or a consensus lookup (consensusFact set, reqs empty).
+type job struct {
+	reqs          []serve.VerifyRequest
+	consensusFact string
+	consensusMode string
+}
 
 // buildPlan expands a mix into the exact request sequence: pure function
-// of (mix, seed, targets, models, method, n, batch, zipfS), so a plan
-// replays identically across runs and machines.
-func buildPlan(mix string, seed int64, targets []target, models []string, method string, n, batchSize int, zipfS float64) ([]job, error) {
+// of (mix, seed, targets, models, method, n, batch, zipfS, consensusMode),
+// so a plan replays identically across runs and machines.
+func buildPlan(mix string, seed int64, targets []target, models []string, method string, n, batchSize int, zipfS float64, consensusMode string) ([]job, error) {
 	type pair struct{ dataset, fact string }
 	var pairs []pair
 	for _, t := range targets {
@@ -96,7 +107,7 @@ func buildPlan(mix string, seed int64, targets []target, models []string, method
 	switch mix {
 	case "uniform":
 		for i := 0; i < n; i++ {
-			jobs = append(jobs, job{pick(0)})
+			jobs = append(jobs, job{reqs: []serve.VerifyRequest{pick(0)}})
 		}
 	case "zipf":
 		// Shuffle so the zipf head is an arbitrary (but seeded) set of hot
@@ -107,7 +118,7 @@ func buildPlan(mix string, seed int64, targets []target, models []string, method
 		}
 		z := rand.NewZipf(rng, zipfS, 1, uint64(len(pairs)-1))
 		for i := 0; i < n; i++ {
-			jobs = append(jobs, job{pick(int(z.Uint64()))})
+			jobs = append(jobs, job{reqs: []serve.VerifyRequest{pick(int(z.Uint64()))}})
 		}
 	case "batch":
 		if batchSize < 1 {
@@ -120,13 +131,23 @@ func buildPlan(mix string, seed int64, targets []target, models []string, method
 			}
 			var b job
 			for i := 0; i < size; i++ {
-				b = append(b, pick(0))
+				b.reqs = append(b.reqs, pick(0))
 			}
 			jobs = append(jobs, b)
 			done += size
 		}
+	case "consensus":
+		switch consensusMode {
+		case "serial", "eager", "adaptive":
+		default:
+			return nil, fmt.Errorf("-consensus %q (want serial, eager or adaptive)", consensusMode)
+		}
+		for i := 0; i < n; i++ {
+			p := pairs[rng.Intn(len(pairs))]
+			jobs = append(jobs, job{consensusFact: p.fact, consensusMode: consensusMode})
+		}
 	default:
-		return nil, fmt.Errorf("unknown mix %q (want uniform, zipf or batch)", mix)
+		return nil, fmt.Errorf("unknown mix %q (want uniform, zipf, batch or consensus)", mix)
 	}
 	return jobs, nil
 }
@@ -150,14 +171,70 @@ func verdictKeyLine(v *serve.VerdictResponse) (string, string) {
 	return key, line
 }
 
+// consensusKeyLine canonicalises a consensus answer for the digest. Only
+// the mode-independent fields enter the line: Final, Tie and Gold are
+// identical whichever execution strategy served them, so an eager run and
+// an adaptive run over one plan digest identically — while a verdict
+// regression in either engine path flips the digest.
+func consensusKeyLine(v *serve.ConsensusResponse) (string, string) {
+	key := fmt.Sprintf("consensus/%s/%s", v.Dataset, v.FactID)
+	line := fmt.Sprintf("final=%v tie=%v gold=%v", v.Final, v.Tie, v.Gold)
+	return key, line
+}
+
+// doConsensus fires one consensus lookup.
+func doConsensus(client *http.Client, addr string, j job) outcome {
+	o := outcome{sources: map[string]int{}, verdicts: map[string]string{}}
+	start := time.Now()
+	resp, err := client.Get(addr + "/v1/consensus/" + j.consensusFact + "?mode=" + j.consensusMode)
+	o.latency = time.Since(start)
+	if err != nil {
+		o.violation = "transport: " + err.Error()
+		return o
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		o.violation = "read: " + err.Error()
+		return o
+	}
+	o.status = resp.StatusCode
+	switch resp.StatusCode {
+	case http.StatusOK:
+	case http.StatusTooManyRequests, http.StatusServiceUnavailable:
+		if resp.Header.Get("Retry-After") == "" {
+			o.violation = fmt.Sprintf("%d without Retry-After", resp.StatusCode)
+		}
+		return o
+	default:
+		o.violation = fmt.Sprintf("unexpected status %d: %.120s", resp.StatusCode, data)
+		return o
+	}
+	var v serve.ConsensusResponse
+	if err := json.Unmarshal(data, &v); err != nil {
+		o.violation = "malformed consensus response: " + err.Error()
+		return o
+	}
+	if v.Mode != j.consensusMode {
+		o.violation = fmt.Sprintf("consensus mode %q served for requested %q", v.Mode, j.consensusMode)
+		return o
+	}
+	key, line := consensusKeyLine(&v)
+	o.verdicts[key] = line
+	return o
+}
+
 // doJob fires one job and classifies the result.
 func doJob(client *http.Client, addr string, j job) outcome {
+	if j.consensusFact != "" {
+		return doConsensus(client, addr, j)
+	}
 	o := outcome{sources: map[string]int{}, verdicts: map[string]string{}}
 	url := addr + "/v1/verify"
-	var body any = j[0]
-	if len(j) > 1 {
+	var body any = j.reqs[0]
+	if len(j.reqs) > 1 {
 		url = addr + "/v1/verify/batch"
-		body = serve.BatchRequest{Requests: j}
+		body = serve.BatchRequest{Requests: j.reqs}
 	}
 	payload, err := json.Marshal(body)
 	if err != nil {
@@ -194,7 +271,7 @@ func doJob(client *http.Client, addr string, j job) outcome {
 		key, line := verdictKeyLine(v)
 		o.verdicts[key] = line
 	}
-	if len(j) == 1 {
+	if len(j.reqs) == 1 {
 		var v serve.VerdictResponse
 		if err := json.Unmarshal(data, &v); err != nil {
 			o.violation = "malformed verdict: " + err.Error()
@@ -208,8 +285,8 @@ func doJob(client *http.Client, addr string, j job) outcome {
 		o.violation = "malformed batch response: " + err.Error()
 		return o
 	}
-	if len(b.Results) != len(j) {
-		o.violation = fmt.Sprintf("batch returned %d results for %d requests", len(b.Results), len(j))
+	if len(b.Results) != len(j.reqs) {
+		o.violation = fmt.Sprintf("batch returned %d results for %d requests", len(b.Results), len(j.reqs))
 		return o
 	}
 	for i, item := range b.Results {
@@ -324,7 +401,7 @@ func run(args []string, out io.Writer) error {
 	if err != nil {
 		return err
 	}
-	jobs, err := buildPlan(*fs.mix, *fs.seed, targets, models, *fs.method, *fs.n, *fs.batch, *fs.zipfS)
+	jobs, err := buildPlan(*fs.mix, *fs.seed, targets, models, *fs.method, *fs.n, *fs.batch, *fs.zipfS, *fs.consensus)
 	if err != nil {
 		return err
 	}
@@ -398,6 +475,9 @@ func run(args []string, out io.Writer) error {
 		fmt.Fprintf(out, "retrieval: queries=%d postings_touched=%d blocks_skipped=%d docs_scored=%d\n",
 			st.Retrieval.SearchQueries, st.Retrieval.PostingsTouched,
 			st.Retrieval.BlocksSkipped, st.Retrieval.DocsScored)
+		fmt.Fprintf(out, "consensus: requests=%d dispatched=%d skipped=%d escalations=%d arbiters=%d\n",
+			st.ConsensusRequests, st.ConsensusDispatched, st.ConsensusSkipped,
+			st.ConsensusEscalations, st.ConsensusArbiters)
 	}
 	fmt.Fprintf(out, "digest: %016x (%d distinct verdicts)\n", digest, len(verdicts))
 	if *fs.digest != "" {
@@ -429,35 +509,37 @@ func run(args []string, out io.Writer) error {
 
 // flags bundles the flag set so run stays testable.
 type flags struct {
-	fs      *flag.FlagSet
-	addr    *string
-	mix     *string
-	n, c    *int
-	seed    *int64
-	method  *string
-	models  *string
-	batch   *int
-	zipfS   *float64
-	digest  *string
-	timeout *time.Duration
-	prof    *prof.Flags
+	fs        *flag.FlagSet
+	addr      *string
+	mix       *string
+	n, c      *int
+	seed      *int64
+	method    *string
+	models    *string
+	batch     *int
+	zipfS     *float64
+	consensus *string
+	digest    *string
+	timeout   *time.Duration
+	prof      *prof.Flags
 }
 
 func newFlagSet() *flags {
 	fs := flag.NewFlagSet("loadgen", flag.ContinueOnError)
 	return &flags{
-		fs:      fs,
-		addr:    fs.String("addr", "http://localhost:8095", "factcheckd base URL"),
-		mix:     fs.String("mix", "uniform", "request mix: uniform, zipf or batch"),
-		n:       fs.Int("n", 1000, "number of verify requests to issue"),
-		c:       fs.Int("c", 8, "concurrent workers"),
-		seed:    fs.Int64("seed", 1, "plan seed (same seed -> identical request sequence)"),
-		method:  fs.String("method", string(llm.MethodDKA), "verification method for every request"),
-		models:  fs.String("models", strings.Join(llm.BenchmarkModels, ","), "comma-separated models to draw from"),
-		batch:   fs.Int("batch", 16, "requests per batch call (batch mix)"),
-		zipfS:   fs.Float64("zipf", 1.2, "zipf skew exponent (zipf mix; > 1)"),
-		digest:  fs.String("digest", "", "write the verdict digest to this file"),
-		timeout: fs.Duration("timeout", 60*time.Second, "per-request HTTP timeout"),
-		prof:    prof.Register(fs),
+		fs:        fs,
+		addr:      fs.String("addr", "http://localhost:8095", "factcheckd base URL"),
+		mix:       fs.String("mix", "uniform", "request mix: uniform, zipf or batch"),
+		n:         fs.Int("n", 1000, "number of verify requests to issue"),
+		c:         fs.Int("c", 8, "concurrent workers"),
+		seed:      fs.Int64("seed", 1, "plan seed (same seed -> identical request sequence)"),
+		method:    fs.String("method", string(llm.MethodDKA), "verification method for every request"),
+		models:    fs.String("models", strings.Join(llm.BenchmarkModels, ","), "comma-separated models to draw from"),
+		batch:     fs.Int("batch", 16, "requests per batch call (batch mix)"),
+		zipfS:     fs.Float64("zipf", 1.2, "zipf skew exponent (zipf mix; > 1)"),
+		consensus: fs.String("consensus", "adaptive", "consensus execution mode (consensus mix): serial, eager or adaptive"),
+		digest:    fs.String("digest", "", "write the verdict digest to this file"),
+		timeout:   fs.Duration("timeout", 60*time.Second, "per-request HTTP timeout"),
+		prof:      prof.Register(fs),
 	}
 }

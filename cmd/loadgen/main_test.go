@@ -24,19 +24,19 @@ func testTargets() []target {
 
 func TestBuildPlanDeterministic(t *testing.T) {
 	models := []string{"m1", "m2"}
-	for _, mix := range []string{"uniform", "zipf", "batch"} {
-		a, err := buildPlan(mix, 7, testTargets(), models, "DKA", 50, 8, 1.2)
+	for _, mix := range []string{"uniform", "zipf", "batch", "consensus"} {
+		a, err := buildPlan(mix, 7, testTargets(), models, "DKA", 50, 8, 1.2, "adaptive")
 		if err != nil {
 			t.Fatalf("%s: %v", mix, err)
 		}
-		b, err := buildPlan(mix, 7, testTargets(), models, "DKA", 50, 8, 1.2)
+		b, err := buildPlan(mix, 7, testTargets(), models, "DKA", 50, 8, 1.2, "adaptive")
 		if err != nil {
 			t.Fatalf("%s: %v", mix, err)
 		}
 		if !reflect.DeepEqual(a, b) {
 			t.Fatalf("%s: same seed produced different plans", mix)
 		}
-		c, err := buildPlan(mix, 8, testTargets(), models, "DKA", 50, 8, 1.2)
+		c, err := buildPlan(mix, 8, testTargets(), models, "DKA", 50, 8, 1.2, "adaptive")
 		if err != nil {
 			t.Fatalf("%s: %v", mix, err)
 		}
@@ -48,7 +48,7 @@ func TestBuildPlanDeterministic(t *testing.T) {
 
 func TestBuildPlanShapes(t *testing.T) {
 	models := []string{"m1"}
-	uni, err := buildPlan("uniform", 1, testTargets(), models, "DKA", 10, 4, 1.2)
+	uni, err := buildPlan("uniform", 1, testTargets(), models, "DKA", 10, 4, 1.2, "adaptive")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -56,35 +56,35 @@ func TestBuildPlanShapes(t *testing.T) {
 		t.Fatalf("uniform: %d jobs, want 10", len(uni))
 	}
 	for _, j := range uni {
-		if len(j) != 1 {
-			t.Fatalf("uniform job size %d, want 1", len(j))
+		if len(j.reqs) != 1 {
+			t.Fatalf("uniform job size %d, want 1", len(j.reqs))
 		}
 	}
-	bat, err := buildPlan("batch", 1, testTargets(), models, "DKA", 10, 4, 1.2)
+	bat, err := buildPlan("batch", 1, testTargets(), models, "DKA", 10, 4, 1.2, "adaptive")
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(bat) != 3 || len(bat[0]) != 4 || len(bat[2]) != 2 {
+	if len(bat) != 3 || len(bat[0].reqs) != 4 || len(bat[2].reqs) != 2 {
 		t.Fatalf("batch shape: %d jobs (sizes %d,%d,%d), want 3 jobs of 4,4,2",
-			len(bat), len(bat[0]), len(bat[1]), len(bat[2]))
+			len(bat), len(bat[0].reqs), len(bat[1].reqs), len(bat[2].reqs))
 	}
-	if _, err := buildPlan("nope", 1, testTargets(), models, "DKA", 10, 4, 1.2); err == nil {
+	if _, err := buildPlan("nope", 1, testTargets(), models, "DKA", 10, 4, 1.2, "adaptive"); err == nil {
 		t.Fatal("unknown mix accepted")
 	}
-	if _, err := buildPlan("zipf", 1, testTargets(), models, "DKA", 10, 4, 0.5); err == nil {
+	if _, err := buildPlan("zipf", 1, testTargets(), models, "DKA", 10, 4, 0.5, "adaptive"); err == nil {
 		t.Fatal("zipf skew <= 1 accepted")
 	}
 }
 
 // TestZipfSkew: the zipf mix must concentrate mass on a few hot facts.
 func TestZipfSkew(t *testing.T) {
-	jobs, err := buildPlan("zipf", 3, testTargets(), []string{"m"}, "DKA", 600, 4, 1.2)
+	jobs, err := buildPlan("zipf", 3, testTargets(), []string{"m"}, "DKA", 600, 4, 1.2, "adaptive")
 	if err != nil {
 		t.Fatal(err)
 	}
 	counts := map[string]int{}
 	for _, j := range jobs {
-		counts[j[0].FactID]++
+		counts[j.reqs[0].FactID]++
 	}
 	max := 0
 	for _, n := range counts {
@@ -167,6 +167,23 @@ func fakeService(t *testing.T) *httptest.Server {
 		}
 		json.NewEncoder(w).Encode(resp)
 	})
+	mux.HandleFunc("GET /v1/consensus/{fact}", func(w http.ResponseWriter, r *http.Request) {
+		mode := r.URL.Query().Get("mode")
+		resp := serve.ConsensusResponse{
+			FactID: r.PathValue("fact"), Dataset: "FactBench", Method: "DKA",
+			Final: true, Gold: true, Mode: mode, LatencyMS: 3,
+		}
+		// The execution shape varies by mode — the digest must not see it.
+		switch mode {
+		case "adaptive":
+			resp.Votes = []serve.VoteItem{{Model: "m1", Verdict: "true"}}
+			resp.Skipped = []string{"m2"}
+		default:
+			resp.Votes = []serve.VoteItem{{Model: "m1", Verdict: "true"}, {Model: "m2", Verdict: "true"}}
+			resp.LatencyMS = 7
+		}
+		json.NewEncoder(w).Encode(resp)
+	})
 	srv := httptest.NewServer(mux)
 	t.Cleanup(srv.Close)
 	return srv
@@ -203,6 +220,51 @@ func TestRunEndToEnd(t *testing.T) {
 	}
 	if !bytes.Equal(first, second) {
 		t.Fatalf("repeated runs produced different digests: %q vs %q", first, second)
+	}
+}
+
+// TestConsensusDigestModeIndependent: a consensus-mix run under eager and
+// the same plan under adaptive must write identical digests — the engine's
+// early stopping changes the execution shape, never the verdicts.
+func TestConsensusDigestModeIndependent(t *testing.T) {
+	srv := fakeService(t)
+	dir := t.TempDir()
+	digests := map[string][]byte{}
+	for _, mode := range []string{"eager", "adaptive"} {
+		file := filepath.Join(dir, mode+".txt")
+		args := []string{"-addr", srv.URL, "-mix", "consensus", "-consensus", mode,
+			"-n", "20", "-c", "4", "-seed", "9", "-digest", file}
+		var out bytes.Buffer
+		if err := run(args, &out); err != nil {
+			t.Fatalf("%s run: %v\n%s", mode, err, out.String())
+		}
+		d, err := os.ReadFile(file)
+		if err != nil {
+			t.Fatal(err)
+		}
+		digests[mode] = d
+	}
+	if !bytes.Equal(digests["eager"], digests["adaptive"]) {
+		t.Fatalf("consensus digests differ across modes: %q vs %q", digests["eager"], digests["adaptive"])
+	}
+}
+
+// TestConsensusModeMismatchViolation: a server ignoring ?mode= is a
+// contract violation.
+func TestConsensusModeMismatchViolation(t *testing.T) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /v1/facts", func(w http.ResponseWriter, _ *http.Request) {
+		json.NewEncoder(w).Encode(map[string]any{"datasets": map[string][]string{"FactBench": {"fb-1"}}})
+	})
+	mux.HandleFunc("GET /v1/consensus/{fact}", func(w http.ResponseWriter, r *http.Request) {
+		json.NewEncoder(w).Encode(serve.ConsensusResponse{FactID: r.PathValue("fact"), Mode: "eager", Final: true})
+	})
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+	var out bytes.Buffer
+	err := run([]string{"-addr", srv.URL, "-mix", "consensus", "-consensus", "adaptive", "-n", "3", "-c", "1"}, &out)
+	if err == nil || !strings.Contains(err.Error(), "contract violations") {
+		t.Fatalf("run error = %v, want contract violations\n%s", err, out.String())
 	}
 }
 

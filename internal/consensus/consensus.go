@@ -23,8 +23,12 @@ type Vote struct {
 	Verdict strategy.Verdict
 }
 
-// Majority applies the paper's threshold rule over exactly four votes:
-// sum >= 3 -> true, sum == 2 -> tie, otherwise false.
+// Majority applies the paper's threshold rule, generalised to any ensemble
+// size: strictly more than half the votes true -> true, an exact even
+// split -> tie, otherwise false. Over the paper's four voters this is
+// exactly §3.3 (sum >= 3 -> true, sum == 2 -> tie); odd ensembles and the
+// partial tiers of the adaptive engine can never tie. An empty vote set is
+// no consensus at all: (false, false), not a tie.
 func Majority(votes []Vote) (verdict bool, tie bool) {
 	sum := 0
 	for _, v := range votes {
@@ -34,6 +38,8 @@ func Majority(votes []Vote) (verdict bool, tie bool) {
 	}
 	half := len(votes) / 2
 	switch {
+	case len(votes) == 0:
+		return false, false
 	case len(votes)%2 == 0 && sum == half:
 		return false, true
 	case sum > half:
@@ -41,6 +47,28 @@ func Majority(votes []Vote) (verdict bool, tie bool) {
 	default:
 		return false, false
 	}
+}
+
+// Settled reports whether the majority over an ensemble of total voters is
+// already mathematically decided after trueVotes and falseVotes have been
+// cast: a side is settled the moment its count exceeds the dissenting
+// count plus every vote still outstanding, so no assignment of the
+// remaining votes can flip the verdict or force a tie. When settled,
+// verdict is the final majority verdict. This is the early-stop bound of
+// the adaptive engine; note a tie is never settled early — an even split
+// only exists once every voter has spoken.
+func Settled(trueVotes, falseVotes, total int) (verdict bool, settled bool) {
+	remaining := total - trueVotes - falseVotes
+	if remaining < 0 {
+		remaining = 0
+	}
+	switch {
+	case trueVotes > falseVotes+remaining:
+		return true, true
+	case falseVotes > trueVotes+remaining:
+		return false, true
+	}
+	return false, false
 }
 
 // Decision is the consensus outcome for one fact.
@@ -56,7 +84,20 @@ type Decision struct {
 	Votes          []Vote
 	// Latency is the consensus response time: the paper notes consensus
 	// parallelises, so it is the slowest member (plus the arbiter on ties).
+	// Under the adaptive engine it is the decided-at time instead — the sum
+	// of per-tier critical paths actually waited on, never charging for
+	// votes that were skipped.
 	LatencySeconds float64
+	// Mode tags which execution strategy produced the decision (empty for
+	// the package-level Decide baseline).
+	Mode Mode
+	// Skipped lists the voters the early-stop planner proved unnecessary,
+	// in dispatch order. Nil unless votes were skipped; always nil outside
+	// ModeAdaptive.
+	Skipped []string
+	// TierLatencySeconds is the critical-path latency of each dispatched
+	// tier, in dispatch order (nil for the package-level Decide baseline).
+	TierLatencySeconds []float64
 }
 
 // Arbiter breaks ties.

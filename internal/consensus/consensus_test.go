@@ -42,6 +42,42 @@ func TestMajorityRule(t *testing.T) {
 	}
 }
 
+// TestMajorityEnsembleSizes pins the generalised threshold rule on every
+// ensemble size the adaptive engine can produce: the partial tiers (1–3
+// voters), the paper's 4, and hypothetical larger panels up to 7.
+func TestMajorityEnsembleSizes(t *testing.T) {
+	T, F := strategy.True, strategy.False
+	tests := []struct {
+		name    string
+		vs      []Vote
+		verdict bool
+		tie     bool
+	}{
+		{"empty", votes(), false, false},
+		{"1: lone true", votes(T), true, false},
+		{"1: lone false", votes(F), false, false},
+		{"2: unanimous true", votes(T, T), true, false},
+		{"2: split", votes(T, F), false, true},
+		{"2: unanimous false", votes(F, F), false, false},
+		{"3: 2-1 true", votes(T, F, T), true, false},
+		{"3: 1-2 false", votes(F, T, F), false, false},
+		{"4: 3-1 true", votes(T, T, F, T), true, false},
+		{"4: 2-2 tie", votes(F, T, T, F), false, true},
+		{"5: 3-2 true", votes(T, T, F, T, F), true, false},
+		{"5: 2-3 false", votes(T, F, F, T, F), false, false},
+		{"6: 3-3 tie", votes(T, T, T, F, F, F), false, true},
+		{"6: 4-2 true", votes(T, T, T, F, T, F), true, false},
+		{"7: 4-3 true", votes(T, F, T, F, T, F, T), true, false},
+		{"7: 3-4 false", votes(F, T, F, T, F, T, F), false, false},
+	}
+	for _, tc := range tests {
+		v, tie := Majority(tc.vs)
+		if v != tc.verdict || tie != tc.tie {
+			t.Errorf("%s: Majority = (%v, %v), want (%v, %v)", tc.name, v, tie, tc.verdict, tc.tie)
+		}
+	}
+}
+
 func TestMajorityOddPanelNoTies(t *testing.T) {
 	T, F := strategy.True, strategy.False
 	if _, tie := Majority(votes(T, T, F)); tie {

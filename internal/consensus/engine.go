@@ -1,0 +1,212 @@
+package consensus
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+
+	"factcheck/internal/dataset"
+	"factcheck/internal/strategy"
+)
+
+// Mode names an execution strategy of the consensus engine. All modes
+// produce identical Final/Tie verdicts for a given voter set — an
+// execution strategy changes when votes are fetched, never what they
+// decide — which is what keeps early stopping out of the result-store
+// fingerprint.
+type Mode string
+
+const (
+	// ModeSerial fetches every vote one at a time, in plan order: the
+	// retired pre-engine behaviour, kept as the wall-clock baseline.
+	ModeSerial Mode = "serial"
+	// ModeEager fetches every vote concurrently and waits for all of
+	// them: the run-everything golden baseline (the package-level Decide
+	// semantics, fanned out).
+	ModeEager Mode = "eager"
+	// ModeAdaptive dispatches the plan's cost-ordered tiers, checking the
+	// Settled bound between tiers: once the majority is mathematically
+	// decided the remaining voters are skipped, and expensive voters run
+	// only when the cheap quorum disagrees.
+	ModeAdaptive Mode = "adaptive"
+)
+
+// ParseMode validates a mode string (e.g. a ?mode= query parameter).
+func ParseMode(s string) (Mode, error) {
+	switch m := Mode(s); m {
+	case ModeSerial, ModeEager, ModeAdaptive:
+		return m, nil
+	}
+	return "", fmt.Errorf("consensus: unknown mode %q (want serial, eager or adaptive)", s)
+}
+
+// Plan is a deterministic dispatch schedule over a voter set. Build it
+// with NewPlan; the zero value is an empty plan.
+type Plan struct {
+	// Order lists every voter in dispatch order: cost ascending with a
+	// lexicographic tie-break, so the schedule depends only on the voter
+	// set, never on input order.
+	Order []string
+	// Tiers cuts Order into dispatch waves. Tiers[0] is the cheapest
+	// quorum able to settle a majority on its own (⌊n/2⌋+1 voters — any
+	// smaller first wave could at best reach an even split, which the
+	// Settled bound can never decide early); each later tier escalates
+	// exactly one more voter, most expensive last.
+	Tiers [][]string
+}
+
+// NewPlan builds the tier schedule for a voter set. cost prices one
+// verification on a voter (see llm.Cost); a nil cost ranks voters
+// lexicographically.
+func NewPlan(voters []string, cost func(string) float64) Plan {
+	if cost == nil {
+		cost = func(string) float64 { return 0 }
+	}
+	order := append([]string(nil), voters...)
+	sort.SliceStable(order, func(i, j int) bool {
+		ci, cj := cost(order[i]), cost(order[j])
+		if ci != cj {
+			return ci < cj
+		}
+		return order[i] < order[j]
+	})
+	var tiers [][]string
+	if len(order) > 0 {
+		quorum := len(order)/2 + 1
+		tiers = append(tiers, order[:quorum:quorum])
+		for i := quorum; i < len(order); i++ {
+			tiers = append(tiers, order[i:i+1:i+1])
+		}
+	}
+	return Plan{Order: order, Tiers: tiers}
+}
+
+// Fetch resolves one voter's outcome for the fact under decision. The
+// engine calls it concurrently within a wave (except under ModeSerial);
+// implementations route it through whatever verdict stack they own (the
+// serving layer's LRU/store/executor, a precomputed result set, ...).
+type Fetch func(ctx context.Context, model string) (strategy.Outcome, error)
+
+// RunStats counts the work one Decide actually performed, for the serving
+// layer's /statsz counters.
+type RunStats struct {
+	// Dispatched and Skipped partition the plan's voters.
+	Dispatched int
+	Skipped    int
+	// Escalations counts tiers dispatched beyond the first.
+	Escalations int
+	// ArbiterCalls counts tie-breaks.
+	ArbiterCalls int
+}
+
+// Engine decides facts under one plan and mode.
+type Engine struct {
+	Plan Plan
+	Mode Mode
+	// Arbiter breaks ties when set.
+	Arbiter Arbiter
+	// AllowTie reports an unresolved tie in the Decision instead of
+	// failing when no Arbiter is set (the serving layer's contract; the
+	// offline reports keep Decide's tie-is-an-error behaviour).
+	AllowTie bool
+}
+
+// Decide runs the engine for one fact. Every mode yields identical
+// Final/Tie verdicts; they differ in which votes are fetched when, and in
+// the honesty of LatencySeconds (decided-at time: per-tier critical paths
+// summed, a skipped vote is never waited on). Early stopping is checked
+// only at tier boundaries, so the skip set is a deterministic function of
+// (plan, fact) — independent of scheduling, parallelism and timing.
+func (e *Engine) Decide(ctx context.Context, f *dataset.Fact, fetch Fetch) (Decision, RunStats, error) {
+	var st RunStats
+	n := len(e.Plan.Order)
+	if n == 0 {
+		return Decision{}, st, fmt.Errorf("consensus: empty plan deciding fact %s", f.ID)
+	}
+	var waves [][]string
+	switch e.Mode {
+	case ModeSerial, ModeEager:
+		waves = [][]string{e.Plan.Order}
+	case ModeAdaptive:
+		waves = e.Plan.Tiers
+	default:
+		return Decision{}, st, fmt.Errorf("consensus: unknown mode %q", e.Mode)
+	}
+
+	d := Decision{FactID: f.ID, Gold: f.Gold, Mode: e.Mode}
+	trues, falses := 0, 0
+	for wi, wave := range waves {
+		if wi > 0 {
+			if _, settled := Settled(trues, falses, n); settled {
+				break
+			}
+			st.Escalations++
+		}
+		wouts := make([]strategy.Outcome, len(wave))
+		werrs := make([]error, len(wave))
+		if e.Mode == ModeSerial || len(wave) == 1 {
+			for i, m := range wave {
+				wouts[i], werrs[i] = fetch(ctx, m)
+			}
+		} else {
+			var wg sync.WaitGroup
+			for i, m := range wave {
+				wg.Add(1)
+				go func(i int, m string) {
+					defer wg.Done()
+					wouts[i], werrs[i] = fetch(ctx, m)
+				}(i, m)
+			}
+			wg.Wait()
+		}
+		lat := 0.0
+		for i, m := range wave {
+			if werrs[i] != nil {
+				return Decision{}, st, fmt.Errorf("consensus: %s vote on %s: %w", m, f.ID, werrs[i])
+			}
+			o := wouts[i]
+			if o.FactID != f.ID {
+				return Decision{}, st, fmt.Errorf("consensus: outcome fact %s != %s", o.FactID, f.ID)
+			}
+			d.Votes = append(d.Votes, Vote{Model: m, Verdict: o.Verdict})
+			if o.Verdict.Bool() {
+				trues++
+			} else {
+				falses++
+			}
+			if s := o.Latency.Seconds(); e.Mode == ModeSerial {
+				lat += s // a serial wave pays the sum of its members
+			} else if s > lat {
+				lat = s // a fanned-out wave pays its critical path
+			}
+		}
+		st.Dispatched += len(wave)
+		d.TierLatencySeconds = append(d.TierLatencySeconds, lat)
+		d.LatencySeconds += lat
+	}
+	if st.Skipped = n - st.Dispatched; st.Skipped > 0 {
+		d.Skipped = append([]string(nil), e.Plan.Order[st.Dispatched:]...)
+	}
+
+	// A partial dispatch only ever stops settled, so the majority of the
+	// cast votes equals the full-ensemble majority and a tie implies every
+	// voter was heard.
+	d.Final, d.Tie = Majority(d.Votes)
+	if d.Tie {
+		switch {
+		case e.Arbiter != nil:
+			st.ArbiterCalls++
+			v, lat, err := e.Arbiter.Break(ctx, f)
+			if err != nil {
+				return Decision{}, st, err
+			}
+			d.ArbiterVerdict = v.Bool()
+			d.Final = d.ArbiterVerdict
+			d.LatencySeconds += lat
+		case !e.AllowTie:
+			return Decision{}, st, fmt.Errorf("consensus: tie on %s with no arbiter", f.ID)
+		}
+	}
+	return d, st, nil
+}

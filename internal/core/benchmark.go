@@ -58,6 +58,13 @@ type Config struct {
 	// Results are identical at any parallelism; 1 degenerates to a strictly
 	// sequential run.
 	Parallelism int
+	// Pace makes every simulated model call really take its simulated
+	// latency, scaled by Pace wall-clock seconds per simulated second
+	// (0 = as fast as the hardware allows). Outcomes are unchanged — like
+	// Parallelism it is an execution knob, excluded from result-store
+	// fingerprints — but it lets latency-structure benchmarks (serial vs
+	// fanned-out consensus) measure what a real model server would cost.
+	Pace float64
 }
 
 // DefaultConfig returns the full-benchmark configuration.
@@ -145,8 +152,12 @@ func (b *Benchmark) Model(name string) (llm.Model, error) {
 	if err != nil {
 		return nil, err
 	}
-	b.models[name] = m
-	return m, nil
+	var wrapped llm.Model = m
+	if b.Config.Pace > 0 {
+		wrapped = llm.Paced{Model: m, Scale: b.Config.Pace}
+	}
+	b.models[name] = wrapped
+	return wrapped, nil
 }
 
 // Verifier returns the verifier for a method, wired to the benchmark's RAG

@@ -9,6 +9,7 @@ import (
 	"sync"
 	"testing"
 
+	"factcheck/internal/consensus"
 	"factcheck/internal/dataset"
 	"factcheck/internal/llm"
 	"factcheck/internal/strategy"
@@ -245,6 +246,40 @@ func TestConsensusCellStructure(t *testing.T) {
 	}
 	if cell.Latency <= 0 {
 		t.Error("no consensus latency")
+	}
+}
+
+// TestConsensusModeInvariance: the engine's execution strategy must never
+// change what is decided — for every (dataset, method) cell, the adaptive
+// and serial reports carry exactly the eager (run-everything golden
+// baseline) confusion matrices and alignment. Only the Latency column may
+// differ (adaptive reports decided-at time).
+func TestConsensusModeInvariance(t *testing.T) {
+	b, rs := benchFixture(t)
+	ctx := context.Background()
+	for _, dn := range b.Config.Datasets {
+		for _, method := range b.Config.Methods {
+			eager, err := b.RunConsensusMode(ctx, rs, dn, method, consensus.ModeEager)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, mode := range []consensus.Mode{consensus.ModeSerial, consensus.ModeAdaptive} {
+				got, err := b.RunConsensusMode(ctx, rs, dn, method, mode)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !reflect.DeepEqual(got.Results, eager.Results) {
+					t.Fatalf("%s/%s: %s confusion matrices differ from eager:\n%v\nvs\n%v",
+						dn, method, mode, got.Results, eager.Results)
+				}
+				if !reflect.DeepEqual(got.Alignment, eager.Alignment) {
+					t.Fatalf("%s/%s: %s alignment differs from eager", dn, method, mode)
+				}
+				if got.Latency <= 0 {
+					t.Fatalf("%s/%s: %s consensus latency not positive", dn, method, mode)
+				}
+			}
+		}
 	}
 }
 

@@ -1,0 +1,60 @@
+package llm
+
+import (
+	"context"
+	"math"
+	"time"
+)
+
+// Nominal token counts of one verification call, used to price models
+// against each other. The absolute numbers do not matter — only that every
+// model is priced on the same workload — so they are fixed constants
+// rather than measurements.
+const (
+	costPromptTokens     = 256
+	costCompletionTokens = 64
+)
+
+// Cost prices one verification call on the named model in simulated
+// seconds: fixed overhead plus nominal prompt/completion tokens at the
+// profile's token rates. It is the sort key of the consensus engine's
+// tier schedule (cheapest voters dispatch first); unknown models price as
+// +Inf so they always sort last.
+func Cost(name string) float64 {
+	p, ok := profiles[name]
+	if !ok {
+		return math.Inf(1)
+	}
+	return p.Overhead + costPromptTokens/p.PromptTPS + costCompletionTokens/p.GenTPS
+}
+
+// Paced wraps a model so each call really takes its simulated latency,
+// scaled by Scale wall-clock seconds per simulated second. The simulated
+// substrate computes latencies without sleeping, which is right for
+// correctness tests but hides latency structure from benchmarks: under
+// Paced, "fan out and wait for the slowest" and "run serially and pay the
+// sum" cost what they would against a real model server. Outcomes are
+// unchanged — pacing is pure wall-clock.
+type Paced struct {
+	Model
+	// Scale is wall-clock seconds slept per simulated second of latency;
+	// values <= 0 disable pacing.
+	Scale float64
+}
+
+// Generate implements Model: it delegates, then sleeps the scaled
+// simulated latency (honouring cancellation).
+func (p Paced) Generate(ctx context.Context, req Request) (Response, error) {
+	resp, err := p.Model.Generate(ctx, req)
+	if err != nil || p.Scale <= 0 {
+		return resp, err
+	}
+	t := time.NewTimer(time.Duration(float64(resp.Usage.Latency) * p.Scale))
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return resp, nil
+	case <-ctx.Done():
+		return Response{}, ctx.Err()
+	}
+}

@@ -1,0 +1,89 @@
+package llm
+
+import (
+	"context"
+	"math"
+	"testing"
+	"time"
+)
+
+func TestCostOrdering(t *testing.T) {
+	// The schedule the consensus planner relies on: mistral's throughput
+	// makes it the cheapest voter, llama3.1's slow generator the dearest.
+	order := []string{Mistral, Qwen25, Gemma2, Llama31}
+	for i := 1; i < len(order); i++ {
+		if Cost(order[i-1]) >= Cost(order[i]) {
+			t.Errorf("Cost(%s) = %.3f not below Cost(%s) = %.3f",
+				order[i-1], Cost(order[i-1]), order[i], Cost(order[i]))
+		}
+	}
+	for _, name := range order {
+		c := Cost(name)
+		if c <= 0 || math.IsInf(c, 1) {
+			t.Errorf("Cost(%s) = %v, want finite positive", name, c)
+		}
+	}
+}
+
+func TestCostUnknownModel(t *testing.T) {
+	if c := Cost("no-such-model"); !math.IsInf(c, 1) {
+		t.Errorf("Cost(unknown) = %v, want +Inf", c)
+	}
+}
+
+func TestPacedSleepsScaledLatency(t *testing.T) {
+	m := MustNew(Gemma2)
+	req := Request{Method: MethodDKA, Claim: claim(true)}
+	base, err := m.Generate(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.Usage.Latency <= 0 {
+		t.Fatal("profile reported no latency; pacing test is vacuous")
+	}
+	scale := float64(2*time.Millisecond) / float64(base.Usage.Latency)
+	paced := Paced{Model: m, Scale: scale}
+	start := time.Now()
+	resp, err := paced.Generate(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed < 2*time.Millisecond {
+		t.Errorf("paced call returned in %v, want >= 2ms of wall clock", elapsed)
+	}
+	if resp.Text != base.Text || resp.Usage.Latency != base.Usage.Latency {
+		t.Error("pacing changed the response content")
+	}
+}
+
+func TestPacedZeroScaleIsTransparent(t *testing.T) {
+	m := MustNew(Mistral)
+	req := Request{Method: MethodDKA, Claim: claim(true)}
+	want, err := m.Generate(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Paced{Model: m}.Generate(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Text != want.Text {
+		t.Error("zero-scale pacing changed the response")
+	}
+}
+
+func TestPacedHonoursCancellation(t *testing.T) {
+	m := MustNew(Llama31)
+	// A scale that would sleep for minutes: cancellation must cut it short.
+	paced := Paced{Model: m, Scale: 1e6}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := paced.Generate(ctx, Request{Method: MethodDKA, Claim: claim(true)})
+	if err == nil {
+		t.Fatal("cancelled paced call returned no error")
+	}
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Errorf("cancellation took %v", elapsed)
+	}
+}

@@ -73,6 +73,11 @@ type Config struct {
 	FillCells bool
 	// MaxBatch bounds /v1/verify/batch request size. Default 64.
 	MaxBatch int
+	// ConsensusMode is the default execution strategy for /v1/consensus
+	// (overridable per request with ?mode=). Default
+	// consensus.ModeAdaptive: verdicts are mode-independent, so the
+	// early-stopping schedule is safe to default on.
+	ConsensusMode consensus.Mode
 }
 
 // DefaultConfig returns the production defaults (with FillCells on).
@@ -102,6 +107,9 @@ func (c *Config) fill(bench *core.Benchmark) {
 	if c.MaxBatch <= 0 {
 		c.MaxBatch = 64
 	}
+	if c.ConsensusMode == "" {
+		c.ConsensusMode = consensus.ModeAdaptive
+	}
 }
 
 // Service answers online verification requests over one benchmark instance
@@ -115,6 +123,12 @@ type Service struct {
 	limiter *limiter
 	exec    *sched.Executor
 	admit   chan struct{}
+
+	// voters and plan are the consensus ensemble (the configured models
+	// minus the commercial arbiter) and its cost-ordered tier schedule,
+	// fixed at construction so every request dispatches identically.
+	voters []string
+	plan   consensus.Plan
 
 	// verify is the single-fact verification function; tests stub it to
 	// count calls. Defaults to the benchmark's VerifyFact.
@@ -149,6 +163,12 @@ type serviceStats struct {
 	computed      atomic.Uint64
 	coalesced     atomic.Uint64
 	fills         atomic.Uint64
+
+	consensusRequests    atomic.Uint64
+	consensusDispatched  atomic.Uint64
+	consensusSkipped     atomic.Uint64
+	consensusEscalations atomic.Uint64
+	consensusArbiters    atomic.Uint64
 }
 
 // New builds a service over a benchmark and a result store (use
@@ -165,6 +185,12 @@ func New(bench *core.Benchmark, store *core.Store, cfg Config) *Service {
 		admit:   make(chan struct{}, cfg.QueueDepth),
 		flight:  map[verdictKey]*call{},
 	}
+	for _, model := range bench.Config.Models {
+		if model != llm.GPT4oMini { // commercial model is an arbiter, not a voter (§3.3)
+			s.voters = append(s.voters, model)
+		}
+	}
+	s.plan = consensus.NewPlan(s.voters, llm.Cost)
 	s.verify = bench.VerifyFact
 	s.filler = core.NewCellFiller(s.fillCell)
 	return s
@@ -351,6 +377,9 @@ type VoteItem struct {
 }
 
 // ConsensusResponse is the DKA majority vote over the open-source models.
+// Final, Tie and Gold are mode-independent: an execution strategy changes
+// which votes are consulted, never what they decide. Votes, Skipped and
+// LatencyMS describe the strategy that ran.
 type ConsensusResponse struct {
 	FactID  string     `json:"fact_id"`
 	Dataset string     `json:"dataset"`
@@ -359,6 +388,14 @@ type ConsensusResponse struct {
 	Final   bool       `json:"final"`
 	Tie     bool       `json:"tie"`
 	Gold    bool       `json:"gold"`
+	// Mode is the execution strategy that produced this decision.
+	Mode string `json:"mode"`
+	// Skipped lists voters the early-stop planner proved unnecessary, in
+	// dispatch order (adaptive mode only).
+	Skipped []string `json:"skipped,omitempty"`
+	// LatencyMS is the simulated decided-at latency of the consensus: the
+	// per-tier critical paths actually waited on, summed.
+	LatencyMS float64 `json:"latency_ms"`
 }
 
 // Stats is the /statsz payload.
@@ -377,6 +414,15 @@ type Stats struct {
 	QueueCap      int    `json:"queue_cap"`
 	StoreCells    int    `json:"store_cells"`
 	Clients       int    `json:"clients"`
+
+	// Consensus-engine counters: requests served, votes the planner
+	// dispatched vs skipped, tiers escalated past the cheap quorum, and
+	// arbiter tie-breaks.
+	ConsensusRequests    uint64 `json:"consensus_requests"`
+	ConsensusDispatched  uint64 `json:"consensus_votes_dispatched"`
+	ConsensusSkipped     uint64 `json:"consensus_votes_skipped"`
+	ConsensusEscalations uint64 `json:"consensus_escalations"`
+	ConsensusArbiters    uint64 `json:"consensus_arbiter_calls"`
 
 	// Retrieval mirrors the search engine's cumulative counters — cache
 	// behaviour plus the pruned top-k's work accounting (queries, postings
@@ -402,6 +448,12 @@ func (s *Service) Stats() Stats {
 		QueueCap:      cap(s.admit),
 		StoreCells:    s.store.Len(),
 		Clients:       s.limiter.clients(),
+
+		ConsensusRequests:    s.stats.consensusRequests.Load(),
+		ConsensusDispatched:  s.stats.consensusDispatched.Load(),
+		ConsensusSkipped:     s.stats.consensusSkipped.Load(),
+		ConsensusEscalations: s.stats.consensusEscalations.Load(),
+		ConsensusArbiters:    s.stats.consensusArbiters.Load(),
 	}
 }
 
@@ -410,7 +462,7 @@ func (s *Service) Stats() Stats {
 //	POST /v1/verify                                    -> VerdictResponse
 //	POST /v1/verify/batch                              -> BatchResponse
 //	GET  /v1/verdict/{dataset}/{method}/{model}/{fact} -> VerdictResponse (no compute; 404 when absent)
-//	GET  /v1/consensus/{fact}                          -> ConsensusResponse
+//	GET  /v1/consensus/{fact}[?mode=serial|eager|adaptive] -> ConsensusResponse
 //	GET  /v1/facts                                     -> fact IDs per dataset
 //	GET  /healthz, GET /statsz
 //
@@ -676,35 +728,37 @@ func (s *Service) handleVerdict(w http.ResponseWriter, r *http.Request) {
 
 // handleConsensus answers the DKA majority vote of the open-source models
 // (the paper's §3.3 consensus without arbitration; ties are reported).
+// ?mode=serial|eager|adaptive overrides the configured execution strategy.
 func (s *Service) handleConsensus(w http.ResponseWriter, r *http.Request) {
-	factID := r.PathValue("fact")
-	f, ok := s.bench.FactByID(factID)
-	if !ok {
-		httpError(w, http.StatusNotFound, "unknown fact "+factID)
-		return
-	}
-	idx, ok := s.bench.FactIndex(f.Dataset)[factID]
-	if !ok {
-		httpError(w, http.StatusNotFound, "unknown fact "+factID)
-		return
-	}
-	var voters []string
-	for _, model := range s.bench.Config.Models {
-		if model != llm.GPT4oMini { // commercial model is an arbiter, not a voter (§3.3)
-			voters = append(voters, model)
+	mode := s.cfg.ConsensusMode
+	if q := r.URL.Query().Get("mode"); q != "" {
+		m, err := consensus.ParseMode(q)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, err.Error())
+			return
 		}
+		mode = m
 	}
-	// One consensus answer is len(voters) verifications; the middleware
-	// charged one token, charge the remainder. A burst smaller than the
-	// voter count could never be satisfied — surface the misconfiguration
-	// instead of an eternal 429.
-	if float64(len(voters)) > s.cfg.Burst {
+	// A voterless service can never answer: reject before any token beyond
+	// the admission charge is debited, so a misconfigured server does not
+	// bill clients for work it will never run.
+	if len(s.voters) == 0 {
+		httpError(w, http.StatusUnprocessableEntity, "no open-source models configured for consensus")
+		return
+	}
+	// One consensus answer is up to len(voters) verifications; the
+	// middleware charged one token, charge the remainder up front. The
+	// charge is plan-independent — adaptive pays for skipped votes too —
+	// so a client's throttling never depends on how facts happened to
+	// vote. A burst smaller than the voter count could never be satisfied:
+	// surface the misconfiguration instead of an eternal 429.
+	if float64(len(s.voters)) > s.cfg.Burst {
 		httpError(w, http.StatusBadRequest,
 			fmt.Sprintf("consensus requires %d verifications, exceeding the per-client burst capacity %g",
-				len(voters), s.cfg.Burst))
+				len(s.voters), s.cfg.Burst))
 		return
 	}
-	if extra := len(voters) - 1; extra > 0 {
+	if extra := len(s.voters) - 1; extra > 0 {
 		if ok, wait := s.limiter.allowN(clientID(r), float64(extra)); !ok {
 			s.stats.rateLimited.Add(1)
 			w.Header().Set("Retry-After", strconv.Itoa(retrySeconds(wait)))
@@ -712,24 +766,65 @@ func (s *Service) handleConsensus(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
-	var votes []consensus.Vote
-	resp := ConsensusResponse{FactID: factID, Dataset: string(f.Dataset), Method: string(llm.MethodDKA), Gold: f.Gold}
-	for _, model := range voters {
-		cell := core.Cell{Dataset: f.Dataset, Method: llm.MethodDKA, Model: model}
-		out, _, err := s.verdict(r.Context(), cell, f, idx)
-		if err != nil {
-			httpError(w, http.StatusInternalServerError, err.Error())
+	resp, err := s.Consensus(r.Context(), r.PathValue("fact"), mode)
+	if err != nil {
+		var aerr *apiError
+		if errors.As(err, &aerr) {
+			httpError(w, aerr.status, aerr.msg)
 			return
 		}
-		votes = append(votes, consensus.Vote{Model: model, Verdict: out.Verdict})
-		resp.Votes = append(resp.Votes, VoteItem{Model: model, Verdict: out.Verdict.String()})
-	}
-	if len(votes) == 0 {
-		httpError(w, http.StatusUnprocessableEntity, "no open-source models configured for consensus")
+		httpError(w, http.StatusInternalServerError, err.Error())
 		return
 	}
-	resp.Final, resp.Tie = consensus.Majority(votes)
 	writeJSON(w, http.StatusOK, resp)
+}
+
+// Consensus decides one fact through the §3.3 consensus engine under the
+// given mode. Per-voter votes resolve through the same verdict stack as
+// /v1/verify (LRU, singleflight, store snapshots, executor-bounded
+// verification) and fan out concurrently within each tier, so concurrent
+// consensus requests for one fact coalesce per (cell, fact) vote. Rate
+// limiting and admission are the HTTP handler's business, not this
+// method's.
+func (s *Service) Consensus(ctx context.Context, factID string, mode consensus.Mode) (*ConsensusResponse, error) {
+	f, ok := s.bench.FactByID(factID)
+	if !ok {
+		return nil, &apiError{http.StatusNotFound, "unknown fact " + factID}
+	}
+	idx, ok := s.bench.FactIndex(f.Dataset)[factID]
+	if !ok {
+		return nil, &apiError{http.StatusNotFound, "unknown fact " + factID}
+	}
+	eng := &consensus.Engine{Plan: s.plan, Mode: mode, AllowTie: true}
+	fetch := func(ctx context.Context, model string) (strategy.Outcome, error) {
+		cell := core.Cell{Dataset: f.Dataset, Method: llm.MethodDKA, Model: model}
+		out, _, err := s.verdict(ctx, cell, f, idx)
+		return out, err
+	}
+	dec, st, err := eng.Decide(ctx, f, fetch)
+	if err != nil {
+		return nil, err
+	}
+	s.stats.consensusRequests.Add(1)
+	s.stats.consensusDispatched.Add(uint64(st.Dispatched))
+	s.stats.consensusSkipped.Add(uint64(st.Skipped))
+	s.stats.consensusEscalations.Add(uint64(st.Escalations))
+	s.stats.consensusArbiters.Add(uint64(st.ArbiterCalls))
+	resp := &ConsensusResponse{
+		FactID:    factID,
+		Dataset:   string(f.Dataset),
+		Method:    string(llm.MethodDKA),
+		Final:     dec.Final,
+		Tie:       dec.Tie,
+		Gold:      f.Gold,
+		Mode:      string(mode),
+		Skipped:   dec.Skipped,
+		LatencyMS: dec.LatencySeconds * 1000,
+	}
+	for _, v := range dec.Votes {
+		resp.Votes = append(resp.Votes, VoteItem{Model: v.Model, Verdict: v.Verdict.String()})
+	}
+	return resp, nil
 }
 
 func (s *Service) handleFacts(w http.ResponseWriter, _ *http.Request) {

@@ -521,11 +521,34 @@ func TestBatch(t *testing.T) {
 	}
 }
 
-// TestConsensusEndpoint: the served majority must match consensus.Majority
-// over the open-source models' RunCell verdicts.
+// getConsensus issues GET /v1/consensus/{fact} with an optional ?mode= and
+// decodes the response.
+func getConsensus(t *testing.T, h http.Handler, factID, mode string) (*ConsensusResponse, *httptest.ResponseRecorder) {
+	t.Helper()
+	url := "/v1/consensus/" + factID
+	if mode != "" {
+		url += "?mode=" + mode
+	}
+	w := httptest.NewRecorder()
+	h.ServeHTTP(w, httptest.NewRequest("GET", url, nil))
+	if w.Code != http.StatusOK {
+		return nil, w
+	}
+	var resp ConsensusResponse
+	if err := json.Unmarshal(w.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	return &resp, w
+}
+
+// TestConsensusEndpoint: in every mode the served verdict must match
+// consensus.Majority over the open-source models' RunCell verdicts, with
+// each vote attributed to the model that cast it. Only the execution shape
+// (votes consulted, skip set) may differ between modes.
 func TestConsensusEndpoint(t *testing.T) {
 	b := testBench()
 	f := firstFact(dataset.FactBench)
+	want := map[string]strategy.Verdict{}
 	var votes []consensus.Vote
 	for _, model := range b.Config.Models {
 		if model == llm.GPT4oMini {
@@ -535,31 +558,326 @@ func TestConsensusEndpoint(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
+		want[model] = outs[0].Verdict
 		votes = append(votes, consensus.Vote{Model: model, Verdict: outs[0].Verdict})
 	}
 	wantFinal, wantTie := consensus.Majority(votes)
 
 	svc := newTestService(t, permissive())
 	defer svc.Drain()
+	h := svc.Handler()
+	planOrder := svc.plan.Order
+
+	for _, mode := range []string{"serial", "eager", "adaptive"} {
+		resp, w := getConsensus(t, h, f.ID, mode)
+		if resp == nil {
+			t.Fatalf("%s: %d %s", mode, w.Code, w.Body.String())
+		}
+		if resp.Mode != mode {
+			t.Fatalf("mode tag %q, want %q", resp.Mode, mode)
+		}
+		// The verdict is mode-independent.
+		if resp.Final != wantFinal || resp.Tie != wantTie {
+			t.Fatalf("%s: final=%v tie=%v, want final=%v tie=%v", mode, resp.Final, resp.Tie, wantFinal, wantTie)
+		}
+		// Every vote is the model's own RunCell verdict, in plan order.
+		for i, v := range resp.Votes {
+			if v.Model != planOrder[i] {
+				t.Fatalf("%s: vote %d from %s, want plan order %v", mode, i, v.Model, planOrder)
+			}
+			if v.Verdict != want[v.Model].String() {
+				t.Fatalf("%s: vote %s = %s, want %s", mode, v.Model, v.Verdict, want[v.Model])
+			}
+		}
+		switch mode {
+		case "serial", "eager":
+			if len(resp.Votes) != len(planOrder) || len(resp.Skipped) != 0 {
+				t.Fatalf("%s: %d votes, %d skipped; want full ensemble", mode, len(resp.Votes), len(resp.Skipped))
+			}
+		case "adaptive":
+			// Votes + Skipped partition the plan exactly.
+			all := append([]string{}, resp.Skipped...)
+			for i, v := range resp.Votes {
+				if v.Model != planOrder[i] {
+					t.Fatalf("adaptive: dispatched %s at %d", v.Model, i)
+				}
+			}
+			if len(resp.Votes)+len(all) != len(planOrder) {
+				t.Fatalf("adaptive: %d votes + %d skipped != %d plan", len(resp.Votes), len(all), len(planOrder))
+			}
+			for i, m := range resp.Skipped {
+				if m != planOrder[len(resp.Votes)+i] {
+					t.Fatalf("adaptive: skipped %v not the plan tail of %v", resp.Skipped, planOrder)
+				}
+			}
+		}
+	}
+
+	// No ?mode= serves the configured default (adaptive).
+	resp, w := getConsensus(t, h, f.ID, "")
+	if resp == nil {
+		t.Fatalf("default mode: %d %s", w.Code, w.Body.String())
+	}
+	if resp.Mode != string(consensus.ModeAdaptive) {
+		t.Fatalf("default mode = %q, want adaptive", resp.Mode)
+	}
+	// An unknown mode is a 400, before any charging or verification.
+	if _, w := getConsensus(t, h, f.ID, "bogus"); w.Code != http.StatusBadRequest {
+		t.Fatalf("?mode=bogus: %d, want 400", w.Code)
+	}
+}
+
+// TestConsensusModesAgree is the serving-layer differential gate: for every
+// fact of every dataset, eager (run everything — the golden baseline),
+// serial and adaptive must agree on Final and Tie; adaptive must skip
+// voters on a majority of the unanimous facts.
+func TestConsensusModesAgree(t *testing.T) {
+	svc := newTestService(t, permissive())
+	defer svc.Drain()
+	ctx := context.Background()
+
+	unanimous, unanimousSkipped, skippedFacts, facts := 0, 0, 0, 0
+	for _, dn := range testBench().Config.Datasets {
+		for _, f := range testBench().Datasets[dn].Facts {
+			facts++
+			eager, err := svc.Consensus(ctx, f.ID, consensus.ModeEager)
+			if err != nil {
+				t.Fatal(err)
+			}
+			serial, err := svc.Consensus(ctx, f.ID, consensus.ModeSerial)
+			if err != nil {
+				t.Fatal(err)
+			}
+			adaptive, err := svc.Consensus(ctx, f.ID, consensus.ModeAdaptive)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if serial.Final != eager.Final || serial.Tie != eager.Tie {
+				t.Fatalf("%s: serial (final %v tie %v) != eager (final %v tie %v)",
+					f.ID, serial.Final, serial.Tie, eager.Final, eager.Tie)
+			}
+			if adaptive.Final != eager.Final || adaptive.Tie != eager.Tie {
+				t.Fatalf("%s: adaptive (final %v tie %v) != eager (final %v tie %v)",
+					f.ID, adaptive.Final, adaptive.Tie, eager.Final, eager.Tie)
+			}
+			if len(adaptive.Skipped) > 0 {
+				skippedFacts++
+			}
+			agree := true
+			for _, v := range eager.Votes {
+				if v.Verdict != eager.Votes[0].Verdict {
+					agree = false
+					break
+				}
+			}
+			if agree {
+				unanimous++
+				if len(adaptive.Skipped) > 0 {
+					unanimousSkipped++
+				}
+			}
+		}
+	}
+	if unanimous == 0 {
+		t.Fatal("no unanimous facts; the differential gate is vacuous")
+	}
+	if unanimousSkipped*2 <= unanimous {
+		t.Fatalf("adaptive skipped votes on %d of %d unanimous facts, want a majority", unanimousSkipped, unanimous)
+	}
+	t.Logf("%d facts: %d unanimous, %d with skipped votes", facts, unanimous, skippedFacts)
+}
+
+// TestConsensusCoalesces: N concurrent adaptive consensus requests for the
+// same fact must coalesce per (cell, fact) — the quorum models are each
+// verified exactly once, and the escalation voter not at all when the
+// quorum is unanimous. Run under -race this also exercises the engine's
+// fan-out goroutines against the singleflight layer.
+func TestConsensusCoalesces(t *testing.T) {
+	svc := newTestService(t, permissive())
+	defer svc.Drain()
+	f := firstFact(dataset.FactBench)
+
+	var mu sync.Mutex
+	calls := map[string]int{}
+	release := make(chan struct{})
+	svc.verify = func(_ context.Context, cell core.Cell, f *dataset.Fact) (strategy.Outcome, error) {
+		mu.Lock()
+		calls[cell.Model]++
+		mu.Unlock()
+		<-release
+		return stubOutcome(cell, f), nil // every model votes true: unanimous quorum
+	}
+	h := svc.Handler()
+
+	const n = 8
+	var wg sync.WaitGroup
+	bodies := make([]string, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			w := httptest.NewRecorder()
+			h.ServeHTTP(w, httptest.NewRequest("GET", "/v1/consensus/"+f.ID, nil))
+			if w.Code != http.StatusOK {
+				t.Errorf("request %d: %d %s", i, w.Code, w.Body.String())
+				return
+			}
+			bodies[i] = w.Body.String()
+		}(i)
+	}
+	time.Sleep(50 * time.Millisecond)
+	close(release)
+	wg.Wait()
+
+	quorum := svc.plan.Tiers[0]
+	escalation := svc.plan.Order[len(quorum):]
+	mu.Lock()
+	defer mu.Unlock()
+	for _, m := range quorum {
+		if calls[m] != 1 {
+			t.Errorf("quorum model %s verified %d times across %d concurrent requests, want 1", m, calls[m], n)
+		}
+	}
+	for _, m := range escalation {
+		if calls[m] != 0 {
+			t.Errorf("escalation model %s verified %d times on a unanimous quorum, want 0", m, calls[m])
+		}
+	}
+	for i := 1; i < n; i++ {
+		if bodies[i] != bodies[0] {
+			t.Fatalf("response %d differs from response 0:\n%s\nvs\n%s", i, bodies[i], bodies[0])
+		}
+	}
+}
+
+// TestConsensusSkipSetParallelismInvariant: the adaptive skip set (and the
+// whole response) must be byte-identical whether the service runs its
+// executor with 1 worker or 8 — decisions are taken at tier boundaries
+// only, never on dispatch-completion order.
+func TestConsensusSkipSetParallelismInvariant(t *testing.T) {
+	responses := func(workers int) []string {
+		cfg := permissive()
+		cfg.Workers = workers
+		svc := newTestService(t, cfg)
+		defer svc.Drain()
+		h := svc.Handler()
+		var out []string
+		for _, dn := range testBench().Config.Datasets {
+			for _, f := range testBench().Datasets[dn].Facts {
+				w := httptest.NewRecorder()
+				h.ServeHTTP(w, httptest.NewRequest("GET", "/v1/consensus/"+f.ID+"?mode=adaptive", nil))
+				if w.Code != http.StatusOK {
+					t.Fatalf("%s: %d %s", f.ID, w.Code, w.Body.String())
+				}
+				out = append(out, w.Body.String())
+			}
+		}
+		return out
+	}
+	par1 := responses(1)
+	par8 := responses(8)
+	for i := range par1 {
+		if par1[i] != par8[i] {
+			t.Fatalf("response %d differs between 1 and 8 workers:\n%s\nvs\n%s", i, par1[i], par8[i])
+		}
+	}
+}
+
+// TestConsensusNoVotersRejectedBeforeCharge: a service whose model set has
+// no open-source voters answers 422 before debiting any rate-limit token
+// beyond the admission charge — the failed consensus request must not eat
+// into the client's budget for requests the server can serve.
+func TestConsensusNoVotersRejectedBeforeCharge(t *testing.T) {
+	cfg := core.TestConfig()
+	cfg.Models = []string{llm.GPT4oMini} // arbiter-only: no voters
+	b := core.NewBenchmark(cfg)
+	scfg := permissive()
+	scfg.Rate = 0.001
+	scfg.Burst = 2
+	svc := New(b, core.NewMemoryStore(), scfg)
+	defer svc.Drain()
+	svc.verify = func(_ context.Context, cell core.Cell, f *dataset.Fact) (strategy.Outcome, error) {
+		return stubOutcome(cell, f), nil
+	}
+	h := svc.Handler()
+	f := b.Datasets[dataset.FactBench].Facts[0]
+
 	w := httptest.NewRecorder()
-	svc.Handler().ServeHTTP(w, httptest.NewRequest("GET", "/v1/consensus/"+f.ID, nil))
+	r := httptest.NewRequest("GET", "/v1/consensus/"+f.ID, nil)
+	r.Header.Set("X-Client-ID", "dave")
+	h.ServeHTTP(w, r)
+	if w.Code != http.StatusUnprocessableEntity {
+		t.Fatalf("voterless consensus: %d %s, want 422", w.Code, w.Body.String())
+	}
+	// Only the admission token was spent: a second request still fits the
+	// burst of 2. Had handleConsensus charged before validating, the
+	// client would be throttled here.
+	req := VerifyRequest{Dataset: string(dataset.FactBench), Method: string(llm.MethodDKA), Model: llm.GPT4oMini, FactID: f.ID}
+	body, _ := json.Marshal(req)
+	w = httptest.NewRecorder()
+	r = httptest.NewRequest("POST", "/v1/verify", bytes.NewReader(body))
+	r.Header.Set("X-Client-ID", "dave")
+	h.ServeHTTP(w, r)
 	if w.Code != http.StatusOK {
+		t.Fatalf("verify after failed consensus: %d %s, want 200 (token not double-charged)", w.Code, w.Body.String())
+	}
+}
+
+// TestConsensusStatszCounters: the /statsz consensus counters must account
+// for exactly the votes the planner dispatched, skipped and escalated.
+func TestConsensusStatszCounters(t *testing.T) {
+	verdicts := map[string]strategy.Verdict{}
+	svc := newTestService(t, permissive())
+	defer svc.Drain()
+	svc.verify = func(_ context.Context, cell core.Cell, f *dataset.Fact) (strategy.Outcome, error) {
+		out := stubOutcome(cell, f)
+		out.Verdict = verdicts[cell.Model]
+		return out, nil
+	}
+	h := svc.Handler()
+	statsz := func() Stats {
+		w := httptest.NewRecorder()
+		h.ServeHTTP(w, httptest.NewRequest("GET", "/statsz", nil))
+		var st Stats
+		if err := json.Unmarshal(w.Body.Bytes(), &st); err != nil {
+			t.Fatal(err)
+		}
+		return st
+	}
+
+	// A unanimous quorum: 3 dispatched, 1 skipped, no escalation.
+	for _, m := range svc.plan.Order {
+		verdicts[m] = strategy.True
+	}
+	f := firstFact(dataset.FactBench)
+	if resp, w := getConsensus(t, h, f.ID, "adaptive"); resp == nil {
 		t.Fatalf("consensus: %d %s", w.Code, w.Body.String())
 	}
-	var resp ConsensusResponse
-	if err := json.Unmarshal(w.Body.Bytes(), &resp); err != nil {
-		t.Fatal(err)
+	st := statsz()
+	if st.ConsensusRequests != 1 || st.ConsensusDispatched != 3 || st.ConsensusSkipped != 1 || st.ConsensusEscalations != 0 {
+		t.Fatalf("after unanimous quorum: %+v, want 1 request, 3 dispatched, 1 skipped, 0 escalations", st)
 	}
-	if resp.Final != wantFinal || resp.Tie != wantTie {
-		t.Fatalf("consensus final=%v tie=%v, want final=%v tie=%v", resp.Final, resp.Tie, wantFinal, wantTie)
+
+	// A split quorum on a second fact: all 4 dispatched, one escalation.
+	quorum := svc.plan.Tiers[0]
+	verdicts[quorum[0]] = strategy.True
+	verdicts[quorum[1]] = strategy.False
+	verdicts[quorum[2]] = strategy.False
+	verdicts[svc.plan.Order[3]] = strategy.False
+	g := testBench().Datasets[dataset.FactBench].Facts[1]
+	resp, w := getConsensus(t, h, g.ID, "adaptive")
+	if resp == nil {
+		t.Fatalf("consensus: %d %s", w.Code, w.Body.String())
 	}
-	if len(resp.Votes) != len(votes) {
-		t.Fatalf("%d votes, want %d", len(resp.Votes), len(votes))
+	if resp.Final || resp.Tie {
+		t.Fatalf("split quorum decision = %+v, want 1-3 false", resp)
 	}
-	for i, v := range votes {
-		if resp.Votes[i].Model != v.Model || resp.Votes[i].Verdict != v.Verdict.String() {
-			t.Fatalf("vote %d = %+v, want %s=%s", i, resp.Votes[i], v.Model, v.Verdict)
-		}
+	st = statsz()
+	if st.ConsensusRequests != 2 || st.ConsensusDispatched != 7 || st.ConsensusSkipped != 1 || st.ConsensusEscalations != 1 {
+		t.Fatalf("after split quorum: %+v, want 2 requests, 7 dispatched, 1 skipped, 1 escalation", st)
+	}
+	if st.ConsensusArbiters != 0 {
+		t.Fatalf("arbiter calls = %d, want 0 (service reports ties)", st.ConsensusArbiters)
 	}
 }
 
