@@ -184,6 +184,7 @@ var variantFamilies = [][]string{
 	{"dense", "sparse"},
 	{"scan", "indexed", "pruned"},
 	{"serial", "eager", "adaptive"},
+	{"mutexed", "snapshot"},
 }
 
 // splitVariant extracts the variant from a benchmark name. Two spellings
@@ -222,20 +223,28 @@ func splitVariant(name string) (group, variant string, ok bool) {
 
 // deriveSpeedups emits a ratio for every (baseline, variant) pair of one
 // family present under the same benchmark group (first occurrence wins when
-// a -count run repeats lines).
+// a -count run repeats lines). Runs at different GOMAXPROCS never pair:
+// a -cpu 1,8 sweep yields one ratio per proc count, with the proc count
+// suffixed onto the group name (BenchmarkSearchWarmParallel-8) whenever a
+// group spans more than one — a single-proc run keeps the bare name.
 func deriveSpeedups(bs []Benchmark) []Speedup {
-	groups := map[string]map[string]float64{}
+	groups := map[string]map[int]map[string]float64{}
 	var order []string
 	for _, b := range bs {
 		g, v, ok := splitVariant(b.Name)
 		if !ok {
 			continue
 		}
-		m := groups[g]
+		byProcs := groups[g]
+		if byProcs == nil {
+			byProcs = map[int]map[string]float64{}
+			groups[g] = byProcs
+			order = append(order, g)
+		}
+		m := byProcs[b.Procs]
 		if m == nil {
 			m = map[string]float64{}
-			groups[g] = m
-			order = append(order, g)
+			byProcs[b.Procs] = m
 		}
 		if _, dup := m[v]; !dup {
 			m[v] = b.NsPerOp
@@ -244,16 +253,28 @@ func deriveSpeedups(bs []Benchmark) []Speedup {
 	sort.Strings(order)
 	var out []Speedup
 	for _, g := range order {
-		m := groups[g]
-		for _, fam := range variantFamilies {
-			for i, base := range fam {
-				for _, v := range fam[i+1:] {
-					bn, vn := m[base], m[v]
-					if bn > 0 && vn > 0 {
-						out = append(out, Speedup{
-							Benchmark: g, Baseline: base, Variant: v,
-							BaselineNs: bn, VariantNs: vn, Ratio: bn / vn,
-						})
+		byProcs := groups[g]
+		procs := make([]int, 0, len(byProcs))
+		for p := range byProcs {
+			procs = append(procs, p)
+		}
+		sort.Ints(procs)
+		for _, p := range procs {
+			m := byProcs[p]
+			name := g
+			if len(byProcs) > 1 {
+				name = fmt.Sprintf("%s-%d", g, p)
+			}
+			for _, fam := range variantFamilies {
+				for i, base := range fam {
+					for _, v := range fam[i+1:] {
+						bn, vn := m[base], m[v]
+						if bn > 0 && vn > 0 {
+							out = append(out, Speedup{
+								Benchmark: name, Baseline: base, Variant: v,
+								BaselineNs: bn, VariantNs: vn, Ratio: bn / vn,
+							})
+						}
 					}
 				}
 			}

@@ -131,6 +131,33 @@ BenchmarkTopKWarm/pruned-4         100    10000 ns/op	0 B/op	0 allocs/op
 	}
 }
 
+// TestDeriveSpeedupProcsSweep: a -cpu 1,8 sweep of the mutexed/snapshot
+// family derives one ratio per proc count, suffixing the group name so the
+// single-stream and contended ratios never collapse into one pairing.
+func TestDeriveSpeedupProcsSweep(t *testing.T) {
+	const sweep = `BenchmarkSearchWarmParallel/mutexed       100   40000 ns/op
+BenchmarkSearchWarmParallel/mutexed-8     100   80000 ns/op
+BenchmarkSearchWarmParallel/snapshot      100   40000 ns/op
+BenchmarkSearchWarmParallel/snapshot-8    100   20000 ns/op
+`
+	doc, err := Parse(strings.NewReader(sweep))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Speedup{
+		{"BenchmarkSearchWarmParallel-1", "mutexed", "snapshot", 40000, 40000, 1},
+		{"BenchmarkSearchWarmParallel-8", "mutexed", "snapshot", 80000, 20000, 4},
+	}
+	if len(doc.Speedups) != len(want) {
+		t.Fatalf("derived %d speedups, want %d: %+v", len(doc.Speedups), len(want), doc.Speedups)
+	}
+	for i, w := range want {
+		if doc.Speedups[i] != w {
+			t.Errorf("speedup %d = %+v, want %+v", i, doc.Speedups[i], w)
+		}
+	}
+}
+
 // TestDeriveSpeedupConsensusFamily: the serial/eager/adaptive family pairs
 // within itself (serial as the ultimate baseline) and never against the
 // retrieval families.

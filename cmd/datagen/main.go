@@ -6,6 +6,12 @@
 // Usage:
 //
 //	datagen [-out dir] [-scale 0.25] [-small] [-docs] [-maxdocfacts 100]
+//	datagen [-scale 0.25] [-small] -stream FILE [-streamdocs 64]
+//
+// With -stream, datagen instead writes a live-ingestion feed: a JSONL file
+// of deterministic out-of-band documents (fact_id, url, host, title, text)
+// produced by the corpus generator's Stream namespace — input for
+// cmd/factcheck -docs and the factcheckd POST /v1/documents endpoint.
 package main
 
 import (
@@ -22,6 +28,7 @@ import (
 	"factcheck/internal/kg"
 	"factcheck/internal/question"
 	"factcheck/internal/rerank"
+	"factcheck/internal/search"
 	"factcheck/internal/strategy"
 	"factcheck/internal/world"
 )
@@ -60,11 +67,53 @@ func main() {
 	small := flag.Bool("small", false, "use the miniature test world")
 	docs := flag.Bool("docs", false, "also write document pools (large)")
 	maxDocFacts := flag.Int("maxdocfacts", 100, "facts per dataset to write documents for (0 = all)")
+	stream := flag.String("stream", "", "write a live-ingestion JSONL feed to FILE instead of the offline artefacts")
+	streamDocs := flag.Int("streamdocs", 64, "stream documents per dataset (with -stream)")
 	flag.Parse()
 
+	if *stream != "" {
+		if err := runStream(*stream, *scale, *small, *streamDocs); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
 	if err := run(*out, *scale, *small, *docs, *maxDocFacts); err != nil {
 		log.Fatal(err)
 	}
+}
+
+// runStream writes streamDocs live documents per dataset as JSONL. Facts
+// are covered round-robin (every fact gets stream index 0 before any fact
+// gets index 1), so a small feed still touches many distinct pools. The
+// feed is a pure function of (scale, small, streamDocs).
+func runStream(path string, scale float64, small bool, streamDocs int) error {
+	cfg := world.DefaultConfig()
+	if small {
+		cfg = world.SmallConfig()
+	}
+	w := world.New(cfg)
+	gen := corpus.NewGenerator(w)
+	total := 0
+	err := writeStream(path, func(enc *json.Encoder) error {
+		for _, name := range dataset.AllNames {
+			d := dataset.Build(w, name, scale)
+			for j := 0; j < streamDocs; j++ {
+				f := d.Facts[j%len(d.Facts)]
+				sd := gen.Stream(f, j/len(d.Facts))
+				rec := search.IngestDoc{FactID: f.ID, URL: sd.URL, Host: sd.Host, Title: sd.Title, Text: sd.Text}
+				if err := enc.Encode(rec); err != nil {
+					return err
+				}
+				total++
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	log.Printf("datagen: wrote %d stream documents to %s", total, path)
+	return nil
 }
 
 func run(out string, scale float64, small, writeDocs bool, maxDocFacts int) error {

@@ -24,6 +24,15 @@
 //	          and reused, so interrupted runs resume where they died and
 //	          config deltas recompute only the missing cells (stdout stays
 //	          byte-identical to a cold run)
+//	-docs     JSONL file of live documents (cmd/datagen -stream output) to
+//	          ingest before the grid runs, growing the corpus past the
+//	          deterministic generator
+//	-ingest-batches
+//	          split -docs into N sequential ingestion batches; with N > 1
+//	          the touched fact pools are warmed before each batch so
+//	          ingestion folds already-materialised snapshots — the
+//	          incremental path, whose stdout must stay byte-identical to
+//	          a cold single-batch build
 //	-cpuprofile / -memprofile
 //	          write pprof CPU / heap profiles, so perf claims about the
 //	          verification path are grounded in captures, not guesses
@@ -31,8 +40,10 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 	"time"
@@ -42,6 +53,7 @@ import (
 	"factcheck/internal/dataset"
 	"factcheck/internal/llm"
 	"factcheck/internal/prof"
+	"factcheck/internal/search"
 )
 
 func main() {
@@ -62,6 +74,8 @@ func run(args []string) error {
 	progress := fs.Bool("progress", false, "stream per-cell completion to stderr")
 	storeDir := fs.String("store", "", "result store directory (resume interrupted runs, reuse across config deltas)")
 	consensusFlag := fs.String("consensus", "eager", "consensus engine mode for tables 6/7 (serial, eager or adaptive; verdicts are identical, adaptive reports decided-at latency)")
+	docsFile := fs.String("docs", "", "JSONL live-document file to ingest before the grid runs")
+	ingestBatches := fs.Int("ingest-batches", 1, "sequential ingestion batches for -docs (>1 exercises the incremental fold path)")
 	profFlags := prof.Register(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -104,6 +118,12 @@ func run(args []string) error {
 	b := core.NewBenchmark(cfg)
 	fmt.Fprintf(os.Stderr, "world: %d entities, %d facts; datasets: %d facts total (%.1fs)\n",
 		len(b.World.Entities), len(b.World.Facts), dataset.TotalFacts(b.Datasets), time.Since(start).Seconds())
+
+	if *docsFile != "" {
+		if err := ingestDocs(b, *docsFile, *ingestBatches); err != nil {
+			return err
+		}
+	}
 
 	want := map[string]bool{}
 	for _, a := range artifacts {
@@ -195,4 +215,63 @@ func run(args []string) error {
 	}
 	fmt.Fprintf(os.Stderr, "total %.1fs\n", time.Since(start).Seconds())
 	return nil
+}
+
+// ingestDocs folds the JSONL document file into the engine in `batches`
+// sequential ingestions before the grid runs. With batches > 1 every fact a
+// batch touches is warmed first, so the ingestion folds already-materialised
+// pools — the live incremental path, which must produce the same corpus
+// (and therefore byte-identical stdout) as a cold single-batch build.
+func ingestDocs(b *core.Benchmark, path string, batches int) error {
+	docs, err := readIngestDocs(path)
+	if err != nil {
+		return err
+	}
+	if len(docs) == 0 {
+		return fmt.Errorf("-docs %s: no documents", path)
+	}
+	if batches < 1 {
+		batches = 1
+	}
+	if batches > len(docs) {
+		batches = len(docs)
+	}
+	for i := 0; i < batches; i++ {
+		chunk := docs[i*len(docs)/batches : (i+1)*len(docs)/batches]
+		if batches > 1 {
+			seen := map[string]bool{}
+			for _, d := range chunk {
+				if !seen[d.FactID] {
+					seen[d.FactID] = true
+					if err := b.Engine.Warm(d.FactID); err != nil {
+						return fmt.Errorf("-docs: warm %s: %w", d.FactID, err)
+					}
+				}
+			}
+		}
+		if _, err := b.Ingest(chunk); err != nil {
+			return fmt.Errorf("-docs: %w", err)
+		}
+	}
+	fmt.Fprintf(os.Stderr, "ingested %d live documents in %d batch(es)\n", len(docs), batches)
+	return nil
+}
+
+func readIngestDocs(path string) ([]search.IngestDoc, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var docs []search.IngestDoc
+	dec := json.NewDecoder(f)
+	for {
+		var d search.IngestDoc
+		if err := dec.Decode(&d); err == io.EOF {
+			return docs, nil
+		} else if err != nil {
+			return nil, fmt.Errorf("%s: record %d: %w", path, len(docs)+1, err)
+		}
+		docs = append(docs, d)
+	}
 }

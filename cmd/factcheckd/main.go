@@ -7,7 +7,7 @@
 //	factcheckd [-addr :8095] [-scale 0.1] [-small] [-par N] [-store DIR]
 //	           [-queue 64] [-workers N] [-cache 65536]
 //	           [-rate 50] [-burst 100] [-maxbatch 64] [-fill=true]
-//	           [-consensus adaptive]
+//	           [-consensus adaptive] [-ingestqueue 16]
 //
 // With -store, verdicts are layered over the same content-addressed result
 // store cmd/factcheck -store writes: grid-precomputed cells are served
@@ -15,7 +15,7 @@
 // persisted back for every later consumer (the scale and world flags must
 // match the CLI run — they are part of every cell's fingerprint).
 //
-// Endpoints: POST /v1/verify, POST /v1/verify/batch,
+// Endpoints: POST /v1/verify, POST /v1/verify/batch, POST /v1/documents,
 // GET /v1/verdict/{dataset}/{method}/{model}/{fact},
 // GET /v1/consensus/{fact}?mode=serial|eager|adaptive, GET /v1/facts,
 // GET /healthz, GET /statsz.
@@ -75,6 +75,7 @@ func parseFlags(args []string) (options, error) {
 	fs.Float64Var(&o.cfg.Rate, "rate", 0, "per-client rate limit in requests/second (default 50)")
 	fs.Float64Var(&o.cfg.Burst, "burst", 0, "per-client burst capacity (default 100)")
 	fs.IntVar(&o.cfg.MaxBatch, "maxbatch", 0, "maximum /v1/verify/batch size (default 64)")
+	fs.IntVar(&o.cfg.IngestQueue, "ingestqueue", 0, "queued /v1/documents batches before 503 backpressure (default 16)")
 	fill := fs.Bool("fill", true, "persist on-demand verdicts back to the store via background whole-cell fills")
 	consensusMode := fs.String("consensus", "", "default /v1/consensus execution mode: serial, eager or adaptive (default adaptive; ?mode= overrides per request)")
 	if err := fs.Parse(args); err != nil {

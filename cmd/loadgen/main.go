@@ -21,6 +21,13 @@
 //	         the mode-independent verdict (final/tie/gold), so an eager run
 //	         and an adaptive run over the same plan must digest identically
 //	         — the early-stop engine's cross-mode equivalence gate
+//	ingest   uniform verifies with every -ingestevery'th job replaced by a
+//	         POST /v1/documents batch (202 = accepted), plus one seeded
+//	         oversized probe that must be refused with 413 — live ingestion
+//	         racing the read path. Digest lines carry only the fact's gold
+//	         label: verdict details may legitimately move across corpus
+//	         epochs mid-run, the gold labels never do, so the digest is
+//	         epoch-stable while still catching served-garbage regressions
 //
 // Every response is checked against the service's backpressure contract:
 // anything other than 200, 429 or 503 (or a malformed/failed item inside a
@@ -51,6 +58,7 @@ import (
 
 	"factcheck/internal/llm"
 	"factcheck/internal/prof"
+	"factcheck/internal/search"
 	"factcheck/internal/serve"
 )
 
@@ -68,17 +76,23 @@ type target struct {
 }
 
 // job is one HTTP request: a single verify (one reqs entry), a batch
-// (several), or a consensus lookup (consensusFact set, reqs empty).
+// (several), a consensus lookup (consensusFact set, reqs empty), or a
+// document ingestion (ingest set). stable restricts the verdict digest
+// line to the epoch-independent gold label (ingest mix). expect413 marks
+// the oversized ingest probe, whose only acceptable answer is a 413.
 type job struct {
 	reqs          []serve.VerifyRequest
 	consensusFact string
 	consensusMode string
+	ingest        []search.IngestDoc
+	stable        bool
+	expect413     bool
 }
 
 // buildPlan expands a mix into the exact request sequence: pure function
 // of (mix, seed, targets, models, method, n, batch, zipfS, consensusMode),
 // so a plan replays identically across runs and machines.
-func buildPlan(mix string, seed int64, targets []target, models []string, method string, n, batchSize int, zipfS float64, consensusMode string) ([]job, error) {
+func buildPlan(mix string, seed int64, targets []target, models []string, method string, n, batchSize int, zipfS float64, consensusMode string, ingestEvery int) ([]job, error) {
 	type pair struct{ dataset, fact string }
 	var pairs []pair
 	for _, t := range targets {
@@ -96,7 +110,7 @@ func buildPlan(mix string, seed int64, targets []target, models []string, method
 	pick := func(i int) serve.VerifyRequest {
 		var p pair
 		switch mix {
-		case "uniform", "batch":
+		case "uniform", "batch", "ingest":
 			p = pairs[rng.Intn(len(pairs))]
 		default: // zipf: caller pre-validated
 			p = pairs[i]
@@ -146,8 +160,37 @@ func buildPlan(mix string, seed int64, targets []target, models []string, method
 			p := pairs[rng.Intn(len(pairs))]
 			jobs = append(jobs, job{consensusFact: p.fact, consensusMode: consensusMode})
 		}
+	case "ingest":
+		if ingestEvery < 2 {
+			return nil, fmt.Errorf("-ingestevery must be >= 2")
+		}
+		docSeq := 0
+		for i := 0; i < n; i++ {
+			if (i+1)%ingestEvery == 0 {
+				p := pairs[rng.Intn(len(pairs))]
+				jobs = append(jobs, job{ingest: []search.IngestDoc{{
+					FactID: p.fact,
+					Title:  fmt.Sprintf("Load-run live update %04d", docSeq),
+					Text: fmt.Sprintf("Streamed evidence item %04d concerning %s, observed while the grid was serving traffic.",
+						docSeq, p.fact),
+				}}})
+				docSeq++
+				continue
+			}
+			jobs = append(jobs, job{reqs: []serve.VerifyRequest{pick(0)}, stable: true})
+		}
+		// One oversized probe at a seeded position: its body crosses the
+		// service's 1 MiB request cap, so anything but a 413 refusal is a
+		// contract violation.
+		probe := job{expect413: true, ingest: []search.IngestDoc{{
+			FactID: pairs[rng.Intn(len(pairs))].fact,
+			Title:  "Oversized probe",
+			Text:   strings.Repeat("x", (1<<20)+4096),
+		}}}
+		at := rng.Intn(len(jobs) + 1)
+		jobs = append(jobs[:at], append([]job{probe}, jobs[at:]...)...)
 	default:
-		return nil, fmt.Errorf("unknown mix %q (want uniform, zipf, batch or consensus)", mix)
+		return nil, fmt.Errorf("unknown mix %q (want uniform, zipf, batch, consensus or ingest)", mix)
 	}
 	return jobs, nil
 }
@@ -224,10 +267,55 @@ func doConsensus(client *http.Client, addr string, j job) outcome {
 	return o
 }
 
+// doIngest fires one POST /v1/documents batch. A 202 means the batch was
+// admitted; 429/503 with Retry-After is legitimate backpressure. The
+// oversized probe inverts the contract: only a 413 refusal is acceptable.
+func doIngest(client *http.Client, addr string, j job) outcome {
+	o := outcome{sources: map[string]int{}, verdicts: map[string]string{}}
+	payload, err := json.Marshal(serve.IngestRequest{Documents: j.ingest})
+	if err != nil {
+		o.violation = "marshal: " + err.Error()
+		return o
+	}
+	start := time.Now()
+	resp, err := client.Post(addr+"/v1/documents", "application/json", strings.NewReader(string(payload)))
+	o.latency = time.Since(start)
+	if err != nil {
+		o.violation = "transport: " + err.Error()
+		return o
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		o.violation = "read: " + err.Error()
+		return o
+	}
+	o.status = resp.StatusCode
+	if j.expect413 {
+		if resp.StatusCode != http.StatusRequestEntityTooLarge {
+			o.violation = fmt.Sprintf("oversized ingest probe got %d, want 413", resp.StatusCode)
+		}
+		return o
+	}
+	switch resp.StatusCode {
+	case http.StatusAccepted:
+	case http.StatusTooManyRequests, http.StatusServiceUnavailable:
+		if resp.Header.Get("Retry-After") == "" {
+			o.violation = fmt.Sprintf("%d without Retry-After", resp.StatusCode)
+		}
+	default:
+		o.violation = fmt.Sprintf("unexpected ingest status %d: %.120s", resp.StatusCode, data)
+	}
+	return o
+}
+
 // doJob fires one job and classifies the result.
 func doJob(client *http.Client, addr string, j job) outcome {
 	if j.consensusFact != "" {
 		return doConsensus(client, addr, j)
+	}
+	if j.ingest != nil {
+		return doIngest(client, addr, j)
 	}
 	o := outcome{sources: map[string]int{}, verdicts: map[string]string{}}
 	url := addr + "/v1/verify"
@@ -269,6 +357,12 @@ func doJob(client *http.Client, addr string, j job) outcome {
 	record := func(v *serve.VerdictResponse) {
 		o.sources[v.Source]++
 		key, line := verdictKeyLine(v)
+		if j.stable {
+			// Ingestion is racing this request: verdict details depend on
+			// which corpus epoch served it. Only the gold label is
+			// epoch-independent.
+			line = fmt.Sprintf("gold=%v", v.Gold)
+		}
 		o.verdicts[key] = line
 	}
 	if len(j.reqs) == 1 {
@@ -401,7 +495,7 @@ func run(args []string, out io.Writer) error {
 	if err != nil {
 		return err
 	}
-	jobs, err := buildPlan(*fs.mix, *fs.seed, targets, models, *fs.method, *fs.n, *fs.batch, *fs.zipfS, *fs.consensus)
+	jobs, err := buildPlan(*fs.mix, *fs.seed, targets, models, *fs.method, *fs.n, *fs.batch, *fs.zipfS, *fs.consensus, *fs.ingestEvery)
 	if err != nil {
 		return err
 	}
@@ -509,37 +603,39 @@ func run(args []string, out io.Writer) error {
 
 // flags bundles the flag set so run stays testable.
 type flags struct {
-	fs        *flag.FlagSet
-	addr      *string
-	mix       *string
-	n, c      *int
-	seed      *int64
-	method    *string
-	models    *string
-	batch     *int
-	zipfS     *float64
-	consensus *string
-	digest    *string
-	timeout   *time.Duration
-	prof      *prof.Flags
+	fs          *flag.FlagSet
+	addr        *string
+	mix         *string
+	n, c        *int
+	seed        *int64
+	method      *string
+	models      *string
+	batch       *int
+	zipfS       *float64
+	consensus   *string
+	ingestEvery *int
+	digest      *string
+	timeout     *time.Duration
+	prof        *prof.Flags
 }
 
 func newFlagSet() *flags {
 	fs := flag.NewFlagSet("loadgen", flag.ContinueOnError)
 	return &flags{
-		fs:        fs,
-		addr:      fs.String("addr", "http://localhost:8095", "factcheckd base URL"),
-		mix:       fs.String("mix", "uniform", "request mix: uniform, zipf or batch"),
-		n:         fs.Int("n", 1000, "number of verify requests to issue"),
-		c:         fs.Int("c", 8, "concurrent workers"),
-		seed:      fs.Int64("seed", 1, "plan seed (same seed -> identical request sequence)"),
-		method:    fs.String("method", string(llm.MethodDKA), "verification method for every request"),
-		models:    fs.String("models", strings.Join(llm.BenchmarkModels, ","), "comma-separated models to draw from"),
-		batch:     fs.Int("batch", 16, "requests per batch call (batch mix)"),
-		zipfS:     fs.Float64("zipf", 1.2, "zipf skew exponent (zipf mix; > 1)"),
-		consensus: fs.String("consensus", "adaptive", "consensus execution mode (consensus mix): serial, eager or adaptive"),
-		digest:    fs.String("digest", "", "write the verdict digest to this file"),
-		timeout:   fs.Duration("timeout", 60*time.Second, "per-request HTTP timeout"),
-		prof:      prof.Register(fs),
+		fs:          fs,
+		addr:        fs.String("addr", "http://localhost:8095", "factcheckd base URL"),
+		mix:         fs.String("mix", "uniform", "request mix: uniform, zipf or batch"),
+		n:           fs.Int("n", 1000, "number of verify requests to issue"),
+		c:           fs.Int("c", 8, "concurrent workers"),
+		seed:        fs.Int64("seed", 1, "plan seed (same seed -> identical request sequence)"),
+		method:      fs.String("method", string(llm.MethodDKA), "verification method for every request"),
+		models:      fs.String("models", strings.Join(llm.BenchmarkModels, ","), "comma-separated models to draw from"),
+		batch:       fs.Int("batch", 16, "requests per batch call (batch mix)"),
+		zipfS:       fs.Float64("zipf", 1.2, "zipf skew exponent (zipf mix; > 1)"),
+		consensus:   fs.String("consensus", "adaptive", "consensus execution mode (consensus mix): serial, eager or adaptive"),
+		ingestEvery: fs.Int("ingestevery", 8, "replace every Nth job with a document ingestion (ingest mix; >= 2)"),
+		digest:      fs.String("digest", "", "write the verdict digest to this file"),
+		timeout:     fs.Duration("timeout", 60*time.Second, "per-request HTTP timeout"),
+		prof:        prof.Register(fs),
 	}
 }

@@ -3,6 +3,7 @@ package main
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
 	"net/http"
 	"net/http/httptest"
 	"os"
@@ -24,19 +25,19 @@ func testTargets() []target {
 
 func TestBuildPlanDeterministic(t *testing.T) {
 	models := []string{"m1", "m2"}
-	for _, mix := range []string{"uniform", "zipf", "batch", "consensus"} {
-		a, err := buildPlan(mix, 7, testTargets(), models, "DKA", 50, 8, 1.2, "adaptive")
+	for _, mix := range []string{"uniform", "zipf", "batch", "consensus", "ingest"} {
+		a, err := buildPlan(mix, 7, testTargets(), models, "DKA", 50, 8, 1.2, "adaptive", 8)
 		if err != nil {
 			t.Fatalf("%s: %v", mix, err)
 		}
-		b, err := buildPlan(mix, 7, testTargets(), models, "DKA", 50, 8, 1.2, "adaptive")
+		b, err := buildPlan(mix, 7, testTargets(), models, "DKA", 50, 8, 1.2, "adaptive", 8)
 		if err != nil {
 			t.Fatalf("%s: %v", mix, err)
 		}
 		if !reflect.DeepEqual(a, b) {
 			t.Fatalf("%s: same seed produced different plans", mix)
 		}
-		c, err := buildPlan(mix, 8, testTargets(), models, "DKA", 50, 8, 1.2, "adaptive")
+		c, err := buildPlan(mix, 8, testTargets(), models, "DKA", 50, 8, 1.2, "adaptive", 8)
 		if err != nil {
 			t.Fatalf("%s: %v", mix, err)
 		}
@@ -48,7 +49,7 @@ func TestBuildPlanDeterministic(t *testing.T) {
 
 func TestBuildPlanShapes(t *testing.T) {
 	models := []string{"m1"}
-	uni, err := buildPlan("uniform", 1, testTargets(), models, "DKA", 10, 4, 1.2, "adaptive")
+	uni, err := buildPlan("uniform", 1, testTargets(), models, "DKA", 10, 4, 1.2, "adaptive", 8)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -60,7 +61,7 @@ func TestBuildPlanShapes(t *testing.T) {
 			t.Fatalf("uniform job size %d, want 1", len(j.reqs))
 		}
 	}
-	bat, err := buildPlan("batch", 1, testTargets(), models, "DKA", 10, 4, 1.2, "adaptive")
+	bat, err := buildPlan("batch", 1, testTargets(), models, "DKA", 10, 4, 1.2, "adaptive", 8)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -68,17 +69,42 @@ func TestBuildPlanShapes(t *testing.T) {
 		t.Fatalf("batch shape: %d jobs (sizes %d,%d,%d), want 3 jobs of 4,4,2",
 			len(bat), len(bat[0].reqs), len(bat[1].reqs), len(bat[2].reqs))
 	}
-	if _, err := buildPlan("nope", 1, testTargets(), models, "DKA", 10, 4, 1.2, "adaptive"); err == nil {
+	if _, err := buildPlan("nope", 1, testTargets(), models, "DKA", 10, 4, 1.2, "adaptive", 8); err == nil {
 		t.Fatal("unknown mix accepted")
 	}
-	if _, err := buildPlan("zipf", 1, testTargets(), models, "DKA", 10, 4, 0.5, "adaptive"); err == nil {
+	if _, err := buildPlan("zipf", 1, testTargets(), models, "DKA", 10, 4, 0.5, "adaptive", 8); err == nil {
 		t.Fatal("zipf skew <= 1 accepted")
+	}
+	ing, err := buildPlan("ingest", 1, testTargets(), models, "DKA", 16, 4, 1.2, "adaptive", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var verifies, ingests, probes int
+	for _, j := range ing {
+		switch {
+		case j.expect413:
+			probes++
+		case j.ingest != nil:
+			ingests++
+		default:
+			verifies++
+			if !j.stable {
+				t.Fatal("ingest-mix verify job not marked epoch-stable")
+			}
+		}
+	}
+	// 16 jobs at every-4th = 4 ingests + 12 verifies, plus the one probe.
+	if verifies != 12 || ingests != 4 || probes != 1 {
+		t.Fatalf("ingest plan shape: %d verifies, %d ingests, %d probes; want 12, 4, 1", verifies, ingests, probes)
+	}
+	if _, err := buildPlan("ingest", 1, testTargets(), models, "DKA", 10, 4, 1.2, "adaptive", 1); err == nil {
+		t.Fatal("-ingestevery < 2 accepted")
 	}
 }
 
 // TestZipfSkew: the zipf mix must concentrate mass on a few hot facts.
 func TestZipfSkew(t *testing.T) {
-	jobs, err := buildPlan("zipf", 3, testTargets(), []string{"m"}, "DKA", 600, 4, 1.2, "adaptive")
+	jobs, err := buildPlan("zipf", 3, testTargets(), []string{"m"}, "DKA", 600, 4, 1.2, "adaptive", 8)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -167,6 +193,20 @@ func fakeService(t *testing.T) *httptest.Server {
 		}
 		json.NewEncoder(w).Encode(resp)
 	})
+	mux.HandleFunc("POST /v1/documents", func(w http.ResponseWriter, r *http.Request) {
+		var req serve.IngestRequest
+		if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20)).Decode(&req); err != nil {
+			var tooLarge *http.MaxBytesError
+			if errors.As(err, &tooLarge) {
+				http.Error(w, "body too large", http.StatusRequestEntityTooLarge)
+				return
+			}
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		w.WriteHeader(http.StatusAccepted)
+		json.NewEncoder(w).Encode(serve.IngestResponse{Queued: len(req.Documents)})
+	})
 	mux.HandleFunc("GET /v1/consensus/{fact}", func(w http.ResponseWriter, r *http.Request) {
 		mode := r.URL.Query().Get("mode")
 		resp := serve.ConsensusResponse{
@@ -220,6 +260,40 @@ func TestRunEndToEnd(t *testing.T) {
 	}
 	if !bytes.Equal(first, second) {
 		t.Fatalf("repeated runs produced different digests: %q vs %q", first, second)
+	}
+}
+
+// TestRunIngestMix drives the ingest mix end-to-end: batches are accepted
+// with 202, the oversized probe is refused with 413, and two runs of the
+// same plan write identical (gold-only, epoch-stable) digests.
+func TestRunIngestMix(t *testing.T) {
+	srv := fakeService(t)
+	digestFile := filepath.Join(t.TempDir(), "digest.txt")
+	args := []string{"-addr", srv.URL, "-mix", "ingest", "-n", "24", "-c", "4",
+		"-ingestevery", "4", "-seed", "3", "-digest", digestFile}
+	var out bytes.Buffer
+	if err := run(args, &out); err != nil {
+		t.Fatalf("run: %v\n%s", err, out.String())
+	}
+	report := out.String()
+	for _, want := range []string{"mix=ingest", "202=6", "413=1", "digest:"} {
+		if !strings.Contains(report, want) {
+			t.Errorf("report missing %q:\n%s", want, report)
+		}
+	}
+	first, err := os.ReadFile(digestFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := run(args, &bytes.Buffer{}); err != nil {
+		t.Fatal(err)
+	}
+	second, err := os.ReadFile(digestFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(first, second) {
+		t.Fatalf("repeated ingest runs produced different digests: %q vs %q", first, second)
 	}
 }
 

@@ -580,3 +580,20 @@ func (b *Benchmark) Arbiters(rep consensus.AlignmentReport, method llm.Method) (
 func (b *Benchmark) FactByID(id string) (*dataset.Fact, bool) {
 	return b.Engine.Fact(id)
 }
+
+// Ingest applies a batch of live documents: the engine folds them into a
+// fresh epoch snapshot (published atomically; readers never block), and
+// every touched fact's cached retrieval evidence is dropped, so later
+// verifications of those facts see the new corpus while untouched facts
+// keep their warm evidence. The corpus digest bump retires affected cell
+// fingerprints automatically.
+func (b *Benchmark) Ingest(docs []search.IngestDoc) (search.IngestResult, error) {
+	res, err := b.Engine.Ingest(docs)
+	if err != nil {
+		return res, err
+	}
+	for factID := range res.Epochs {
+		b.Pipeline.Invalidate(factID)
+	}
+	return res, nil
+}

@@ -19,14 +19,25 @@ func OpenStore(dir string) (*Store, error) { return results.Open(dir) }
 func NewMemoryStore() *Store { return results.NewMemory() }
 
 // CellKey returns the content-addressed identity of one grid cell under
-// this benchmark's configuration: the world config, scale and RAG config
-// plus the cell coordinates. Parallelism is excluded — results are
-// byte-identical at any worker count, so snapshots are portable across it.
+// this benchmark's configuration: the world config, scale, RAG config and
+// current corpus epoch digest plus the cell coordinates. Parallelism is
+// excluded — results are byte-identical at any worker count, so snapshots
+// are portable across it.
 func (b *Benchmark) CellKey(c Cell) results.Key {
+	return b.CellKeyAt(c, b.Engine.CorpusDigest(c.Dataset))
+}
+
+// CellKeyAt is CellKey pinned to an explicit corpus digest. Consumers that
+// must pair a fingerprint with per-fact epochs from the same moment (the
+// serving layer's epoch-keyed verdict cache) capture a search.EpochView
+// and key with its digest, so a concurrent ingestion can never interleave
+// between reading the epoch and reading the digest.
+func (b *Benchmark) CellKeyAt(c Cell, corpus uint64) results.Key {
 	return results.Key{
 		World:   b.Config.WorldConfig,
 		Scale:   b.Config.Scale,
 		RAG:     b.Pipeline.Config,
+		Corpus:  corpus,
 		Dataset: c.Dataset,
 		Method:  c.Method,
 		Model:   c.Model,

@@ -361,6 +361,49 @@ func (g *Generator) Materialize(f *dataset.Fact) []Materialized {
 	return out
 }
 
+// StreamDoc is one live-ingestion append document: the streaming side of
+// the corpus, generated with the same stance machinery as the base pool
+// but keyed under a distinct namespace ("-sNNNN"), so a stream *extends* a
+// fact's evidence deterministically rather than replaying it. Stream
+// documents model pages arriving from the live web after the crawl: they
+// are never extraction failures and never KG source pages.
+type StreamDoc struct {
+	URL   string `json:"url"`
+	Host  string `json:"host"`
+	Title string `json:"title"`
+	Text  string `json:"text"`
+}
+
+// Stream generates the i-th streamed document for the fact. Output depends
+// only on (fact, i), so any consumer replaying the same stream prefix gets
+// byte-identical documents — the property the incremental-vs-cold golden
+// gate rests on.
+func (g *Generator) Stream(f *dataset.Fact, i int) StreamDoc {
+	id := fmt.Sprintf("%s-s%04d", f.ID, i)
+	ps, pr, pn := g.stanceMix(f)
+	u := det.Uniform("stance", id)
+	var st Stance
+	switch {
+	case u < ps:
+		st = StanceSupport
+	case u < ps+pr:
+		st = StanceRefute
+	case u < ps+pr+pn:
+		st = StanceNeutral
+	default:
+		st = StanceUnrelated
+	}
+	host := hosts[1+det.IntN(len(hosts)-1, "host", id)]
+	title := g.title(f, st, id)
+	d := &Document{ID: id, Stance: st, FactID: f.ID}
+	return StreamDoc{
+		URL:   fmt.Sprintf("https://%s/%s/s%04d", host, slug(f.Subject.Label), i),
+		Host:  host,
+		Title: title,
+		Text:  g.Text(f, d),
+	}
+}
+
 // Meta summarises a fact's pool without generating text.
 type Meta struct {
 	Count   int

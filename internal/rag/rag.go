@@ -119,6 +119,16 @@ func (c *evidenceCache) shard(id string) *evidenceShard {
 	return &c.shards[det.Hash64("rag-shard", id)%evidenceShards]
 }
 
+// invalidate drops one fact's entry. An in-flight retrieval keeps its
+// (now unreachable) entry and completes harmlessly: only callers already
+// waiting on it observe the pre-invalidation evidence.
+func (c *evidenceCache) invalidate(factID string) {
+	s := c.shard(factID)
+	s.mu.Lock()
+	delete(s.entries, factID)
+	s.mu.Unlock()
+}
+
 // clear drops every shard's entries. In-flight retrievals keep their
 // (now unreachable) entry and complete harmlessly.
 func (c *evidenceCache) clear() {
@@ -227,6 +237,13 @@ func (p *Pipeline) Warm(f *dataset.Fact) error {
 // ClearCache drops all cached evidence (call after changing Config).
 func (p *Pipeline) ClearCache() {
 	p.cache.clear()
+}
+
+// Invalidate drops the fact's cached evidence after a corpus epoch bump:
+// the next retrieval for the fact recomputes over the new corpus, while
+// every other fact keeps its warm evidence.
+func (p *Pipeline) Invalidate(factID string) {
+	p.cache.invalidate(factID)
 }
 
 // retrieve runs phases 1–4. The sparse path is the production one:

@@ -46,7 +46,7 @@ import (
 // fingerprintVersion is folded into every fingerprint so that changes to
 // the key composition (or to outcome semantics) invalidate old snapshots
 // wholesale instead of silently reusing them.
-const fingerprintVersion = "results-fp-v1"
+const fingerprintVersion = "results-fp-v2"
 
 // Fingerprint is the content address of one grid cell: a 64-bit det hash
 // of the full Key. Equal fingerprints mean "same outcomes, bit for bit".
@@ -67,6 +67,11 @@ type Key struct {
 	// RAG is the retrieval-pipeline configuration (affects RAG outcomes
 	// and the evidence-dependent latency model).
 	RAG rag.Config
+	// Corpus is the dataset's live-ingestion content digest (0 for a
+	// pristine generated corpus). Every ingested document changes it, so
+	// cells computed over different corpus epochs can never be confused:
+	// content addressing does the invalidation.
+	Corpus uint64
 	// Dataset, Method and Model identify the cell within the grid.
 	Dataset dataset.Name
 	Method  llm.Method
@@ -91,6 +96,7 @@ func (k Key) Fingerprint() Fingerprint {
 		"rag", i(k.RAG.NumQuestions), f(k.RAG.Tau), i(k.RAG.SelectedQuestions),
 		i(k.RAG.SERPSize), i(k.RAG.SelectedDocs), i(k.RAG.Window),
 		i(k.RAG.MaxChunks), i(k.RAG.CandidateCap), strconv.FormatBool(k.RAG.FilterSKG),
+		"corpus", strconv.FormatUint(k.Corpus, 16),
 		"cell", string(k.Dataset), string(k.Method), k.Model,
 	))
 }

@@ -1,8 +1,10 @@
-// Package search implements the retrieval substrate of FactCheck: a
-// sharded, inverted-index search engine over each fact's synthetic document
-// pool, and the paper's mock web-search API (§4.1) — an HTTP service with
-// SERP-style endpoints returning identical results across runs, plus a
-// client so the RAG pipeline can run either in-process or over HTTP.
+// Package search implements the retrieval substrate of FactCheck: an
+// inverted-index search engine over each fact's synthetic document pool —
+// served from immutable, epoch-versioned snapshots swapped atomically
+// behind a pointer, so warm reads touch no mutex — and the paper's mock
+// web-search API (§4.1), an HTTP service with SERP-style endpoints
+// returning identical results across runs, plus a client so the RAG
+// pipeline can run either in-process or over HTTP.
 package search
 
 import (
@@ -83,47 +85,80 @@ var (
 	ErrUnknownDoc     = errors.New("unknown document")
 )
 
-const (
-	// engineShards is the shard count of the fact store. Sharding bounds
-	// lock contention: concurrent scheduler workers touching different
-	// facts only collide on map access within one shard, never on
-	// materialisation, which runs outside any lock.
-	engineShards = 64
-)
-
-// MaxCachedFacts bounds the total materialised facts across all shards,
-// since full-benchmark runs touch millions of documents. Capacity is
-// accounted globally (an atomic counter) rather than per shard, so hash
-// skew cannot shrink the effective cache; a shard over budget evicts its
-// own least-recently-used *completed* entries — in-flight materialisations
-// are never evicted, so the singleflight guarantee holds. The bound is
-// therefore soft by at most the number of concurrent materialisations:
-// an insert that finds nothing evictable in its shard leaves the store
-// over budget, and later inserts keep evicting until the budget is repaid.
+// MaxCachedFacts bounds the materialised facts held by a snapshot, since
+// full-benchmark runs touch millions of documents. Eviction happens at
+// publish time, under the writer lock: when a new pool pushes the snapshot
+// over budget, the publisher drops the pools with the oldest last-use
+// generation (ties broken by fact ID, so eviction order is deterministic).
+// In-flight materialisations live outside the snapshot and are never
+// evicted, so the singleflight guarantee holds.
 const MaxCachedFacts = 512
 
-// Engine is the in-process search engine. Each fact's document pool is
-// materialised lazily into an inverted index (posting lists + O(1) doc
-// table) held in a sharded LRU store with singleflight semantics: the first
-// caller for a fact owns generation and indexing, concurrent callers block
-// on that entry only, and unrelated facts proceed in parallel.
+// Engine is the in-process search engine. All materialised state lives in
+// an immutable snapshot reachable through one atomic pointer (RCU): warm
+// reads — Search, Fetch, FetchEvidence — load the pointer, index into
+// immutable maps and go, acquiring no mutex. Writers (materialisation
+// misses and live ingestion) serialise on a single mutex, build a fresh
+// snapshot beside the live one and publish it with one pointer store;
+// readers on the old snapshot finish undisturbed.
 type Engine struct {
-	gen    PoolSource
-	facts  map[string]*dataset.Fact
-	shards [engineShards]engineShard
-	// cached counts entries across all shards (the global LRU budget).
-	cached atomic.Int64
+	gen   PoolSource
+	facts map[string]*dataset.Fact
+
+	// snap is the live snapshot. Never mutated after publication.
+	snap atomic.Pointer[snapshot]
+	// qv is the per-epoch query-embedding memo: an immutable map swapped
+	// by CAS on insert and rebuilt from empty on every ingestion epoch.
+	qv atomic.Pointer[qvMap]
+
+	// mu serialises snapshot publication: materialisation bookkeeping,
+	// ingestion folds and eviction. Never taken on the warm read path.
+	mu sync.Mutex
+	// inflight holds materialisations in progress (singleflight): the
+	// first caller for a fact owns generation and indexing, concurrent
+	// callers block on that entry's done channel only.
+	inflight map[string]*factEntry
+	// log is the full ingestion history per fact, in arrival order. A
+	// pool materialised (or re-materialised after eviction) replays it on
+	// top of the generated base, so an incrementally built corpus is
+	// byte-identical to the same corpus built cold.
+	log map[string][]*pooledDoc
+	// factDigests chains a content digest over each fact's ingested
+	// documents (0 = pristine). Folded into the per-dataset corpus
+	// digests that join result fingerprints.
+	factDigests map[string]uint64
+
+	hits, misses, evicted atomic.Int64
+
 	// arenas pools per-query top-k scratch state (accumulators, heap,
 	// candidate stamps), so warm queries allocate nothing.
 	arenas sync.Pool
 	// retrieval accumulates pruning counters across all queries.
 	retrieval retrievalCounters
-	// qvMu guards qvCache, a bounded memo of sparse query embeddings.
-	// Production SERP queries repeat heavily — every verification method
-	// re-issues the same fact-derived queries — and embedding is pure, so
-	// memoising it keeps tokenisation off the warm query path.
-	qvMu    sync.RWMutex
-	qvCache map[string]text.SparseVector
+}
+
+// snapshot is one immutable epoch of the fact store. The maps are built
+// beside the live snapshot and never written after the pointer store;
+// unchanged maps are shared structurally between consecutive snapshots.
+type snapshot struct {
+	// gen is the publication sequence number — the clock the sampled LRU
+	// scheme reads. It advances on every publish (materialisation or
+	// ingestion), so "last used at generation g" totally orders pools by
+	// recency without any read-side list maintenance.
+	gen uint64
+	// pools holds the materialised facts.
+	pools map[string]*factPool
+	// epochs counts ingestion batches applied per fact (0 = pristine).
+	epochs map[string]uint64
+	// digests is the per-dataset corpus content digest (0 = pristine),
+	// an XOR fold over per-fact ingestion chains: order-independent
+	// across facts, order-sensitive within one fact's stream.
+	digests map[dataset.Name]uint64
+}
+
+// qvMap is one immutable generation of the query-embedding memo.
+type qvMap struct {
+	m map[string]text.SparseVector
 }
 
 // retrievalCounters aggregates the pruned path's work counters.
@@ -144,32 +179,32 @@ func (e *Engine) arena() *index.Arena {
 
 func (e *Engine) release(a *index.Arena) { e.arenas.Put(a) }
 
-// engineShard is one LRU partition of the fact store.
-type engineShard struct {
-	mu      sync.Mutex
-	entries map[string]*factEntry
-	order   []string // LRU order, least recently used first
-	hits    int64
-	misses  int64
-	evicted int64
-}
-
-// factEntry is one in-flight or completed materialisation. pool is written
-// once by the owner before done is closed; waiters read it only after
-// <-done.
+// factEntry is one in-flight materialisation. pool is written once by the
+// owner before done is closed; waiters read it only after <-done.
 type factEntry struct {
 	done chan struct{}
 	pool *factPool
 }
 
 // factPool is a fully materialised fact: the pool-ordered documents, an
-// O(1) fetch table, and the inverted index. scanVecs lazily holds the dense
+// O(1) fetch table, and the inverted index. Everything except the two
+// lazily-computed caches (scan vectors, sentence splits) and the lastUsed
+// clock is immutable after construction. scanVecs lazily holds the dense
 // embedding of every document for ScanSearch, the linear-scan reference
 // path; the production path never materialises them.
 type factPool struct {
 	docs []*pooledDoc
 	byID map[string]*pooledDoc
 	idx  *index.Index
+	// epoch is the fact's ingestion epoch this pool was built at.
+	epoch uint64
+
+	// lastUsed is the snapshot generation of the pool's most recent use —
+	// the lock-free LRU approximation. Readers store the current
+	// generation only when it differs from the stored one, so a warm
+	// phase issues one cheap atomic store per pool per epoch, not per
+	// query; eviction compares generations at publish time.
+	lastUsed atomic.Uint64
 
 	scanOnce sync.Once
 	scanVecs []text.Vector
@@ -181,7 +216,7 @@ type factPool struct {
 // corpus.Materialize, and the lazily built sentence split serving sliding
 // windows of any size. The split is built only for fetched documents, so
 // the extra memory stays bounded by the fetch traffic within the
-// MaxCachedFacts shard budget.
+// MaxCachedFacts budget.
 type pooledDoc struct {
 	doc  *corpus.Document
 	full string // Title + " " + body
@@ -202,14 +237,23 @@ func (d *pooledDoc) sentenceSplit() *chunk.Split {
 // NewEngine builds an engine over the documents of the given datasets.
 func NewEngine(gen PoolSource, ds ...*dataset.Dataset) *Engine {
 	e := &Engine{
-		gen:   gen,
-		facts: map[string]*dataset.Fact{},
+		gen:         gen,
+		facts:       map[string]*dataset.Fact{},
+		inflight:    map[string]*factEntry{},
+		log:         map[string][]*pooledDoc{},
+		factDigests: map[string]uint64{},
 	}
 	for _, d := range ds {
 		for _, f := range d.Facts {
 			e.facts[f.ID] = f
 		}
 	}
+	e.snap.Store(&snapshot{
+		pools:   map[string]*factPool{},
+		epochs:  map[string]uint64{},
+		digests: map[dataset.Name]uint64{},
+	})
+	e.qv.Store(&qvMap{m: map[string]text.SparseVector{}})
 	return e
 }
 
@@ -229,105 +273,125 @@ func (e *Engine) FactIDs() []string {
 	return out
 }
 
-// shard maps a fact ID to its store shard.
-func (e *Engine) shard(factID string) *engineShard {
-	return &e.shards[det.Hash64("search-shard", factID)%engineShards]
-}
-
-// touch moves id to the most-recently-used end of the LRU order. Callers
-// hold s.mu.
-func (s *engineShard) touch(id string) {
-	for i, v := range s.order {
-		if v == id {
-			copy(s.order[i:], s.order[i+1:])
-			s.order[len(s.order)-1] = id
-			return
-		}
-	}
-}
-
-// insert records a new entry at the most-recently-used end. Callers hold
-// s.mu.
-func (s *engineShard) insert(id string, en *factEntry) {
-	if s.entries == nil {
-		s.entries = make(map[string]*factEntry)
-	}
-	s.entries[id] = en
-	s.order = append(s.order, id)
-}
-
-// evictOldestDone removes the shard's least recently used *completed*
-// entry, skipping in-flight materialisations (evicting one would orphan
-// the owner's work and let a later caller duplicate it). Returns false
-// when the shard holds no completed entry. Callers hold s.mu.
-func (s *engineShard) evictOldestDone() (string, bool) {
-	for i, id := range s.order {
-		en := s.entries[id]
-		select {
-		case <-en.done:
-		default:
-			continue // in-flight: never evict
-		}
-		s.order = append(s.order[:i], s.order[i+1:]...)
-		delete(s.entries, id)
-		s.evicted++
-		return id, true
-	}
-	return "", false
-}
-
-// pool returns the fact's materialised pool, generating and indexing it on
-// first use. Materialisation runs outside the shard lock: concurrent
-// callers for the same fact coalesce on the entry's done channel
-// (singleflight), while callers for other facts — same shard or not —
-// proceed unblocked.
+// pool returns the fact's materialised pool. The warm path is lock-free:
+// one atomic snapshot load, one immutable map lookup, and at most one
+// atomic store to refresh the pool's LRU clock. Misses fall to the
+// serialised slow path.
 func (e *Engine) pool(factID string) (*factPool, error) {
-	s := e.shard(factID)
-	s.mu.Lock()
-	if en, ok := s.entries[factID]; ok {
-		s.hits++
-		s.touch(factID)
-		s.mu.Unlock()
+	sn := e.snap.Load()
+	if p, ok := sn.pools[factID]; ok {
+		e.hits.Add(1)
+		if p.lastUsed.Load() != sn.gen {
+			p.lastUsed.Store(sn.gen)
+		}
+		return p, nil
+	}
+	return e.poolSlow(factID)
+}
+
+// poolSlow materialises a missing pool and publishes a snapshot holding
+// it. Generation and indexing run outside the writer lock: concurrent
+// callers for the same fact coalesce on the entry's done channel
+// (singleflight), while callers for other facts — and all warm readers —
+// proceed unblocked.
+func (e *Engine) poolSlow(factID string) (*factPool, error) {
+	e.mu.Lock()
+	// Re-check under the lock: the pool may have been published while we
+	// waited for the writer mutex.
+	if p, ok := e.snap.Load().pools[factID]; ok {
+		e.mu.Unlock()
+		e.hits.Add(1)
+		return p, nil
+	}
+	if en, ok := e.inflight[factID]; ok {
+		e.mu.Unlock()
+		e.hits.Add(1)
 		<-en.done
 		return en.pool, nil
 	}
 	f, ok := e.facts[factID]
 	if !ok {
-		s.mu.Unlock()
+		e.mu.Unlock()
 		return nil, fmt.Errorf("search: %w %q", ErrUnknownFact, factID)
 	}
 	en := &factEntry{done: make(chan struct{})}
-	s.misses++
-	s.insert(factID, en)
-	// Repay the budget while over it, not just for this insert's +1: a
-	// prior insert whose shard had nothing evictable may have left the
-	// store over budget, and this shard may hold the slack. When this
-	// shard too has nothing evictable (all in-flight), the store stays
-	// over budget until a later insert repays it.
-	e.cached.Add(1)
-	for e.cached.Load() > MaxCachedFacts {
-		if _, ok := s.evictOldestDone(); !ok {
-			break
-		}
-		e.cached.Add(-1)
-	}
-	s.mu.Unlock()
+	e.inflight[factID] = en
+	e.misses.Add(1)
+	appended := e.log[factID] // immutable prefix: ingest only appends
+	epoch := e.snap.Load().epochs[factID]
+	e.mu.Unlock()
 
-	en.pool = e.materialize(f)
+	p := e.materialize(f, appended, epoch)
+
+	e.mu.Lock()
+	// Ingestion may have appended documents while we materialised outside
+	// the lock; fold the missed suffix before publishing, so the snapshot
+	// never goes backwards in epoch.
+	if cur := e.snap.Load().epochs[factID]; cur != epoch {
+		p = foldPool(p, e.log[factID][len(appended):], cur)
+	}
+	e.publish(factID, p)
+	delete(e.inflight, factID)
+	e.mu.Unlock()
+
+	en.pool = p
 	close(en.done)
-	return en.pool, nil
+	return p, nil
 }
 
-// materialize generates the fact's pool and builds its inverted index from
-// the corpus term streams (a single tokenize pass per document).
-func (e *Engine) materialize(f *dataset.Fact) *factPool {
-	ms := e.gen.Materialize(f)
-	p := &factPool{
-		docs: make([]*pooledDoc, len(ms)),
-		byID: make(map[string]*pooledDoc, len(ms)),
+// publish installs the pool into a fresh snapshot, evicting over-budget
+// pools, and swaps it live. Callers hold e.mu.
+func (e *Engine) publish(factID string, p *factPool) {
+	old := e.snap.Load()
+	pools := make(map[string]*factPool, len(old.pools)+1)
+	for k, v := range old.pools {
+		pools[k] = v
 	}
-	b := index.NewBuilder(len(ms))
-	for i, m := range ms {
+	pools[factID] = p
+	next := &snapshot{
+		gen:     old.gen + 1,
+		pools:   pools,
+		epochs:  old.epochs,
+		digests: old.digests,
+	}
+	p.lastUsed.Store(next.gen)
+	e.evicted.Add(evictOver(pools))
+	e.snap.Store(next)
+}
+
+// evictOver drops least-recently-used pools until the map fits the budget,
+// breaking generation ties by fact ID so eviction order is deterministic.
+// The map is not yet published, so mutation is safe.
+func evictOver(pools map[string]*factPool) int64 {
+	var n int64
+	for len(pools) > MaxCachedFacts {
+		victim := ""
+		var vGen uint64
+		for id, p := range pools {
+			g := p.lastUsed.Load()
+			if victim == "" || g < vGen || (g == vGen && id < victim) {
+				victim, vGen = id, g
+			}
+		}
+		delete(pools, victim)
+		n++
+	}
+	return n
+}
+
+// materialize generates the fact's pool from the source, replays its
+// ingestion log on top, and builds the inverted index from the corpus term
+// streams (a single tokenize pass per document).
+func (e *Engine) materialize(f *dataset.Fact, appended []*pooledDoc, epoch uint64) *factPool {
+	ms := e.gen.Materialize(f)
+	n := len(ms) + len(appended)
+	p := &factPool{
+		docs:  make([]*pooledDoc, 0, n),
+		byID:  make(map[string]*pooledDoc, n),
+		epoch: epoch,
+	}
+	b := index.NewBuilder(n)
+	for _, m := range ms {
 		vec := m.Vec
 		if vec.NNZ() == 0 && len(m.Terms) > 0 {
 			// Pool sources other than corpus.Generator may fill only the
@@ -342,46 +406,83 @@ func (e *Engine) materialize(f *dataset.Fact) *factPool {
 			text: full[len(m.Doc.Title)+1:],
 			vec:  vec,
 		}
-		p.docs[i] = d
+		p.docs = append(p.docs, d)
 		p.byID[m.Doc.ID] = d
 		b.AddVec(m.Doc.ID, vec)
+	}
+	for _, d := range appended {
+		p.docs = append(p.docs, d)
+		p.byID[d.doc.ID] = d
+		b.AddVec(d.doc.ID, d.vec)
 	}
 	p.idx = b.Build()
 	return p
 }
 
+// foldPool extends a pool with newly ingested documents, rebuilding the
+// index over the combined doc sequence. Appending to the same builder
+// sequence a cold build would see keeps the incremental index
+// byte-identical to a from-scratch materialisation.
+func foldPool(p *factPool, appended []*pooledDoc, epoch uint64) *factPool {
+	docs := make([]*pooledDoc, len(p.docs), len(p.docs)+len(appended))
+	copy(docs, p.docs)
+	byID := make(map[string]*pooledDoc, len(p.byID)+len(appended))
+	for k, v := range p.byID {
+		byID[k] = v
+	}
+	np := &factPool{docs: docs, byID: byID, epoch: epoch}
+	for _, d := range appended {
+		np.docs = append(np.docs, d)
+		np.byID[d.doc.ID] = d
+	}
+	b := index.NewBuilder(len(np.docs))
+	for _, d := range np.docs {
+		b.AddVec(d.doc.ID, d.vec)
+	}
+	np.idx = b.Build()
+	return np
+}
+
 // Warm implements Warmer: it materialises the fact's pool and index so
-// later queries hit a warm shard. Prefetch stages call it once per fact
+// later queries hit a warm snapshot. Prefetch stages call it once per fact
 // ahead of model fan-out.
 func (e *Engine) Warm(factID string) error {
 	_, err := e.pool(factID)
 	return err
 }
 
-// maxCachedQueryVecs bounds the query-embedding memo; on overflow the memo
-// resets wholesale — cheaper than LRU bookkeeping for a cache this small,
-// and correctness never depends on a hit.
+// maxCachedQueryVecs bounds the query-embedding memo. The memo is an
+// immutable copy-on-write map: once full it simply stops admitting new
+// queries until the next ingestion epoch rebuilds it from empty —
+// correctness never depends on a hit, and a hard ceiling beats LRU
+// bookkeeping on a lock-free path.
 const maxCachedQueryVecs = 4096
 
-// queryVec returns the sparse embedding of q, memoised across queries.
+// queryVec returns the sparse embedding of q, memoised across queries
+// within one ingestion epoch. The warm path is one atomic load and one
+// immutable map lookup; misses copy the map and CAS the new generation in.
 func (e *Engine) queryVec(q string) text.SparseVector {
-	e.qvMu.RLock()
-	v, ok := e.qvCache[q]
-	e.qvMu.RUnlock()
-	if ok {
+	if v, ok := e.qv.Load().m[q]; ok {
 		return v
 	}
-	v = text.SparseEmbed(q)
-	e.qvMu.Lock()
-	if e.qvCache == nil {
-		e.qvCache = make(map[string]text.SparseVector, 64)
+	v := text.SparseEmbed(q)
+	for {
+		old := e.qv.Load()
+		if _, ok := old.m[q]; ok {
+			return v // another writer published it; embeddings are pure
+		}
+		if len(old.m) >= maxCachedQueryVecs {
+			return v
+		}
+		m := make(map[string]text.SparseVector, len(old.m)+1)
+		for k, ov := range old.m {
+			m[k] = ov
+		}
+		m[q] = v
+		if e.qv.CompareAndSwap(old, &qvMap{m: m}) {
+			return v
+		}
 	}
-	if len(e.qvCache) >= maxCachedQueryVecs {
-		clear(e.qvCache)
-	}
-	e.qvCache[q] = v
-	e.qvMu.Unlock()
-	return v
 }
 
 // serpJitterScale is the magnitude of the deterministic SERP perturbation,
@@ -621,19 +722,24 @@ func (d *pooledDoc) payload() DocPayload {
 	}
 }
 
-// Stats summarises the index store's state and the pruned retrieval path's
+// Stats summarises the snapshot's state and the pruned retrieval path's
 // cumulative work counters.
 type Stats struct {
 	// Facts is the number of known facts; CachedFacts of them are currently
-	// materialised.
+	// materialised (in-flight materialisations included).
 	Facts       int   `json:"facts"`
 	CachedFacts int   `json:"cached_facts"`
 	IndexedDocs int   `json:"indexed_docs"`
 	Postings    int   `json:"postings"`
-	Shards      int   `json:"shards"`
 	Hits        int64 `json:"hits"`
 	Misses      int64 `json:"misses"`
 	Evicted     int64 `json:"evicted"`
+	// Epoch is the snapshot publication sequence number; IngestedDocs
+	// counts live-ingested documents across all facts, and
+	// CachedQueryVecs is the current size of the per-epoch query memo.
+	Epoch           uint64 `json:"epoch"`
+	IngestedDocs    int    `json:"ingested_docs"`
+	CachedQueryVecs int    `json:"cached_query_vecs"`
 	// SearchQueries counts Search calls (the pruned production path);
 	// PostingsTouched, BlocksSkipped and DocsScored accumulate its pruning
 	// counters — the asymptotic story of every query served so far.
@@ -647,31 +753,30 @@ type Stats struct {
 // materialisations count as cached facts but contribute no document or
 // posting counts (the snapshot never blocks on them).
 func (e *Engine) Stats() Stats {
+	sn := e.snap.Load()
 	st := Stats{
 		Facts:           len(e.facts),
-		Shards:          engineShards,
+		CachedFacts:     len(sn.pools),
+		Epoch:           sn.gen,
+		CachedQueryVecs: len(e.qv.Load().m),
+		Hits:            e.hits.Load(),
+		Misses:          e.misses.Load(),
+		Evicted:         e.evicted.Load(),
 		SearchQueries:   e.retrieval.queries.Load(),
 		PostingsTouched: e.retrieval.postingsTouched.Load(),
 		BlocksSkipped:   e.retrieval.blocksSkipped.Load(),
 		DocsScored:      e.retrieval.docsScored.Load(),
 	}
-	for i := range e.shards {
-		s := &e.shards[i]
-		s.mu.Lock()
-		st.CachedFacts += len(s.entries)
-		st.Hits += s.hits
-		st.Misses += s.misses
-		st.Evicted += s.evicted
-		for _, en := range s.entries {
-			select {
-			case <-en.done:
-				st.IndexedDocs += en.pool.idx.Docs()
-				st.Postings += en.pool.idx.Postings()
-			default:
-			}
-		}
-		s.mu.Unlock()
+	for _, p := range sn.pools {
+		st.IndexedDocs += p.idx.Docs()
+		st.Postings += p.idx.Postings()
 	}
+	e.mu.Lock()
+	st.CachedFacts += len(e.inflight)
+	for _, l := range e.log {
+		st.IngestedDocs += len(l)
+	}
+	e.mu.Unlock()
 	return st
 }
 

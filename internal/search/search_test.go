@@ -325,24 +325,16 @@ func TestEngineCacheEviction(t *testing.T) {
 		}
 	}
 	st := e.Stats()
-	// Capacity is a global budget, soft only by the number of concurrent
-	// materialisations — zero here, since searches were sequential.
+	// The published snapshot never exceeds the budget: eviction happens at
+	// publish time, before the pointer store.
 	if st.CachedFacts > MaxCachedFacts {
 		t.Fatalf("store grew to %d facts, cap %d", st.CachedFacts, MaxCachedFacts)
 	}
-	if got := e.cached.Load(); got != int64(st.CachedFacts) {
-		t.Errorf("global counter %d disagrees with shard total %d", got, st.CachedFacts)
+	if sn := e.snap.Load(); len(sn.pools) != st.CachedFacts {
+		t.Errorf("snapshot holds %d pools but stats report %d cached facts", len(sn.pools), st.CachedFacts)
 	}
 	if len(d.Facts) > MaxCachedFacts && st.Evicted == 0 {
 		t.Errorf("%d facts searched over cap %d but nothing evicted", len(d.Facts), MaxCachedFacts)
-	}
-	for i := range e.shards {
-		s := &e.shards[i]
-		s.mu.Lock()
-		if len(s.entries) != len(s.order) {
-			t.Errorf("shard %d: %d entries but %d LRU slots", i, len(s.entries), len(s.order))
-		}
-		s.mu.Unlock()
 	}
 	// Evicted facts must still be searchable (re-materialised on demand).
 	if _, err := e.Search(d.Facts[0].ID, "q", 1); err != nil {
@@ -350,46 +342,65 @@ func TestEngineCacheEviction(t *testing.T) {
 	}
 }
 
-// TestShardLRU unit-tests the shard's touch/insert/evict ordering: the
-// least recently used completed entry goes first, a touched entry survives,
-// and in-flight materialisations are never evicted.
-func TestShardLRU(t *testing.T) {
-	var s engineShard
-	mk := func(inflight bool) *factEntry {
-		en := &factEntry{done: make(chan struct{}), pool: &factPool{}}
-		if !inflight {
-			close(en.done)
+// TestEvictOver unit-tests publish-time eviction: pools with the oldest
+// last-use generation go first, generation ties break deterministically by
+// fact ID, and recently used pools survive.
+func TestEvictOver(t *testing.T) {
+	mk := func(gen uint64) *factPool {
+		p := &factPool{}
+		p.lastUsed.Store(gen)
+		return p
+	}
+	pools := map[string]*factPool{}
+	// MaxCachedFacts+2 pools: two must go. f0000 and f0001 share the oldest
+	// generation with f0002; the ID tie-break drops the lexicographically
+	// smallest first.
+	for i := 0; i < MaxCachedFacts+2; i++ {
+		gen := uint64(10)
+		if i < 3 {
+			gen = 1
 		}
-		return en
+		pools[fmt.Sprintf("f%04d", i)] = mk(gen)
 	}
-	var ids []string
-	for i := 0; i < 4; i++ {
-		id := fmt.Sprintf("f%02d", i)
-		ids = append(ids, id)
-		s.insert(id, mk(false))
+	if n := evictOver(pools); n != 2 {
+		t.Fatalf("evicted %d pools, want 2", n)
 	}
-	s.touch(ids[0]) // f00 becomes most recently used
-	if ev, ok := s.evictOldestDone(); !ok || ev != ids[1] {
-		t.Fatalf("evicted (%q, %v), want %q (LRU after touch)", ev, ok, ids[1])
+	if _, ok := pools["f0000"]; ok {
+		t.Error("oldest pool f0000 survived")
 	}
-	if _, ok := s.entries[ids[0]]; !ok {
-		t.Error("touched entry was evicted")
+	if _, ok := pools["f0001"]; ok {
+		t.Error("second-oldest pool f0001 survived")
 	}
-	if s.evicted != 1 {
-		t.Errorf("evicted counter = %d, want 1", s.evicted)
+	if _, ok := pools["f0002"]; !ok {
+		t.Error("f0002 evicted although only two slots were over budget")
 	}
-	// A shard holding only in-flight entries refuses to evict.
-	var s2 engineShard
-	s2.insert("busy", mk(true))
-	if ev, ok := s2.evictOldestDone(); ok {
-		t.Fatalf("evicted in-flight entry %q", ev)
+	if len(pools) != MaxCachedFacts {
+		t.Errorf("len(pools) = %d, want %d", len(pools), MaxCachedFacts)
 	}
-	s2.insert("done", mk(false))
-	if ev, ok := s2.evictOldestDone(); !ok || ev != "done" {
-		t.Fatalf("evicted (%q, %v), want the completed entry, skipping the in-flight one", ev, ok)
+}
+
+// TestPoolReadRefreshesClock asserts the warm read path refreshes the
+// pool's last-used generation to the snapshot's, so publish-time eviction
+// sees recent readers.
+func TestPoolReadRefreshesClock(t *testing.T) {
+	e, d := fixture(t)
+	f0, f1 := d.Facts[0], d.Facts[1]
+	if err := e.Warm(f0.ID); err != nil {
+		t.Fatal(err)
 	}
-	if _, ok := s2.entries["busy"]; !ok {
-		t.Error("in-flight entry vanished")
+	if err := e.Warm(f1.ID); err != nil { // advances the snapshot generation
+		t.Fatal(err)
+	}
+	sn := e.snap.Load()
+	p0 := sn.pools[f0.ID]
+	if p0.lastUsed.Load() == sn.gen {
+		t.Fatal("f0's clock already current; fixture lost its staleness")
+	}
+	if _, err := e.Search(f0.ID, "q", 1); err != nil {
+		t.Fatal(err)
+	}
+	if got := p0.lastUsed.Load(); got != sn.gen {
+		t.Errorf("after warm read, lastUsed = %d, want snapshot gen %d", got, sn.gen)
 	}
 }
 
@@ -584,7 +595,7 @@ func TestAPIStats(t *testing.T) {
 	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
 		t.Fatal(err)
 	}
-	if st.CachedFacts != 1 || st.Facts != len(d.Facts) || st.Shards != engineShards {
-		t.Errorf("stats = %+v, want 1 cached fact of %d over %d shards", st, len(d.Facts), engineShards)
+	if st.CachedFacts != 1 || st.Facts != len(d.Facts) {
+		t.Errorf("stats = %+v, want 1 cached fact of %d", st, len(d.Facts))
 	}
 }

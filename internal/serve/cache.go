@@ -2,6 +2,7 @@ package serve
 
 import (
 	"container/list"
+	"strconv"
 	"sync"
 
 	"factcheck/internal/core"
@@ -15,14 +16,21 @@ import (
 // verdicts under different models land on different shards.
 const cacheShards = 16
 
-// verdictKey addresses one verdict: a grid cell plus a fact ID.
+// verdictKey addresses one verdict: a grid cell plus a fact ID, pinned to
+// the fact's corpus epoch. Epoch-keying is what makes ingestion
+// invalidation precise and race-free by construction: a verdict computed
+// over epoch e is only ever served to requests that read epoch e, so an
+// epoch bump strands the old entries (LRU pressure or the ingest builder's
+// sweep reclaims them) instead of requiring any synchronised purge.
 type verdictKey struct {
 	cell   core.Cell
 	factID string
+	epoch  uint64
 }
 
 func (k verdictKey) shard() uint64 {
-	return det.Hash64(string(k.cell.Dataset), string(k.cell.Method), k.cell.Model, k.factID) % cacheShards
+	return det.Hash64(string(k.cell.Dataset), string(k.cell.Method), k.cell.Model, k.factID,
+		strconv.FormatUint(k.epoch, 10)) % cacheShards
 }
 
 // verdictCache is a sharded in-memory LRU of single-fact verdicts, the
@@ -89,6 +97,27 @@ func (c *verdictCache) put(k verdictKey, out strategy.Outcome) {
 		s.order.Remove(oldest)
 		delete(s.entries, oldest.Value.(*cacheEntry).key)
 	}
+}
+
+// sweepStale removes the fact's entries whose epoch predates the given
+// one. Epoch-keyed lookups already make such entries unreachable; the
+// sweep reclaims their memory eagerly instead of waiting for LRU pressure.
+// Returns the number of entries removed.
+func (c *verdictCache) sweepStale(factID string, epoch uint64) int {
+	removed := 0
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		for k, el := range s.entries {
+			if k.factID == factID && k.epoch < epoch {
+				s.order.Remove(el)
+				delete(s.entries, k)
+				removed++
+			}
+		}
+		s.mu.Unlock()
+	}
+	return removed
 }
 
 // len reports the total number of cached verdicts across shards.

@@ -71,8 +71,13 @@ type Config struct {
 	// consumer. Fills are deduplicated per cell and run one cell at a
 	// time on the shared executor.
 	FillCells bool
-	// MaxBatch bounds /v1/verify/batch request size. Default 64.
+	// MaxBatch bounds /v1/verify/batch request size and the documents
+	// accepted per POST /v1/documents batch. Default 64.
 	MaxBatch int
+	// IngestQueue bounds ingestion batches admitted but not yet folded by
+	// the background builder; further batches get 503 + Retry-After.
+	// Default 16.
+	IngestQueue int
 	// ConsensusMode is the default execution strategy for /v1/consensus
 	// (overridable per request with ?mode=). Default
 	// consensus.ModeAdaptive: verdicts are mode-independent, so the
@@ -106,6 +111,9 @@ func (c *Config) fill(bench *core.Benchmark) {
 	}
 	if c.MaxBatch <= 0 {
 		c.MaxBatch = 64
+	}
+	if c.IngestQueue <= 0 {
+		c.IngestQueue = 16
 	}
 	if c.ConsensusMode == "" {
 		c.ConsensusMode = consensus.ModeAdaptive
@@ -142,6 +150,11 @@ type Service struct {
 	// waits them out.
 	filler *core.CellFiller
 
+	// ingestCh queues admitted document batches for the background
+	// builder; ingestDone closes when the builder has drained it.
+	ingestCh   chan []search.IngestDoc
+	ingestDone chan struct{}
+
 	stats serviceStats
 }
 
@@ -163,6 +176,12 @@ type serviceStats struct {
 	computed      atomic.Uint64
 	coalesced     atomic.Uint64
 	fills         atomic.Uint64
+
+	ingestBatches  atomic.Uint64
+	ingestDocs     atomic.Uint64
+	ingestApplied  atomic.Uint64
+	ingestRejected atomic.Uint64
+	ingestSwept    atomic.Uint64
 
 	consensusRequests    atomic.Uint64
 	consensusDispatched  atomic.Uint64
@@ -193,16 +212,42 @@ func New(bench *core.Benchmark, store *core.Store, cfg Config) *Service {
 	s.plan = consensus.NewPlan(s.voters, llm.Cost)
 	s.verify = bench.VerifyFact
 	s.filler = core.NewCellFiller(s.fillCell)
+	s.ingestCh = make(chan []search.IngestDoc, cfg.IngestQueue)
+	s.ingestDone = make(chan struct{})
+	go s.ingestLoop()
 	return s
 }
 
-// Drain completes graceful shutdown: background cell fills still queued
-// are discarded (a later process recomputes them), the fill in flight
-// finishes and persists, then the executor stops (letting started
-// verifications finish). Drain time is therefore bounded by one cell, not
-// by however many cold cells the final request burst touched. Call after
-// http.Server.Shutdown has drained the handlers.
+// ingestLoop is the background builder: it folds admitted document batches
+// into fresh corpus epoch snapshots one at a time, then sweeps the touched
+// facts' now-stale verdict-LRU entries. Admission never blocks on a fold —
+// the bounded channel is the backpressure boundary — and readers never
+// block at all (the engine publishes each epoch with one pointer store).
+func (s *Service) ingestLoop() {
+	defer close(s.ingestDone)
+	for docs := range s.ingestCh {
+		res, err := s.bench.Ingest(docs)
+		if err != nil {
+			continue // batches are validated at admission; a failure is benign
+		}
+		for factID, epoch := range res.Epochs {
+			s.stats.ingestSwept.Add(uint64(s.cache.sweepStale(factID, epoch)))
+		}
+		s.stats.ingestApplied.Add(uint64(len(docs)))
+	}
+}
+
+// Drain completes graceful shutdown: admitted ingestion batches are folded
+// (they were acknowledged with 202, so they must not be lost), background
+// cell fills still queued are discarded (a later process recomputes them),
+// the fill in flight finishes and persists, then the executor stops
+// (letting started verifications finish). Drain time is therefore bounded
+// by the queued ingest batches plus one cell. Call after
+// http.Server.Shutdown has drained the handlers — nothing may be enqueued
+// once Drain runs.
 func (s *Service) Drain() {
+	close(s.ingestCh)
+	<-s.ingestDone
 	s.filler.Close()
 	s.exec.Close()
 }
@@ -213,8 +258,14 @@ func (s *Service) Drain() {
 // LRU, singleflight, store snapshot (hydrating the LRU), executor-bounded
 // verification. The source tells which layer answered: "lru", "store" or
 // "computed" (followers of a coalesced call inherit the leader's source).
+//
+// The verdict key's epoch and the store fingerprint's corpus digest are
+// read from one consistent EpochView, so a concurrent ingestion can never
+// pair a pre-bump fingerprint with a post-bump epoch (or vice versa):
+// every layer of the stack answers for exactly one corpus version.
 func (s *Service) verdict(ctx context.Context, cell core.Cell, f *dataset.Fact, idx int) (strategy.Outcome, string, error) {
-	key := verdictKey{cell: cell, factID: f.ID}
+	view := s.bench.Engine.EpochView()
+	key := verdictKey{cell: cell, factID: f.ID, epoch: view.FactEpoch(f.ID)}
 	for {
 		if out, ok := s.cache.get(key); ok {
 			s.stats.lruHits.Add(1)
@@ -243,7 +294,7 @@ func (s *Service) verdict(ctx context.Context, cell core.Cell, f *dataset.Fact, 
 		s.flight[key] = c
 		s.flightMu.Unlock()
 
-		c.out, c.src, c.err = s.resolve(ctx, key, cell, f, idx)
+		c.out, c.src, c.err = s.resolve(ctx, key, view, cell, f, idx)
 		s.flightMu.Lock()
 		delete(s.flight, key)
 		s.flightMu.Unlock()
@@ -253,11 +304,15 @@ func (s *Service) verdict(ctx context.Context, cell core.Cell, f *dataset.Fact, 
 }
 
 // resolve is the singleflight leader's path: store probe, then verify.
-func (s *Service) resolve(ctx context.Context, key verdictKey, cell core.Cell, f *dataset.Fact, idx int) (strategy.Outcome, string, error) {
-	fp := s.bench.CellKey(cell).Fingerprint()
+// The fingerprint is derived from the same EpochView as the verdict key,
+// so store snapshots only ever answer for the corpus version the caller
+// read. A verification that races an epoch bump is served (it is a valid
+// point-in-time answer) but not cached — its evidence may straddle epochs.
+func (s *Service) resolve(ctx context.Context, key verdictKey, view search.EpochView, cell core.Cell, f *dataset.Fact, idx int) (strategy.Outcome, string, error) {
+	fp := s.bench.CellKeyAt(cell, view.CorpusDigest(cell.Dataset)).Fingerprint()
 	if outs, ok := s.store.Get(fp); ok && idx < len(outs) {
 		s.stats.storeHits.Add(1)
-		s.hydrateCell(cell, outs)
+		s.hydrateCell(cell, outs, view)
 		return outs[idx], "store", nil
 	}
 	var out strategy.Outcome
@@ -270,6 +325,9 @@ func (s *Service) resolve(ctx context.Context, key verdictKey, cell core.Cell, f
 		return strategy.Outcome{}, "", err
 	}
 	s.stats.computed.Add(1)
+	if s.bench.Engine.FactEpoch(f.ID) != key.epoch {
+		return out, "computed", nil
+	}
 	s.cache.put(key, out)
 	if s.cfg.FillCells {
 		s.filler.Fill(cell)
@@ -277,15 +335,16 @@ func (s *Service) resolve(ctx context.Context, key verdictKey, cell core.Cell, f
 	return out, "computed", nil
 }
 
-// hydrateCell loads a whole-cell snapshot into the verdict LRU, so every
-// fact of a touched cell becomes an LRU hit.
-func (s *Service) hydrateCell(cell core.Cell, outs []strategy.Outcome) {
+// hydrateCell loads a whole-cell snapshot into the verdict LRU under the
+// view's per-fact epochs — the epochs the snapshot's fingerprint was
+// derived from — so every fact of a touched cell becomes an LRU hit.
+func (s *Service) hydrateCell(cell core.Cell, outs []strategy.Outcome, view search.EpochView) {
 	facts := s.bench.Datasets[cell.Dataset].Facts
 	for i, out := range outs {
 		if i >= len(facts) {
 			break
 		}
-		s.cache.put(verdictKey{cell: cell, factID: facts[i].ID}, out)
+		s.cache.put(verdictKey{cell: cell, factID: facts[i].ID, epoch: view.FactEpoch(facts[i].ID)}, out)
 	}
 }
 
@@ -296,12 +355,14 @@ func (s *Service) hydrateCell(cell core.Cell, outs []strategy.Outcome) {
 // the shared executor — a fill never multiplies service-wide verification
 // concurrency.
 func (s *Service) fillCell(cell core.Cell) error {
+	view := s.bench.Engine.EpochView()
 	d := s.bench.Datasets[cell.Dataset]
 	outs := make([]strategy.Outcome, len(d.Facts))
 	for i, f := range d.Facts {
-		// Verdicts already cached are identical to recomputed ones
-		// (determinism), so reuse them instead of re-verifying.
-		if out, ok := s.cache.get(verdictKey{cell: cell, factID: f.ID}); ok {
+		// Verdicts already cached under this corpus epoch are identical to
+		// recomputed ones (determinism), so reuse them instead of
+		// re-verifying.
+		if out, ok := s.cache.get(verdictKey{cell: cell, factID: f.ID, epoch: view.FactEpoch(f.ID)}); ok {
 			outs[i] = out
 			continue
 		}
@@ -316,10 +377,17 @@ func (s *Service) fillCell(cell core.Cell) error {
 		}
 		outs[i] = out
 	}
-	if err := s.store.Put(s.bench.CellKey(cell).Fingerprint(), outs); err != nil {
+	// An ingestion that landed mid-fill may have split the outcomes across
+	// corpus epochs; a mixed snapshot must never be persisted under the
+	// pre-ingest fingerprint. Abort — the filler forgets failures, so a
+	// later request refills the cell over the new epoch.
+	if s.bench.Engine.CorpusDigest(cell.Dataset) != view.CorpusDigest(cell.Dataset) {
+		return fmt.Errorf("serve: corpus epoch moved during fill of %s/%s/%s", cell.Dataset, cell.Method, cell.Model)
+	}
+	if err := s.store.Put(s.bench.CellKeyAt(cell, view.CorpusDigest(cell.Dataset)).Fingerprint(), outs); err != nil {
 		return err
 	}
-	s.hydrateCell(cell, outs)
+	s.hydrateCell(cell, outs, view)
 	s.stats.fills.Add(1)
 	return nil
 }
@@ -408,12 +476,23 @@ type Stats struct {
 	Computed      uint64 `json:"computed"`
 	Coalesced     uint64 `json:"coalesced"`
 	CellFills     uint64 `json:"cell_fills"`
-	CacheLen      int    `json:"cache_len"`
-	CacheCapacity int    `json:"cache_capacity"`
-	QueueDepth    int    `json:"queue_depth"`
-	QueueCap      int    `json:"queue_cap"`
-	StoreCells    int    `json:"store_cells"`
-	Clients       int    `json:"clients"`
+
+	// Ingestion counters: batches and documents accepted (202), documents
+	// folded into published epoch snapshots by the background builder,
+	// batches rejected because the ingest queue was full (503), and stale
+	// verdict-LRU entries reclaimed after epoch bumps.
+	IngestBatches  uint64 `json:"ingest_batches"`
+	IngestDocs     uint64 `json:"ingest_docs"`
+	IngestApplied  uint64 `json:"ingest_docs_applied"`
+	IngestRejected uint64 `json:"ingest_rejected"`
+	IngestSwept    uint64 `json:"ingest_swept"`
+
+	CacheLen      int `json:"cache_len"`
+	CacheCapacity int `json:"cache_capacity"`
+	QueueDepth    int `json:"queue_depth"`
+	QueueCap      int `json:"queue_cap"`
+	StoreCells    int `json:"store_cells"`
+	Clients       int `json:"clients"`
 
 	// Consensus-engine counters: requests served, votes the planner
 	// dispatched vs skipped, tiers escalated past the cheap quorum, and
@@ -442,12 +521,18 @@ func (s *Service) Stats() Stats {
 		Computed:      s.stats.computed.Load(),
 		Coalesced:     s.stats.coalesced.Load(),
 		CellFills:     s.stats.fills.Load(),
-		CacheLen:      s.cache.len(),
-		CacheCapacity: s.cfg.CacheCapacity,
-		QueueDepth:    len(s.admit),
-		QueueCap:      cap(s.admit),
-		StoreCells:    s.store.Len(),
-		Clients:       s.limiter.clients(),
+
+		IngestBatches:  s.stats.ingestBatches.Load(),
+		IngestDocs:     s.stats.ingestDocs.Load(),
+		IngestApplied:  s.stats.ingestApplied.Load(),
+		IngestRejected: s.stats.ingestRejected.Load(),
+		IngestSwept:    s.stats.ingestSwept.Load(),
+		CacheLen:       s.cache.len(),
+		CacheCapacity:  s.cfg.CacheCapacity,
+		QueueDepth:     len(s.admit),
+		QueueCap:       cap(s.admit),
+		StoreCells:     s.store.Len(),
+		Clients:        s.limiter.clients(),
 
 		ConsensusRequests:    s.stats.consensusRequests.Load(),
 		ConsensusDispatched:  s.stats.consensusDispatched.Load(),
@@ -461,17 +546,19 @@ func (s *Service) Stats() Stats {
 //
 //	POST /v1/verify                                    -> VerdictResponse
 //	POST /v1/verify/batch                              -> BatchResponse
+//	POST /v1/documents                                 -> IngestResponse (202; async fold)
 //	GET  /v1/verdict/{dataset}/{method}/{model}/{fact} -> VerdictResponse (no compute; 404 when absent)
 //	GET  /v1/consensus/{fact}[?mode=serial|eager|adaptive] -> ConsensusResponse
 //	GET  /v1/facts                                     -> fact IDs per dataset
 //	GET  /healthz, GET /statsz
 //
-// Verification endpoints sit behind the rate limiter and admission queue;
-// health, stats and fact listing bypass both.
+// Verification and ingestion endpoints sit behind the rate limiter and
+// admission queue; health, stats and fact listing bypass both.
 func (s *Service) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/verify", s.admitted(s.handleVerify))
 	mux.HandleFunc("POST /v1/verify/batch", s.admitted(s.handleBatch))
+	mux.HandleFunc("POST /v1/documents", s.admitted(s.handleIngest))
 	mux.HandleFunc("GET /v1/verdict/{dataset}/{method}/{model}/{fact}", s.admitted(s.handleVerdict))
 	mux.HandleFunc("GET /v1/consensus/{fact}", s.admitted(s.handleConsensus))
 	mux.HandleFunc("GET /v1/facts", s.handleFacts)
@@ -696,6 +783,58 @@ func (s *Service) handleBatch(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, resp)
 }
 
+// IngestRequest appends live documents to their facts' retrieval pools.
+type IngestRequest struct {
+	Documents []search.IngestDoc `json:"documents"`
+}
+
+// IngestResponse acknowledges an admitted ingestion batch. Folding is
+// asynchronous: the batch is queued for the background builder, which
+// publishes one fresh epoch snapshot covering it; /statsz exposes applied
+// counters and the engine's epoch.
+type IngestResponse struct {
+	Queued int `json:"queued"`
+}
+
+// handleIngest admits one document batch into the background builder's
+// queue. The write path shares the read path's backpressure contract:
+// rate limiting (429) and admission (503) via the middleware, 413 on
+// oversized bodies, plus a bounded builder queue (503 + Retry-After when
+// full). Unknown facts are rejected whole-batch with 404 before anything
+// is queued, so an acknowledged batch always folds.
+func (s *Service) handleIngest(w http.ResponseWriter, r *http.Request) {
+	var req IngestRequest
+	if aerr := decodeBody(w, r, &req); aerr != nil {
+		httpError(w, aerr.status, aerr.msg)
+		return
+	}
+	if len(req.Documents) == 0 {
+		httpError(w, http.StatusBadRequest, "empty document batch")
+		return
+	}
+	if len(req.Documents) > s.cfg.MaxBatch {
+		httpError(w, http.StatusBadRequest,
+			fmt.Sprintf("batch of %d documents exceeds limit %d", len(req.Documents), s.cfg.MaxBatch))
+		return
+	}
+	for _, d := range req.Documents {
+		if _, ok := s.bench.FactByID(d.FactID); !ok {
+			httpError(w, http.StatusNotFound, "unknown fact "+d.FactID)
+			return
+		}
+	}
+	select {
+	case s.ingestCh <- req.Documents:
+		s.stats.ingestBatches.Add(1)
+		s.stats.ingestDocs.Add(uint64(len(req.Documents)))
+		writeJSON(w, http.StatusAccepted, IngestResponse{Queued: len(req.Documents)})
+	default:
+		s.stats.ingestRejected.Add(1)
+		w.Header().Set("Retry-After", strconv.Itoa(retrySeconds(s.cfg.RetryAfter)))
+		httpError(w, http.StatusServiceUnavailable, "ingest queue full")
+	}
+}
+
 // handleVerdict is the read-only lookup: it answers from the LRU or a
 // store snapshot and never verifies — a miss is 404 (POST /v1/verify to
 // compute).
@@ -711,15 +850,16 @@ func (s *Service) handleVerdict(w http.ResponseWriter, r *http.Request) {
 		httpError(w, aerr.status, aerr.msg)
 		return
 	}
-	key := verdictKey{cell: cell, factID: f.ID}
+	view := s.bench.Engine.EpochView()
+	key := verdictKey{cell: cell, factID: f.ID, epoch: view.FactEpoch(f.ID)}
 	if out, ok := s.cache.get(key); ok {
 		s.stats.lruHits.Add(1)
 		writeJSON(w, http.StatusOK, verdictResponse(cell, out, "lru"))
 		return
 	}
-	if outs, ok := s.store.Get(s.bench.CellKey(cell).Fingerprint()); ok && idx < len(outs) {
+	if outs, ok := s.store.Get(s.bench.CellKeyAt(cell, view.CorpusDigest(cell.Dataset)).Fingerprint()); ok && idx < len(outs) {
 		s.stats.storeHits.Add(1)
-		s.hydrateCell(cell, outs)
+		s.hydrateCell(cell, outs, view)
 		writeJSON(w, http.StatusOK, verdictResponse(cell, outs[idx], "store"))
 		return
 	}
