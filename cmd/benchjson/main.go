@@ -6,6 +6,16 @@
 // Usage:
 //
 //	go test -bench . -benchtime 3x ./... | benchjson -o BENCH.json
+//	curl -s localhost:8095/metricsz | benchjson -promlint
+//
+// Custom b.ReportMetric units (p50_ms, p99_ms, ...) are carried into each
+// benchmark's "metrics" map, so latency summaries reported by the serving
+// benches land in the JSON artefact alongside ns/op.
+//
+// -promlint switches the tool into a Prometheus-exposition linter: the
+// input (stdin, or a file named after the flag) is parsed under the strict
+// internal/obs text-format rules and any violation fails the run — CI's
+// gate that /metricsz stays scrapeable.
 //
 // Besides the raw per-benchmark numbers, the converter derives speedup
 // ratios between comparable variants of one benchmark group — the shape of
@@ -26,6 +36,8 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+
+	"factcheck/internal/obs"
 )
 
 // Benchmark is one parsed result line.
@@ -39,6 +51,9 @@ type Benchmark struct {
 	// BytesPerOp and AllocsPerOp are present only under -benchmem.
 	BytesPerOp  *float64 `json:"bytes_per_op,omitempty"`
 	AllocsPerOp *float64 `json:"allocs_per_op,omitempty"`
+	// Metrics collects custom b.ReportMetric pairs (e.g. "p99_ms") — any
+	// value-unit column beyond the three standard ones.
+	Metrics map[string]float64 `json:"metrics,omitempty"`
 }
 
 // Speedup is a derived baseline-vs-variant ratio for one benchmark group.
@@ -69,18 +84,39 @@ func main() {
 }
 
 func run(args []string, in io.Reader, out io.Writer) error {
-	outPath := ""
+	outPath, lintFile := "", ""
+	promlint := false
 	for i := 0; i < len(args); i++ {
-		switch args[i] {
-		case "-o":
+		switch {
+		case args[i] == "-o":
 			if i+1 >= len(args) {
 				return fmt.Errorf("-o needs a file argument")
 			}
 			i++
 			outPath = args[i]
+		case args[i] == "-promlint":
+			promlint = true
+		case promlint && lintFile == "" && !strings.HasPrefix(args[i], "-"):
+			lintFile = args[i]
 		default:
-			return fmt.Errorf("unknown argument %q (usage: benchjson [-o FILE] < bench-output)", args[i])
+			return fmt.Errorf("unknown argument %q (usage: benchjson [-o FILE] < bench-output, or benchjson -promlint [FILE] < exposition)", args[i])
 		}
+	}
+	if promlint {
+		r := in
+		if lintFile != "" {
+			f, err := os.Open(lintFile)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			r = f
+		}
+		if err := obs.Lint(r); err != nil {
+			return fmt.Errorf("promlint: %w", err)
+		}
+		fmt.Fprintln(out, "promlint: ok")
+		return nil
 	}
 	doc, err := Parse(in)
 	if err != nil {
@@ -157,6 +193,11 @@ func parseLine(line string) (Benchmark, bool) {
 			b.BytesPerOp = ptr(v)
 		case "allocs/op":
 			b.AllocsPerOp = ptr(v)
+		default:
+			if b.Metrics == nil {
+				b.Metrics = map[string]float64{}
+			}
+			b.Metrics[f[i+1]] = v
 		}
 	}
 	return b, seen

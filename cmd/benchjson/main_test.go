@@ -232,6 +232,59 @@ func TestRunStdout(t *testing.T) {
 	}
 }
 
+// TestParseCustomMetrics: b.ReportMetric columns land in the metrics map
+// without disturbing the standard three.
+func TestParseCustomMetrics(t *testing.T) {
+	const line = `BenchmarkServeVerify/lru-4   1000   1200 ns/op   0.52 p99_ms   0.10 p50_ms   0 B/op   0 allocs/op
+`
+	doc, err := Parse(strings.NewReader(line))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.Benchmarks) != 1 {
+		t.Fatalf("parsed %d benchmarks, want 1", len(doc.Benchmarks))
+	}
+	b := doc.Benchmarks[0]
+	if b.NsPerOp != 1200 || b.AllocsPerOp == nil || *b.AllocsPerOp != 0 {
+		t.Errorf("standard fields wrong: %+v", b)
+	}
+	if b.Metrics["p99_ms"] != 0.52 || b.Metrics["p50_ms"] != 0.10 || len(b.Metrics) != 2 {
+		t.Errorf("metrics map wrong: %v", b.Metrics)
+	}
+}
+
+// TestPromlintMode: -promlint validates a Prometheus exposition from stdin
+// or a file, and fails on a malformed one.
+func TestPromlintMode(t *testing.T) {
+	const valid = `# HELP factcheck_requests_total requests
+# TYPE factcheck_requests_total counter
+factcheck_requests_total 12
+`
+	var buf bytes.Buffer
+	if err := run([]string{"-promlint"}, strings.NewReader(valid), &buf); err != nil {
+		t.Fatalf("valid exposition rejected: %v", err)
+	}
+	if !strings.Contains(buf.String(), "promlint: ok") {
+		t.Errorf("missing ok line: %q", buf.String())
+	}
+
+	file := filepath.Join(t.TempDir(), "metrics.txt")
+	if err := os.WriteFile(file, []byte(valid), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-promlint", file}, strings.NewReader("ignored"), &bytes.Buffer{}); err != nil {
+		t.Fatalf("file mode rejected valid exposition: %v", err)
+	}
+
+	const invalid = "factcheck_requests_total 1\nfactcheck_requests_total 2\n"
+	if err := run([]string{"-promlint"}, strings.NewReader(invalid), &bytes.Buffer{}); err == nil {
+		t.Fatal("duplicate series passed -promlint")
+	}
+	if err := run([]string{"-promlint", filepath.Join(t.TempDir(), "missing")}, nil, &bytes.Buffer{}); err == nil {
+		t.Fatal("missing lint file not reported")
+	}
+}
+
 func TestRunErrors(t *testing.T) {
 	if err := run([]string{"-o"}, strings.NewReader(sample), nil); err == nil {
 		t.Error("missing -o argument not rejected")

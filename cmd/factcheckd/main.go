@@ -8,6 +8,8 @@
 //	           [-queue 64] [-workers N] [-cache 65536]
 //	           [-rate 50] [-burst 100] [-maxbatch 64] [-fill=true]
 //	           [-consensus adaptive] [-ingestqueue 16]
+//	           [-trace-sample 0.01] [-trace-seed S] [-trace-ring 512]
+//	           [-pprof 127.0.0.1:6060]
 //
 // With -store, verdicts are layered over the same content-addressed result
 // store cmd/factcheck -store writes: grid-precomputed cells are served
@@ -18,7 +20,14 @@
 // Endpoints: POST /v1/verify, POST /v1/verify/batch, POST /v1/documents,
 // GET /v1/verdict/{dataset}/{method}/{model}/{fact},
 // GET /v1/consensus/{fact}?mode=serial|eager|adaptive, GET /v1/facts,
-// GET /healthz, GET /statsz.
+// GET /v1/trace/{id}, GET /healthz, GET /statsz, GET /metricsz.
+//
+// -trace-sample enables per-request tracing (see internal/obs): sampled
+// responses carry X-Trace-Id and a Server-Timing layer breakdown, and the
+// full span tree is retrievable from /v1/trace/{id} while it stays in the
+// ring. A client can force a trace for one request with the header
+// `X-Server-Timing: 1` regardless of the sample rate. -pprof starts
+// net/http/pprof on a separate listener, kept off the serving mux.
 package main
 
 import (
@@ -34,6 +43,7 @@ import (
 
 	"factcheck/internal/consensus"
 	"factcheck/internal/core"
+	"factcheck/internal/prof"
 	"factcheck/internal/serve"
 )
 
@@ -52,12 +62,13 @@ func main() {
 
 // options are the parsed command-line options.
 type options struct {
-	addr     string
-	scale    float64
-	small    bool
-	par      int
-	storeDir string
-	cfg      serve.Config
+	addr      string
+	scale     float64
+	small     bool
+	par       int
+	storeDir  string
+	pprofAddr string
+	cfg       serve.Config
 }
 
 // parseFlags parses and validates the command line.
@@ -76,6 +87,10 @@ func parseFlags(args []string) (options, error) {
 	fs.Float64Var(&o.cfg.Burst, "burst", 0, "per-client burst capacity (default 100)")
 	fs.IntVar(&o.cfg.MaxBatch, "maxbatch", 0, "maximum /v1/verify/batch size (default 64)")
 	fs.IntVar(&o.cfg.IngestQueue, "ingestqueue", 0, "queued /v1/documents batches before 503 backpressure (default 16)")
+	fs.Float64Var(&o.cfg.TraceSample, "trace-sample", 0, "fraction of requests to trace, 0..1 (0 = only X-Server-Timing: 1 requests)")
+	fs.StringVar(&o.cfg.TraceSeed, "trace-seed", "", "derive trace IDs deterministically from this seed (default: random IDs)")
+	fs.IntVar(&o.cfg.TraceRing, "trace-ring", 0, "finished traces kept for /v1/trace/{id} (default 512)")
+	fs.StringVar(&o.pprofAddr, "pprof", "", "serve net/http/pprof on this separate address (e.g. 127.0.0.1:6060; default: off)")
 	fill := fs.Bool("fill", true, "persist on-demand verdicts back to the store via background whole-cell fills")
 	consensusMode := fs.String("consensus", "", "default /v1/consensus execution mode: serial, eager or adaptive (default adaptive; ?mode= overrides per request)")
 	if err := fs.Parse(args); err != nil {
@@ -86,6 +101,12 @@ func parseFlags(args []string) (options, error) {
 	}
 	if o.scale <= 0 || o.scale > 1 {
 		return o, fmt.Errorf("-scale %g out of range (0, 1]", o.scale)
+	}
+	if o.cfg.TraceSample < 0 || o.cfg.TraceSample > 1 {
+		return o, fmt.Errorf("-trace-sample %g out of range [0, 1]", o.cfg.TraceSample)
+	}
+	if o.cfg.TraceRing < 0 {
+		return o, fmt.Errorf("-trace-ring %d must be >= 0", o.cfg.TraceRing)
 	}
 	if *consensusMode != "" {
 		m, err := consensus.ParseMode(*consensusMode)
@@ -122,6 +143,14 @@ func run(ctx context.Context, args []string, logw io.Writer) error {
 	svc, err := buildService(o, logw)
 	if err != nil {
 		return err
+	}
+	if o.pprofAddr != "" {
+		ps, err := prof.Serve(o.pprofAddr)
+		if err != nil {
+			return err
+		}
+		defer ps.Close()
+		fmt.Fprintf(logw, "factcheckd: pprof on http://%s/debug/pprof/\n", ps.Addr())
 	}
 	if err := ctx.Err(); err != nil {
 		return err // interrupted during the build: don't start serving

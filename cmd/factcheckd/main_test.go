@@ -18,7 +18,9 @@ import (
 
 func TestParseFlags(t *testing.T) {
 	o, err := parseFlags([]string{"-addr", ":9000", "-small", "-scale", "0.05",
-		"-queue", "8", "-rate", "10", "-fill=false", "-store", "/tmp/x"})
+		"-queue", "8", "-rate", "10", "-fill=false", "-store", "/tmp/x",
+		"-trace-sample", "0.25", "-trace-seed", "t1", "-trace-ring", "64",
+		"-pprof", "127.0.0.1:6060"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -28,11 +30,18 @@ func TestParseFlags(t *testing.T) {
 	if o.cfg.QueueDepth != 8 || o.cfg.Rate != 10 || o.cfg.FillCells {
 		t.Fatalf("parsed serve config = %+v", o.cfg)
 	}
+	if o.cfg.TraceSample != 0.25 || o.cfg.TraceSeed != "t1" || o.cfg.TraceRing != 64 ||
+		o.pprofAddr != "127.0.0.1:6060" {
+		t.Fatalf("parsed observability options = %+v", o)
+	}
 
 	for _, args := range [][]string{
 		{"-scale", "0"},
 		{"-scale", "-1"},
 		{"-scale", "1.5"},
+		{"-trace-sample", "1.5"},
+		{"-trace-sample", "-0.1"},
+		{"-trace-ring", "-1"},
 		{"positional"},
 		{"-nope"},
 	} {

@@ -7,7 +7,7 @@
 //	loadgen [-addr http://localhost:8095] [-mix uniform] [-n 1000] [-c 8]
 //	        [-seed 1] [-method DKA] [-models m1,m2] [-batch 16]
 //	        [-zipf 1.2] [-consensus adaptive] [-digest FILE]
-//	        [-cpuprofile FILE] [-memprofile FILE]
+//	        [-server-timing] [-cpuprofile FILE] [-memprofile FILE]
 //
 // Mixes (all seeded, so a mix replays identically):
 //
@@ -28,6 +28,14 @@
 //	         label: verdict details may legitimately move across corpus
 //	         epochs mid-run, the gold labels never do, so the digest is
 //	         epoch-stable while still catching served-garbage regressions
+//
+// With -server-timing, every request carries the `X-Server-Timing: 1`
+// header, forcing the daemon to trace it; loadgen reads the Server-Timing
+// response headers and prints a server-side layer attribution table next
+// to the client-observed percentiles, so the gap between the two (network
+// + queueing outside traced layers) is visible at a glance. Timing never
+// enters the digest: a -server-timing run writes the same digest file as
+// a plain one.
 //
 // Every response is checked against the service's backpressure contract:
 // anything other than 200, 429 or 503 (or a malformed/failed item inside a
@@ -201,7 +209,49 @@ type outcome struct {
 	latency   time.Duration
 	sources   map[string]int
 	verdicts  map[string]string // canonical key -> canonical verdict line
+	timing    map[string]float64
 	violation string
+}
+
+// send fires one request, stamping the force-trace header when the run
+// wants server-side attribution.
+func send(client *http.Client, method, url, contentType string, body io.Reader, timing bool) (*http.Response, error) {
+	req, err := http.NewRequest(method, url, body)
+	if err != nil {
+		return nil, err
+	}
+	if contentType != "" {
+		req.Header.Set("Content-Type", contentType)
+	}
+	if timing {
+		req.Header.Set("X-Server-Timing", "1")
+	}
+	return client.Do(req)
+}
+
+// parseServerTiming reads a Server-Timing header ("lru;dur=0.012,
+// verify;dur=4.1, total;dur=4.5") into per-layer milliseconds. Entries
+// without a dur are skipped; a missing header yields an empty map.
+func parseServerTiming(h string) map[string]float64 {
+	out := map[string]float64{}
+	for _, entry := range strings.Split(h, ",") {
+		entry = strings.TrimSpace(entry)
+		if entry == "" {
+			continue
+		}
+		parts := strings.Split(entry, ";")
+		name := strings.TrimSpace(parts[0])
+		for _, p := range parts[1:] {
+			p = strings.TrimSpace(p)
+			if v, ok := strings.CutPrefix(p, "dur="); ok {
+				var ms float64
+				if _, err := fmt.Sscanf(v, "%g", &ms); err == nil {
+					out[name] = ms
+				}
+			}
+		}
+	}
+	return out
 }
 
 // verdictKeyLine canonicalises a verdict for the digest. Source is
@@ -226,16 +276,19 @@ func consensusKeyLine(v *serve.ConsensusResponse) (string, string) {
 }
 
 // doConsensus fires one consensus lookup.
-func doConsensus(client *http.Client, addr string, j job) outcome {
+func doConsensus(client *http.Client, addr string, j job, timing bool) outcome {
 	o := outcome{sources: map[string]int{}, verdicts: map[string]string{}}
 	start := time.Now()
-	resp, err := client.Get(addr + "/v1/consensus/" + j.consensusFact + "?mode=" + j.consensusMode)
+	resp, err := send(client, "GET", addr+"/v1/consensus/"+j.consensusFact+"?mode="+j.consensusMode, "", nil, timing)
 	o.latency = time.Since(start)
 	if err != nil {
 		o.violation = "transport: " + err.Error()
 		return o
 	}
 	defer resp.Body.Close()
+	if timing {
+		o.timing = parseServerTiming(resp.Header.Get("Server-Timing"))
+	}
 	data, err := io.ReadAll(resp.Body)
 	if err != nil {
 		o.violation = "read: " + err.Error()
@@ -270,7 +323,7 @@ func doConsensus(client *http.Client, addr string, j job) outcome {
 // doIngest fires one POST /v1/documents batch. A 202 means the batch was
 // admitted; 429/503 with Retry-After is legitimate backpressure. The
 // oversized probe inverts the contract: only a 413 refusal is acceptable.
-func doIngest(client *http.Client, addr string, j job) outcome {
+func doIngest(client *http.Client, addr string, j job, timing bool) outcome {
 	o := outcome{sources: map[string]int{}, verdicts: map[string]string{}}
 	payload, err := json.Marshal(serve.IngestRequest{Documents: j.ingest})
 	if err != nil {
@@ -278,7 +331,7 @@ func doIngest(client *http.Client, addr string, j job) outcome {
 		return o
 	}
 	start := time.Now()
-	resp, err := client.Post(addr+"/v1/documents", "application/json", strings.NewReader(string(payload)))
+	resp, err := send(client, "POST", addr+"/v1/documents", "application/json", strings.NewReader(string(payload)), timing)
 	o.latency = time.Since(start)
 	if err != nil {
 		o.violation = "transport: " + err.Error()
@@ -310,12 +363,12 @@ func doIngest(client *http.Client, addr string, j job) outcome {
 }
 
 // doJob fires one job and classifies the result.
-func doJob(client *http.Client, addr string, j job) outcome {
+func doJob(client *http.Client, addr string, j job, timing bool) outcome {
 	if j.consensusFact != "" {
-		return doConsensus(client, addr, j)
+		return doConsensus(client, addr, j, timing)
 	}
 	if j.ingest != nil {
-		return doIngest(client, addr, j)
+		return doIngest(client, addr, j, timing)
 	}
 	o := outcome{sources: map[string]int{}, verdicts: map[string]string{}}
 	url := addr + "/v1/verify"
@@ -330,13 +383,16 @@ func doJob(client *http.Client, addr string, j job) outcome {
 		return o
 	}
 	start := time.Now()
-	resp, err := client.Post(url, "application/json", strings.NewReader(string(payload)))
+	resp, err := send(client, "POST", url, "application/json", strings.NewReader(string(payload)), timing)
 	o.latency = time.Since(start)
 	if err != nil {
 		o.violation = "transport: " + err.Error()
 		return o
 	}
 	defer resp.Body.Close()
+	if timing {
+		o.timing = parseServerTiming(resp.Header.Get("Server-Timing"))
+	}
 	data, err := io.ReadAll(resp.Body)
 	if err != nil {
 		o.violation = "read: " + err.Error()
@@ -423,6 +479,41 @@ func digestOf(verdicts map[string]string) uint64 {
 	return h.Sum64()
 }
 
+// printServerTiming renders the server-side layer attribution accumulated
+// from Server-Timing headers: mean milliseconds per layer over the traced
+// responses, with each layer's share of the server-side total. "total" is
+// the root request span, so the residual between it and the layer rows is
+// handler work outside any instrumented layer.
+func printServerTiming(out io.Writer, sum map[string]float64, traced int) {
+	if traced == 0 {
+		fmt.Fprintln(out, "server-timing: no traced responses (daemon built without tracing?)")
+		return
+	}
+	layers := make([]string, 0, len(sum))
+	for name := range sum {
+		if name != "total" {
+			layers = append(layers, name)
+		}
+	}
+	// Biggest contributor first; name tie-break keeps the table stable.
+	sort.Slice(layers, func(i, j int) bool {
+		if sum[layers[i]] != sum[layers[j]] {
+			return sum[layers[i]] > sum[layers[j]]
+		}
+		return layers[i] < layers[j]
+	})
+	total := sum["total"]
+	fmt.Fprintf(out, "server-timing: %d traced responses, mean per layer:\n", traced)
+	for _, name := range layers {
+		share := 0.0
+		if total > 0 {
+			share = 100 * sum[name] / total
+		}
+		fmt.Fprintf(out, "  %-16s %10.3fms %5.1f%%\n", name, sum[name]/float64(traced), share)
+	}
+	fmt.Fprintf(out, "  %-16s %10.3fms\n", "total", total/float64(traced))
+}
+
 // fetchTargets lists the endpoint's facts per dataset, in sorted dataset
 // order so plans are deterministic.
 func fetchTargets(client *http.Client, addr string) ([]target, error) {
@@ -507,6 +598,8 @@ func run(args []string, out io.Writer) error {
 		statuses   = map[int]int{}
 		sources    = map[string]int{}
 		verdicts   = map[string]string{}
+		timingSum  = map[string]float64{}
+		traced     int
 		violations []string
 		wg         sync.WaitGroup
 	)
@@ -520,7 +613,7 @@ func run(args []string, out io.Writer) error {
 				if i >= len(jobs) {
 					return
 				}
-				o := doJob(client, addr, jobs[i])
+				o := doJob(client, addr, jobs[i], *fs.serverTiming)
 				mu.Lock()
 				// Percentiles describe served verdicts only: a 429/503
 				// rejection returns in microseconds and would drag p50
@@ -534,6 +627,12 @@ func run(args []string, out io.Writer) error {
 				}
 				for k, l := range o.verdicts {
 					verdicts[k] = l
+				}
+				if len(o.timing) > 0 {
+					traced++
+					for layer, ms := range o.timing {
+						timingSum[layer] += ms
+					}
 				}
 				if o.violation != "" {
 					violations = append(violations, o.violation)
@@ -563,6 +662,9 @@ func run(args []string, out io.Writer) error {
 		percentile(latencies, 0.50), percentile(latencies, 0.95),
 		percentile(latencies, 0.99), percentile(latencies, 1.0))
 	fmt.Fprintf(out, "sources: lru=%d store=%d computed=%d\n", sources["lru"], sources["store"], sources["computed"])
+	if *fs.serverTiming {
+		printServerTiming(out, timingSum, traced)
+	}
 	if st, err := fetchStats(client, addr); err != nil {
 		fmt.Fprintf(out, "retrieval: unavailable (%v)\n", err)
 	} else {
@@ -603,39 +705,41 @@ func run(args []string, out io.Writer) error {
 
 // flags bundles the flag set so run stays testable.
 type flags struct {
-	fs          *flag.FlagSet
-	addr        *string
-	mix         *string
-	n, c        *int
-	seed        *int64
-	method      *string
-	models      *string
-	batch       *int
-	zipfS       *float64
-	consensus   *string
-	ingestEvery *int
-	digest      *string
-	timeout     *time.Duration
-	prof        *prof.Flags
+	fs           *flag.FlagSet
+	addr         *string
+	mix          *string
+	n, c         *int
+	seed         *int64
+	method       *string
+	models       *string
+	batch        *int
+	zipfS        *float64
+	consensus    *string
+	ingestEvery  *int
+	digest       *string
+	serverTiming *bool
+	timeout      *time.Duration
+	prof         *prof.Flags
 }
 
 func newFlagSet() *flags {
 	fs := flag.NewFlagSet("loadgen", flag.ContinueOnError)
 	return &flags{
-		fs:          fs,
-		addr:        fs.String("addr", "http://localhost:8095", "factcheckd base URL"),
-		mix:         fs.String("mix", "uniform", "request mix: uniform, zipf or batch"),
-		n:           fs.Int("n", 1000, "number of verify requests to issue"),
-		c:           fs.Int("c", 8, "concurrent workers"),
-		seed:        fs.Int64("seed", 1, "plan seed (same seed -> identical request sequence)"),
-		method:      fs.String("method", string(llm.MethodDKA), "verification method for every request"),
-		models:      fs.String("models", strings.Join(llm.BenchmarkModels, ","), "comma-separated models to draw from"),
-		batch:       fs.Int("batch", 16, "requests per batch call (batch mix)"),
-		zipfS:       fs.Float64("zipf", 1.2, "zipf skew exponent (zipf mix; > 1)"),
-		consensus:   fs.String("consensus", "adaptive", "consensus execution mode (consensus mix): serial, eager or adaptive"),
-		ingestEvery: fs.Int("ingestevery", 8, "replace every Nth job with a document ingestion (ingest mix; >= 2)"),
-		digest:      fs.String("digest", "", "write the verdict digest to this file"),
-		timeout:     fs.Duration("timeout", 60*time.Second, "per-request HTTP timeout"),
-		prof:        prof.Register(fs),
+		fs:           fs,
+		addr:         fs.String("addr", "http://localhost:8095", "factcheckd base URL"),
+		mix:          fs.String("mix", "uniform", "request mix: uniform, zipf or batch"),
+		n:            fs.Int("n", 1000, "number of verify requests to issue"),
+		c:            fs.Int("c", 8, "concurrent workers"),
+		seed:         fs.Int64("seed", 1, "plan seed (same seed -> identical request sequence)"),
+		method:       fs.String("method", string(llm.MethodDKA), "verification method for every request"),
+		models:       fs.String("models", strings.Join(llm.BenchmarkModels, ","), "comma-separated models to draw from"),
+		batch:        fs.Int("batch", 16, "requests per batch call (batch mix)"),
+		zipfS:        fs.Float64("zipf", 1.2, "zipf skew exponent (zipf mix; > 1)"),
+		consensus:    fs.String("consensus", "adaptive", "consensus execution mode (consensus mix): serial, eager or adaptive"),
+		ingestEvery:  fs.Int("ingestevery", 8, "replace every Nth job with a document ingestion (ingest mix; >= 2)"),
+		digest:       fs.String("digest", "", "write the verdict digest to this file"),
+		serverTiming: fs.Bool("server-timing", false, "force a server trace per request (X-Server-Timing: 1) and print the server-side layer attribution"),
+		timeout:      fs.Duration("timeout", 60*time.Second, "per-request HTTP timeout"),
+		prof:         prof.Register(fs),
 	}
 }

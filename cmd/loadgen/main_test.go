@@ -178,6 +178,9 @@ func fakeService(t *testing.T) *httptest.Server {
 			http.Error(w, err.Error(), http.StatusBadRequest)
 			return
 		}
+		if r.Header.Get("X-Server-Timing") == "1" {
+			w.Header().Set("Server-Timing", "lru;dur=0.010, verify;dur=1.200, total;dur=1.500")
+		}
 		json.NewEncoder(w).Encode(verdict(req))
 	})
 	mux.HandleFunc("POST /v1/verify/batch", func(w http.ResponseWriter, r *http.Request) {
@@ -294,6 +297,59 @@ func TestRunIngestMix(t *testing.T) {
 	}
 	if !bytes.Equal(first, second) {
 		t.Fatalf("repeated ingest runs produced different digests: %q vs %q", first, second)
+	}
+}
+
+func TestParseServerTiming(t *testing.T) {
+	got := parseServerTiming("lru;dur=0.012, verify;dur=4.1,total;dur=4.5, weird, desc;x=1")
+	want := map[string]float64{"lru": 0.012, "verify": 4.1, "total": 4.5}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("parseServerTiming = %v, want %v", got, want)
+	}
+	if got := parseServerTiming(""); len(got) != 0 {
+		t.Fatalf("empty header parsed to %v", got)
+	}
+}
+
+// TestRunServerTiming: -server-timing prints the server attribution table
+// and writes the same digest as a plain run — timing never leaks into the
+// determinism contract.
+func TestRunServerTiming(t *testing.T) {
+	srv := fakeService(t)
+	dir := t.TempDir()
+	plain := filepath.Join(dir, "plain.txt")
+	timed := filepath.Join(dir, "timed.txt")
+	base := []string{"-addr", srv.URL, "-mix", "uniform", "-n", "12", "-c", "3", "-seed", "4"}
+
+	var out bytes.Buffer
+	if err := run(append(base, "-digest", plain), &out); err != nil {
+		t.Fatalf("plain run: %v\n%s", err, out.String())
+	}
+	if strings.Contains(out.String(), "server-timing:") {
+		t.Error("plain run printed a server-timing section")
+	}
+
+	out.Reset()
+	if err := run(append(base, "-digest", timed, "-server-timing"), &out); err != nil {
+		t.Fatalf("timed run: %v\n%s", err, out.String())
+	}
+	report := out.String()
+	for _, want := range []string{"server-timing: 12 traced responses", "verify", "lru", "total"} {
+		if !strings.Contains(report, want) {
+			t.Errorf("timed report missing %q:\n%s", want, report)
+		}
+	}
+
+	a, err := os.ReadFile(plain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(timed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Fatalf("-server-timing changed the digest: %q vs %q", a, b)
 	}
 }
 

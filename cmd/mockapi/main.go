@@ -18,6 +18,7 @@
 // Usage:
 //
 //	mockapi [-addr :8080] [-scale 0.25] [-small] [-warm 0]
+//	        [-pprof 127.0.0.1:6062]
 //
 // On SIGINT/SIGTERM the server drains gracefully: in-flight requests
 // finish before the process exits.
@@ -37,6 +38,7 @@ import (
 
 	"factcheck/internal/corpus"
 	"factcheck/internal/dataset"
+	"factcheck/internal/prof"
 	"factcheck/internal/search"
 	"factcheck/internal/serve"
 	"factcheck/internal/world"
@@ -57,10 +59,11 @@ func main() {
 
 // options are the parsed command-line options.
 type options struct {
-	addr  string
-	scale float64
-	small bool
-	warm  int
+	addr      string
+	scale     float64
+	small     bool
+	warm      int
+	pprofAddr string
 }
 
 // parseFlags parses and validates the command line.
@@ -71,6 +74,7 @@ func parseFlags(args []string) (options, error) {
 	fs.Float64Var(&o.scale, "scale", 0.25, "dataset scale factor (1.0 = published sizes)")
 	fs.BoolVar(&o.small, "small", false, "use the miniature test world")
 	fs.IntVar(&o.warm, "warm", 0, "eagerly index the first N facts (0 = lazy, on first query)")
+	fs.StringVar(&o.pprofAddr, "pprof", "", "serve net/http/pprof on this separate address (default: off)")
 	if err := fs.Parse(args); err != nil {
 		return o, err
 	}
@@ -148,6 +152,14 @@ func run(ctx context.Context, args []string, logw io.Writer) error {
 	h, err := buildHandler(o, logw)
 	if err != nil {
 		return err
+	}
+	if o.pprofAddr != "" {
+		ps, err := prof.Serve(o.pprofAddr)
+		if err != nil {
+			return err
+		}
+		defer ps.Close()
+		fmt.Fprintf(logw, "mockapi: pprof on http://%s/debug/pprof/\n", ps.Addr())
 	}
 	if err := ctx.Err(); err != nil {
 		return err // interrupted during the build: don't start serving

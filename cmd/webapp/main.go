@@ -6,6 +6,7 @@
 // Usage:
 //
 //	webapp [-addr :8090] [-scale 0.1] [-small] [-par N] [-store DIR]
+//	       [-pprof 127.0.0.1:6061]
 //
 // With -store, verdict pages are served from the content-addressed result
 // store in DIR (the same directory cmd/factcheck -store writes): cells
@@ -29,6 +30,7 @@ import (
 	"time"
 
 	"factcheck/internal/core"
+	"factcheck/internal/prof"
 	"factcheck/internal/serve"
 	"factcheck/internal/webapp"
 )
@@ -48,11 +50,12 @@ func main() {
 
 // options are the parsed command-line options.
 type options struct {
-	addr     string
-	scale    float64
-	small    bool
-	par      int
-	storeDir string
+	addr      string
+	scale     float64
+	small     bool
+	par       int
+	storeDir  string
+	pprofAddr string
 }
 
 // parseFlags parses and validates the command line.
@@ -64,6 +67,7 @@ func parseFlags(args []string) (options, error) {
 	fs.BoolVar(&o.small, "small", false, "use the miniature test world")
 	fs.IntVar(&o.par, "par", 0, "verification worker-pool parallelism (default GOMAXPROCS)")
 	fs.StringVar(&o.storeDir, "store", "", "result store directory shared with cmd/factcheck -store (default: in-memory)")
+	fs.StringVar(&o.pprofAddr, "pprof", "", "serve net/http/pprof on this separate address (default: off)")
 	if err := fs.Parse(args); err != nil {
 		return o, err
 	}
@@ -108,6 +112,14 @@ func run(ctx context.Context, args []string, logw io.Writer) error {
 	app, err := buildApp(o, logw)
 	if err != nil {
 		return err
+	}
+	if o.pprofAddr != "" {
+		ps, err := prof.Serve(o.pprofAddr)
+		if err != nil {
+			return err
+		}
+		defer ps.Close()
+		fmt.Fprintf(logw, "webapp: pprof on http://%s/debug/pprof/\n", ps.Addr())
 	}
 	if err := ctx.Err(); err != nil {
 		return err // interrupted during the build: don't start serving

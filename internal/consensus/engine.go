@@ -4,11 +4,32 @@ import (
 	"context"
 	"fmt"
 	"sort"
+	"strconv"
 	"sync"
+	"time"
 
 	"factcheck/internal/dataset"
+	"factcheck/internal/obs"
 	"factcheck/internal/strategy"
 )
+
+// tierHists caches per-tier wave histograms so Decide records with a
+// single atomic add per wave. Plans never exceed a handful of tiers (tier
+// 0 is a quorum, each escalation adds one voter); deeper waves collapse
+// into the last slot.
+var tierHists = func() (h [8]*obs.Histogram) {
+	for i := range h {
+		h[i] = obs.Layer("consensus_tier" + strconv.Itoa(i))
+	}
+	return
+}()
+
+func tierHist(wi int) *obs.Histogram {
+	if wi >= len(tierHists) {
+		wi = len(tierHists) - 1
+	}
+	return tierHists[wi]
+}
 
 // Mode names an execution strategy of the consensus engine. All modes
 // produce identical Final/Tie verdicts for a given voter set — an
@@ -145,9 +166,11 @@ func (e *Engine) Decide(ctx context.Context, f *dataset.Fact, fetch Fetch) (Deci
 		}
 		wouts := make([]strategy.Outcome, len(wave))
 		werrs := make([]error, len(wave))
+		wctx, endWave := obs.StartSpan(ctx, "consensus_tier"+strconv.Itoa(wi))
+		waveStart := time.Now()
 		if e.Mode == ModeSerial || len(wave) == 1 {
 			for i, m := range wave {
-				wouts[i], werrs[i] = fetch(ctx, m)
+				wouts[i], werrs[i] = fetch(wctx, m)
 			}
 		} else {
 			var wg sync.WaitGroup
@@ -155,11 +178,13 @@ func (e *Engine) Decide(ctx context.Context, f *dataset.Fact, fetch Fetch) (Deci
 				wg.Add(1)
 				go func(i int, m string) {
 					defer wg.Done()
-					wouts[i], werrs[i] = fetch(ctx, m)
+					wouts[i], werrs[i] = fetch(wctx, m)
 				}(i, m)
 			}
 			wg.Wait()
 		}
+		tierHist(wi).Observe(time.Since(waveStart))
+		endWave()
 		lat := 0.0
 		for i, m := range wave {
 			if werrs[i] != nil {

@@ -1,0 +1,112 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"time"
+)
+
+// PromWriter renders metrics in the Prometheus text exposition format
+// (version 0.0.4). Errors are sticky: the first write failure is retained
+// and subsequent calls become no-ops, so callers check Err once at the
+// end.
+type PromWriter struct {
+	w   io.Writer
+	err error
+}
+
+// NewPromWriter wraps w.
+func NewPromWriter(w io.Writer) *PromWriter { return &PromWriter{w: w} }
+
+// Err returns the first write error, if any.
+func (p *PromWriter) Err() error { return p.err }
+
+func (p *PromWriter) printf(format string, args ...any) {
+	if p.err != nil {
+		return
+	}
+	_, p.err = fmt.Fprintf(p.w, format, args...)
+}
+
+func (p *PromWriter) header(name, help, typ string) {
+	p.printf("# HELP %s %s\n# TYPE %s %s\n", name, help, name, typ)
+}
+
+// Counter emits one unlabeled counter sample with its HELP/TYPE header.
+// Names should carry the conventional _total suffix.
+func (p *PromWriter) Counter(name, help string, v uint64) {
+	p.header(name, help, "counter")
+	p.printf("%s %d\n", name, v)
+}
+
+// Gauge emits one unlabeled gauge sample with its HELP/TYPE header.
+func (p *PromWriter) Gauge(name, help string, v float64) {
+	p.header(name, help, "gauge")
+	p.printf("%s %s\n", name, formatFloat(v))
+}
+
+// Info emits a value-1 gauge carrying identity labels (the build_info
+// convention). Label pairs must be passed in the desired output order as
+// key, value, key, value, ...
+func (p *PromWriter) Info(name, help string, kv ...string) {
+	p.header(name, help, "gauge")
+	p.printf("%s{", name)
+	for i := 0; i+1 < len(kv); i += 2 {
+		if i > 0 {
+			p.printf(",")
+		}
+		p.printf("%s=%q", kv[i], kv[i+1])
+	}
+	p.printf("} 1\n")
+}
+
+// formatFloat renders a float the way Prometheus clients do: shortest
+// representation that round-trips.
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// seconds converts a duration bound to the seconds-unit float Prometheus
+// expects in le labels and _sum samples.
+func seconds(d time.Duration) float64 { return float64(d) / float64(time.Second) }
+
+// WriteProm renders every histogram of the registry as a Prometheus
+// histogram metric named factcheck_<family>_latency_seconds, one label
+// value per registered label (label name = family name). Buckets are
+// cumulative and emitted only up to the highest populated bound — the
+// mandatory +Inf bucket always closes the series — so the exposition stays
+// small while remaining exact. Output order is deterministic (sorted
+// families and labels).
+func (r *Registry) WriteProm(p *PromWriter) {
+	lastFam := ""
+	for _, e := range r.entries() {
+		s := e.h.Snapshot()
+		if s.Count == 0 {
+			continue
+		}
+		name := "factcheck_" + e.fam + "_latency_seconds"
+		if e.fam != lastFam {
+			p.header(name, "Latency by "+e.fam+" in seconds.", "histogram")
+			lastFam = e.fam
+		}
+		top := -1
+		for i, c := range s.Buckets {
+			if c > 0 {
+				top = i
+			}
+		}
+		if top > NumBuckets-2 {
+			top = NumBuckets - 2
+		}
+		var cum uint64
+		for i := 0; i <= top; i++ {
+			cum += s.Buckets[i]
+			p.printf("%s_bucket{%s=%q,le=%q} %d\n",
+				name, e.fam, e.label, formatFloat(seconds(BucketUpper(i))), cum)
+		}
+		p.printf("%s_bucket{%s=%q,le=\"+Inf\"} %d\n", name, e.fam, e.label, s.Count)
+		p.printf("%s_sum{%s=%q} %s\n", name, e.fam, e.label, formatFloat(seconds(s.Sum)))
+		p.printf("%s_count{%s=%q} %d\n", name, e.fam, e.label, s.Count)
+	}
+}

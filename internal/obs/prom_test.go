@@ -1,0 +1,92 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func renderTestRegistry() (string, error) {
+	r := NewRegistry()
+	r.Histogram("layer", "lru").Observe(800 * time.Nanosecond)
+	r.Histogram("layer", "lru").Observe(3 * time.Microsecond)
+	r.Histogram("layer", "verify").Observe(2 * time.Millisecond)
+	r.Histogram("endpoint", "verify").Observe(5 * time.Millisecond)
+	r.Histogram("endpoint", "empty") // registered, never observed
+
+	var b strings.Builder
+	p := NewPromWriter(&b)
+	p.Counter("factcheck_requests_total", "Requests admitted.", 42)
+	p.Gauge("factcheck_cache_entries", "Verdict LRU entries.", 17)
+	p.Info("factcheck_build_info", "Build identity.", "go_version", "go1.24", "service", "factcheckd")
+	r.WriteProm(p)
+	return b.String(), p.Err()
+}
+
+func TestWritePromRendersAndLints(t *testing.T) {
+	out, err := renderTestRegistry()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"# TYPE factcheck_requests_total counter",
+		"factcheck_requests_total 42",
+		"factcheck_cache_entries 17",
+		`factcheck_build_info{go_version="go1.24",service="factcheckd"} 1`,
+		"# TYPE factcheck_layer_latency_seconds histogram",
+		`factcheck_layer_latency_seconds_bucket{layer="lru",le="+Inf"} 2`,
+		`factcheck_layer_latency_seconds_count{layer="lru"} 2`,
+		`factcheck_layer_latency_seconds_count{layer="verify"} 1`,
+		"# TYPE factcheck_endpoint_latency_seconds histogram",
+		`factcheck_endpoint_latency_seconds_count{endpoint="verify"} 1`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, `"empty"`) {
+		t.Error("never-observed histogram leaked into exposition")
+	}
+	if err := Lint(strings.NewReader(out)); err != nil {
+		t.Fatalf("own exposition fails lint: %v\n%s", err, out)
+	}
+
+	// Deterministic rendering: same registry, same bytes.
+	again, err := renderTestRegistry()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again != out {
+		t.Error("exposition not deterministic across renders")
+	}
+}
+
+func TestLintCatchesViolations(t *testing.T) {
+	cases := []struct {
+		name string
+		in   string
+	}{
+		{"no type", "some_metric 1\n"},
+		{"bad name", "# TYPE 9bad counter\n9bad 1\n"},
+		{"bad value", "# TYPE m counter\nm notanumber\n"},
+		{"negative counter", "# TYPE m counter\nm -3\n"},
+		{"duplicate series", "# TYPE m counter\nm 1\nm 2\n"},
+		{"bad type", "# TYPE m widget\nm 1\n"},
+		{"unquoted label", "# TYPE m gauge\nm{l=x} 1\n"},
+		{"bucket without le", "# TYPE h histogram\nh_bucket{layer=\"a\"} 1\nh_count{layer=\"a\"} 1\n"},
+		{"no inf bucket", "# TYPE h histogram\nh_bucket{le=\"1\"} 1\nh_count 1\n"},
+		{"count mismatch", "# TYPE h histogram\nh_bucket{le=\"1\"} 1\nh_bucket{le=\"+Inf\"} 2\nh_count 3\n"},
+		{"decreasing cumulative", "# TYPE h histogram\nh_bucket{le=\"1\"} 5\nh_bucket{le=\"2\"} 3\nh_bucket{le=\"+Inf\"} 5\nh_count 5\n"},
+		{"le not increasing", "# TYPE h histogram\nh_bucket{le=\"2\"} 1\nh_bucket{le=\"1\"} 2\nh_bucket{le=\"+Inf\"} 2\nh_count 2\n"},
+	}
+	for _, c := range cases {
+		if err := Lint(strings.NewReader(c.in)); err == nil {
+			t.Errorf("%s: lint accepted invalid exposition", c.name)
+		}
+	}
+	valid := "# HELP m good\n# TYPE m gauge\nm{a=\"x\",b=\"y\"} 1.5\n" +
+		"# TYPE h histogram\nh_bucket{le=\"0.5\"} 1\nh_bucket{le=\"+Inf\"} 2\nh_sum 0.7\nh_count 2\n"
+	if err := Lint(strings.NewReader(valid)); err != nil {
+		t.Errorf("lint rejected valid exposition: %v", err)
+	}
+}

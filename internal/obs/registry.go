@@ -1,0 +1,123 @@
+package obs
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// Registry owns a process-wide set of named histograms, grouped into
+// families (one Prometheus metric per family, one label value per
+// histogram). Lookup-or-create takes a mutex; hot paths resolve their
+// *Histogram once (package-level var, struct field) and record lock-free
+// thereafter.
+type Registry struct {
+	mu       sync.Mutex
+	families map[string]*family
+	order    []string
+}
+
+type family struct {
+	order []string
+	hists map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: map[string]*family{}}
+}
+
+// Default is the process-wide registry: the serving layers record into it
+// and /metricsz renders it. Tests that need isolation build their own.
+var Default = NewRegistry()
+
+// Histogram returns the (family, label) histogram, creating it on first
+// use. The same pair always returns the same histogram.
+func (r *Registry) Histogram(familyName, label string) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.families[familyName]
+	if f == nil {
+		f = &family{hists: map[string]*Histogram{}}
+		r.families[familyName] = f
+		r.order = append(r.order, familyName)
+	}
+	h := f.hists[label]
+	if h == nil {
+		h = &Histogram{}
+		f.hists[label] = h
+		f.order = append(f.order, label)
+	}
+	return h
+}
+
+// Layer returns the named layer histogram of the default registry — one
+// per instrumented serving layer (lru, store, exec_wait, verify, the rag
+// phases, consensus tiers, ...).
+func Layer(label string) *Histogram { return Default.Histogram("layer", label) }
+
+// Endpoint returns the named endpoint histogram of the default registry —
+// whole-request latency per HTTP endpoint.
+func Endpoint(label string) *Histogram { return Default.Histogram("endpoint", label) }
+
+// Summary condenses one histogram for JSON stats payloads (the /statsz
+// latency section): count plus derived quantiles in milliseconds.
+type Summary struct {
+	Count  uint64  `json:"count"`
+	MeanMS float64 `json:"mean_ms"`
+	P50MS  float64 `json:"p50_ms"`
+	P95MS  float64 `json:"p95_ms"`
+	P99MS  float64 `json:"p99_ms"`
+}
+
+func ms(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+
+// Summarize derives the stats-payload view of a snapshot.
+func Summarize(s HistSnapshot) Summary {
+	return Summary{
+		Count:  s.Count,
+		MeanMS: ms(s.Mean()),
+		P50MS:  ms(s.Quantile(0.50)),
+		P95MS:  ms(s.Quantile(0.95)),
+		P99MS:  ms(s.Quantile(0.99)),
+	}
+}
+
+// Summaries returns "family/label" -> Summary for every histogram that has
+// recorded at least one observation, in deterministic (sorted) key order
+// courtesy of JSON map marshalling.
+func (r *Registry) Summaries() map[string]Summary {
+	out := map[string]Summary{}
+	for _, e := range r.entries() {
+		if s := e.h.Snapshot(); s.Count > 0 {
+			out[e.fam+"/"+e.label] = Summarize(s)
+		}
+	}
+	return out
+}
+
+// histEntry is one registered histogram with its coordinates.
+type histEntry struct {
+	fam, label string
+	h          *Histogram
+}
+
+// entries returns a stable copy of the registry's shape: families and
+// labels in sorted order, so every rendering of the registry is
+// deterministic regardless of creation order.
+func (r *Registry) entries() []histEntry {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	fams := append([]string(nil), r.order...)
+	sort.Strings(fams)
+	var out []histEntry
+	for _, fn := range fams {
+		f := r.families[fn]
+		labels := append([]string(nil), f.order...)
+		sort.Strings(labels)
+		for _, l := range labels {
+			out = append(out, histEntry{fam: fn, label: l, h: f.hists[l]})
+		}
+	}
+	return out
+}

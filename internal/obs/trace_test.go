@@ -1,0 +1,146 @@
+package obs
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestTracerSamplingAndDeterministicIDs(t *testing.T) {
+	tr := NewTracer(TracerConfig{Sample: 0.5, Seed: "s1"})
+	var traced int
+	var ids []string
+	for i := 0; i < 10; i++ {
+		_, tt := tr.Start(context.Background(), "request", false)
+		if tt != nil {
+			traced++
+			ids = append(ids, tt.ID())
+			tr.Finish(tt)
+		}
+	}
+	if traced != 5 {
+		t.Fatalf("sample=0.5 traced %d of 10, want 5", traced)
+	}
+	// Same seed, fresh tracer: identical IDs in identical order.
+	tr2 := NewTracer(TracerConfig{Sample: 0.5, Seed: "s1"})
+	for i := 0; i < 10; i++ {
+		_, tt := tr2.Start(context.Background(), "request", false)
+		if tt != nil {
+			if got := tt.ID(); got != ids[0] {
+				t.Fatalf("seeded trace id %q, want %q", got, ids[0])
+			}
+			ids = ids[1:]
+			tr2.Finish(tt)
+		}
+	}
+
+	off := NewTracer(TracerConfig{})
+	for i := 0; i < 100; i++ {
+		if _, tt := off.Start(context.Background(), "request", false); tt != nil {
+			t.Fatal("sample=0 traced a request without force")
+		}
+	}
+	if _, tt := off.Start(context.Background(), "request", true); tt == nil {
+		t.Fatal("force did not trace")
+	}
+}
+
+func TestSpanNestingAndGet(t *testing.T) {
+	tr := NewTracer(TracerConfig{Sample: 1, Seed: "x"})
+	ctx, tt := tr.Start(context.Background(), "request", false)
+	if tt == nil {
+		t.Fatal("sample=1 did not trace")
+	}
+	ctx2, endA := StartSpan(ctx, "a")
+	_, endB := StartSpan(ctx2, "b") // child of a
+	time.Sleep(time.Millisecond)
+	endB()
+	endA()
+	_, endC := StartSpan(ctx, "c") // sibling of a
+	endC()
+	tr.Finish(tt)
+
+	out, ok := tr.Get(tt.ID())
+	if !ok {
+		t.Fatalf("trace %s not found after Finish", tt.ID())
+	}
+	if out.TraceID != tt.ID() {
+		t.Errorf("trace id %q != %q", out.TraceID, tt.ID())
+	}
+	names := make(map[string]SpanOut, len(out.Spans))
+	for _, s := range out.Spans {
+		names[s.Name] = s
+	}
+	if len(out.Spans) != 4 {
+		t.Fatalf("spans = %v, want request,a,b,c", out.Spans)
+	}
+	if names["request"].Parent != -1 {
+		t.Errorf("root parent = %d, want -1", names["request"].Parent)
+	}
+	if p := out.Spans[names["b"].Parent].Name; p != "a" {
+		t.Errorf("b's parent = %q, want a", p)
+	}
+	if p := out.Spans[names["c"].Parent].Name; p != "request" {
+		t.Errorf("c's parent = %q, want request", p)
+	}
+	// Durations are closed and nested: b inside a inside request.
+	if names["b"].DurUS <= 0 || names["a"].DurUS < names["b"].DurUS {
+		t.Errorf("span durations not nested: a=%v b=%v", names["a"].DurUS, names["b"].DurUS)
+	}
+	if names["request"].DurUS < names["a"].DurUS {
+		t.Errorf("root %v shorter than child %v", names["request"].DurUS, names["a"].DurUS)
+	}
+}
+
+func TestStartSpanUntracedZeroAlloc(t *testing.T) {
+	ctx := context.Background()
+	allocs := testing.AllocsPerRun(1000, func() {
+		c, end := StartSpan(ctx, "layer")
+		if c != ctx {
+			t.Fatal("untraced StartSpan changed the context")
+		}
+		end()
+	})
+	if allocs != 0 {
+		t.Fatalf("untraced StartSpan allocates %v per call, want 0", allocs)
+	}
+}
+
+func TestRingEvictionAndServerTiming(t *testing.T) {
+	tr := NewTracer(TracerConfig{Sample: 1, Ring: 2, Seed: "ring"})
+	var ids []string
+	for i := 0; i < 3; i++ {
+		ctx, tt := tr.Start(context.Background(), "request", false)
+		_, end := StartSpan(ctx, "work")
+		end()
+		tr.Finish(tt)
+		ids = append(ids, tt.ID())
+	}
+	if _, ok := tr.Get(ids[0]); ok {
+		t.Error("oldest trace survived ring eviction")
+	}
+	for _, id := range ids[1:] {
+		if _, ok := tr.Get(id); !ok {
+			t.Errorf("trace %s evicted too early", id)
+		}
+	}
+
+	ctx, tt := tr.Start(context.Background(), "request", false)
+	_, endA := StartSpan(ctx, "lru")
+	endA()
+	sub, endB := StartSpan(ctx, "verify")
+	_, endN := StartSpan(sub, "nested")
+	endN()
+	endB()
+	tr.Finish(tt)
+	st := tt.ServerTiming()
+	for _, want := range []string{"lru;dur=", "verify;dur=", "total;dur="} {
+		if !strings.Contains(st, want) {
+			t.Errorf("Server-Timing %q missing %q", st, want)
+		}
+	}
+	if strings.Contains(st, "nested") {
+		t.Errorf("Server-Timing %q leaked a non-top-level span", st)
+	}
+}

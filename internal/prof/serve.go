@@ -1,0 +1,53 @@
+package prof
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+)
+
+// Server is a live pprof debug listener started by Serve.
+type Server struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// Serve starts the net/http/pprof handlers on their own listener at addr,
+// so live profiling (`go tool pprof http://host:port/debug/pprof/profile`)
+// never rides the serving mux: the debug port can stay firewalled while
+// the API port is exposed, and a profile capture cannot consume an
+// admission-queue slot. The mux carries only the pprof endpoints — never
+// http.DefaultServeMux, whose contents depend on what else was imported.
+//
+// Callers own the returned Server and must Close it; an addr of "" is an
+// error (gate the call on the flag instead).
+func Serve(addr string) (*Server, error) {
+	if addr == "" {
+		return nil, fmt.Errorf("prof: empty pprof listen address")
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("prof: listen %s: %w", addr, err)
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	s := &Server{
+		ln:  ln,
+		srv: &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second},
+	}
+	go s.srv.Serve(ln) //nolint:errcheck // Close() surfaces as ErrServerClosed here
+	return s, nil
+}
+
+// Addr returns the bound listen address (useful with ":0").
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close stops the listener. In-flight profile captures are cut off — the
+// debug server never outlives the process's drain.
+func (s *Server) Close() error { return s.srv.Close() }

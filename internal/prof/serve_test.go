@@ -1,0 +1,48 @@
+package prof
+
+import (
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+func TestServePprofEndpoints(t *testing.T) {
+	s, err := Serve("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	base := "http://" + s.Addr()
+	resp, err := http.Get(base + "/debug/pprof/cmdline")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("cmdline: status %d", resp.StatusCode)
+	}
+
+	// The index page lists the standard runtime profiles.
+	resp2, err := http.Get(base + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	body, err := io.ReadAll(resp2.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"goroutine", "heap"} {
+		if !strings.Contains(string(body), want) {
+			t.Errorf("pprof index missing %q profile", want)
+		}
+	}
+}
+
+func TestServeRejectsEmptyAddr(t *testing.T) {
+	if _, err := Serve(""); err == nil {
+		t.Fatal("Serve(\"\") succeeded, want error")
+	}
+}

@@ -7,6 +7,7 @@
 package rag
 
 import (
+	"context"
 	"fmt"
 	"slices"
 	"strings"
@@ -16,12 +17,33 @@ import (
 	"factcheck/internal/chunk"
 	"factcheck/internal/dataset"
 	"factcheck/internal/det"
+	"factcheck/internal/obs"
 	"factcheck/internal/question"
 	"factcheck/internal/rerank"
 	"factcheck/internal/search"
 	"factcheck/internal/text"
 	"factcheck/internal/verbalize"
 )
+
+// Phase latency histograms, resolved once so the retrieval path records
+// with a single atomic add. These measure real wall-clock work (the
+// simulated Evidence.Latency is separate and untouched).
+var (
+	questionsHist = obs.Layer("rag_questions")
+	searchHist    = obs.Layer("rag_search")
+	rerankHist    = obs.Layer("rag_rerank")
+	chunkHist     = obs.Layer("rag_chunk")
+)
+
+// phaseSpan opens a trace span and times the phase into its histogram.
+func phaseSpan(ctx context.Context, name string, h *obs.Histogram) func() {
+	_, end := obs.StartSpan(ctx, name)
+	start := time.Now()
+	return func() {
+		h.Observe(time.Since(start))
+		end()
+	}
+}
 
 // Config mirrors the paper's Table 4 RAG parameters.
 type Config struct {
@@ -184,8 +206,17 @@ func (e *Evidence) ChunkTexts() []string {
 // Concurrent calls for the same fact coalesce into a single retrieval: the
 // first caller computes, the rest block and share the result.
 func (p *Pipeline) Retrieve(f *dataset.Fact) (*Evidence, error) {
+	return p.RetrieveCtx(context.Background(), f)
+}
+
+// RetrieveCtx is Retrieve with trace propagation: when ctx carries a
+// sampled request trace, the singleflight leader records one span per
+// retrieval phase and a coalesced follower records its wait. The context
+// never cancels a retrieval — evidence is shared across callers, so the
+// owner always runs to completion.
+func (p *Pipeline) RetrieveCtx(ctx context.Context, f *dataset.Fact) (*Evidence, error) {
 	if p.DisableCache {
-		return p.retrieve(f)
+		return p.retrieve(ctx, f)
 	}
 	s := p.cache.shard(f.ID)
 	s.mu.Lock()
@@ -199,10 +230,17 @@ func (p *Pipeline) Retrieve(f *dataset.Fact) (*Evidence, error) {
 	}
 	s.mu.Unlock()
 	if ok {
-		<-e.done
+		select {
+		case <-e.done:
+		default:
+			// Retrieval in flight elsewhere: this caller is a follower.
+			_, end := obs.StartSpan(ctx, "rag_wait")
+			<-e.done
+			end()
+		}
 		return e.ev, e.err
 	}
-	e.ev, e.err = p.retrieve(f)
+	e.ev, e.err = p.retrieve(ctx, f)
 	if e.err != nil {
 		// Do not cache failures: drop the entry (unless ClearCache swapped
 		// the map under us) so a later call can retry.
@@ -252,7 +290,7 @@ func (p *Pipeline) Invalidate(factID string) {
 // DenseScoring (or a searcher/ranker without vector support) falls back to
 // the dense reference path; both produce byte-identical Evidence — golden
 // tested, since result-store fingerprints and served verdicts flow from it.
-func (p *Pipeline) retrieve(f *dataset.Fact) (*Evidence, error) {
+func (p *Pipeline) retrieve(ctx context.Context, f *dataset.Fact) (*Evidence, error) {
 	cfg := p.Config
 	ev := &Evidence{}
 
@@ -273,6 +311,7 @@ func (p *Pipeline) retrieve(f *dataset.Fact) (*Evidence, error) {
 
 	// Phase 2: question generation and ranking. The reference sentence is
 	// embedded exactly once for all k_q candidates.
+	endQuestions := phaseSpan(ctx, "rag_questions", questionsHist)
 	qs := question.Generate(f, cfg.NumQuestions)
 	texts := make([]string, len(qs))
 	for i := range qs {
@@ -300,8 +339,10 @@ func (p *Pipeline) retrieve(f *dataset.Fact) (*Evidence, error) {
 	for _, r := range kept {
 		ev.Queries = append(ev.Queries, texts[r.Index])
 	}
+	endQuestions()
 
 	// Phase 3: document retrieval and filtering.
+	endSearch := phaseSpan(ctx, "rag_search", searchHist)
 	seen := map[string]bool{}
 	var serpItems []search.SERPItem
 	for _, q := range ev.Queries {
@@ -325,6 +366,7 @@ func (p *Pipeline) retrieve(f *dataset.Fact) (*Evidence, error) {
 	if len(serpItems) > cfg.CandidateCap {
 		serpItems = serpItems[:cfg.CandidateCap]
 	}
+	endSearch()
 
 	// Phase 4a: fetch and rerank documents against the sentence. On the
 	// sparse path each candidate's vector comes precomputed from the doc
@@ -332,6 +374,7 @@ func (p *Pipeline) retrieve(f *dataset.Fact) (*Evidence, error) {
 	// amortises the reference's noise-key prefix across the whole pool.
 	// dVec is already false under DenseScoring, which keeps the dense
 	// baseline on plain Fetch as well.
+	endRerank := phaseSpan(ctx, "rag_rerank", rerankHist)
 	fetcher, fetchVec := p.Searcher.(search.EvidenceFetcher)
 	fetchVec = fetchVec && dVec
 	var scoreVec func(cand text.SparseVector, candText string) float64
@@ -401,9 +444,11 @@ func (p *Pipeline) retrieve(f *dataset.Fact) (*Evidence, error) {
 	if len(order) > cfg.SelectedDocs {
 		order = order[:cfg.SelectedDocs]
 	}
+	endRerank()
 
 	// Phase 4b: sliding-window chunking, served from the doc table's cached
 	// sentence splits on the sparse path.
+	endChunk := phaseSpan(ctx, "rag_chunk", chunkHist)
 	for _, i := range order {
 		sd := &docs[i]
 		ev.Docs = append(ev.Docs, sd.doc)
@@ -416,6 +461,7 @@ func (p *Pipeline) retrieve(f *dataset.Fact) (*Evidence, error) {
 	if len(ev.Chunks) > cfg.MaxChunks {
 		ev.Chunks = ev.Chunks[:cfg.MaxChunks]
 	}
+	endChunk()
 
 	ev.Latency = p.retrievalLatency(f, len(ev.Queries), ev.Candidates)
 	return ev, nil

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"sync"
+	"time"
 )
 
 // ErrExecutorClosed is returned by Do after Close: the executor's workers
@@ -28,12 +29,21 @@ type Executor struct {
 	wg      sync.WaitGroup
 
 	closeOnce sync.Once
+
+	// OnQueueWait, when non-nil, receives how long each task waited between
+	// Do and a worker picking it up — the executor-queue latency the serving
+	// stack attributes separately from verification itself. It must be set
+	// before the first Do call (the channel handoff orders the write for the
+	// workers) and is invoked on worker goroutines, so it must be safe for
+	// concurrent use. When nil, Do does not even read the clock.
+	OnQueueWait func(time.Duration)
 }
 
 type execTask struct {
 	ctx   context.Context
 	fn    func(context.Context) error
 	reply chan error
+	enq   time.Time
 }
 
 // NewExecutor starts an executor with the given worker bound; values below
@@ -60,6 +70,9 @@ func (e *Executor) worker() {
 		case <-e.closing:
 			return
 		case t := <-e.tasks:
+			if e.OnQueueWait != nil && !t.enq.IsZero() {
+				e.OnQueueWait(time.Since(t.enq))
+			}
 			// A task whose caller context died while queued is not worth
 			// starting; report the cancellation instead of running it.
 			if err := t.ctx.Err(); err != nil {
@@ -78,6 +91,9 @@ func (e *Executor) worker() {
 // never abandoned mid-flight). After Close, Do returns ErrExecutorClosed.
 func (e *Executor) Do(ctx context.Context, fn func(context.Context) error) error {
 	t := execTask{ctx: ctx, fn: fn, reply: make(chan error, 1)}
+	if e.OnQueueWait != nil {
+		t.enq = time.Now()
+	}
 	select {
 	case e.tasks <- t:
 		return <-t.reply

@@ -122,3 +122,44 @@ func TestExecutorClose(t *testing.T) {
 	}
 	e.Close() // idempotent
 }
+
+func TestExecutorOnQueueWait(t *testing.T) {
+	e := NewExecutor(1)
+	defer e.Close()
+	var calls atomic.Int64
+	var negative atomic.Bool
+	e.OnQueueWait = func(d time.Duration) {
+		calls.Add(1)
+		if d < 0 {
+			negative.Store(true)
+		}
+	}
+	// One worker, a slow task holding it, then queued tasks that must wait:
+	// every completed task reports exactly one queue-wait observation.
+	release := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		_ = e.Do(context.Background(), func(context.Context) error {
+			<-release
+			return nil
+		})
+	}()
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_ = e.Do(context.Background(), func(context.Context) error { return nil })
+		}()
+	}
+	time.Sleep(10 * time.Millisecond)
+	close(release)
+	wg.Wait()
+	if got := calls.Load(); got != 5 {
+		t.Fatalf("OnQueueWait called %d times, want 5", got)
+	}
+	if negative.Load() {
+		t.Fatal("observed a negative queue wait")
+	}
+}

@@ -13,14 +13,20 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"factcheck/internal/chunk"
 	"factcheck/internal/corpus"
 	"factcheck/internal/dataset"
 	"factcheck/internal/det"
 	"factcheck/internal/index"
+	"factcheck/internal/obs"
 	"factcheck/internal/text"
 )
+
+// queryHist times every Search call. Resolved once; recording is a single
+// atomic add, preserving the warm path's zero-alloc, mutex-free property.
+var queryHist = obs.Layer("search_query")
 
 // SERPItem is one ranked search result, mirroring what a Google SERP entry
 // carries (URL, title, rank). Scores are engine-internal relevance values.
@@ -504,11 +510,13 @@ func serpJitter(query, docID string) float64 {
 // jitter magnitude is folded into every upper bound, so results stay
 // byte-identical to the exhaustive paths (see IndexedSearch/ScanSearch).
 func (e *Engine) Search(factID, query string, n int) ([]SERPItem, error) {
+	start := time.Now()
 	if n <= 0 {
 		n = DefaultSERPSize
 	}
 	p, err := e.pool(factID)
 	if err != nil {
+		queryHist.Observe(time.Since(start))
 		return nil, err
 	}
 	qv := e.queryVec(query)
@@ -528,6 +536,7 @@ func (e *Engine) Search(factID, query string, n int) ([]SERPItem, error) {
 	e.retrieval.blocksSkipped.Add(int64(a.Stats.BlocksSkipped))
 	e.retrieval.docsScored.Add(int64(a.Stats.DocsScored))
 	e.release(a)
+	queryHist.Observe(time.Since(start))
 	return out, nil
 }
 

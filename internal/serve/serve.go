@@ -33,6 +33,7 @@ import (
 	"math"
 	"net"
 	"net/http"
+	"runtime"
 	"strconv"
 	"sync"
 	"sync/atomic"
@@ -42,9 +43,25 @@ import (
 	"factcheck/internal/core"
 	"factcheck/internal/dataset"
 	"factcheck/internal/llm"
+	"factcheck/internal/obs"
 	"factcheck/internal/sched"
 	"factcheck/internal/search"
 	"factcheck/internal/strategy"
+)
+
+// Layer latency histograms, resolved once at init so the request path
+// records each layer with a single atomic add — no registry lookups, no
+// locks, no allocations on the warm path. Span names match histogram
+// labels one to one, so a /v1/trace breakdown and the /metricsz
+// aggregates speak the same taxonomy.
+var (
+	ratelimitHist = obs.Layer("ratelimit")
+	admitHist     = obs.Layer("admit")
+	lruHist       = obs.Layer("lru")
+	coalesceHist  = obs.Layer("coalesce")
+	storeHist     = obs.Layer("store")
+	execWaitHist  = obs.Layer("exec_wait")
+	verifyHist    = obs.Layer("verify")
 )
 
 // Config parameterises the service. The zero value is filled with the
@@ -83,6 +100,17 @@ type Config struct {
 	// consensus.ModeAdaptive: verdicts are mode-independent, so the
 	// early-stopping schedule is safe to default on.
 	ConsensusMode consensus.Mode
+	// TraceSample is the fraction of requests traced end to end (0 = off,
+	// the default: the warm path then never touches the tracer beyond one
+	// counter increment). Any request can force its own trace with an
+	// `X-Server-Timing: 1` header regardless of the sample rate.
+	TraceSample float64
+	// TraceRing bounds finished traces retained for GET /v1/trace/{id}.
+	// Default 512.
+	TraceRing int
+	// TraceSeed, when non-empty, derives deterministic trace IDs from the
+	// request sequence number (det-hashed); otherwise IDs are random.
+	TraceSeed string
 }
 
 // DefaultConfig returns the production defaults (with FillCells on).
@@ -155,6 +183,10 @@ type Service struct {
 	ingestCh   chan []search.IngestDoc
 	ingestDone chan struct{}
 
+	// tracer samples requests into per-layer span traces (X-Trace-Id /
+	// GET /v1/trace/{id}).
+	tracer *obs.Tracer
+
 	stats serviceStats
 }
 
@@ -168,6 +200,14 @@ type call struct {
 }
 
 type serviceStats struct {
+	// mu makes multi-counter updates observable as a unit: writers hold it
+	// shared around grouped atomic adds (concurrent writers never block
+	// each other), and Stats() holds it exclusively while loading, so a
+	// scrape can never see e.g. consensus_requests incremented but its
+	// votes_dispatched/votes_skipped not yet added. Single-counter updates
+	// skip the lock entirely.
+	mu sync.RWMutex
+
 	requests      atomic.Uint64
 	rateLimited   atomic.Uint64
 	queueRejected atomic.Uint64
@@ -203,7 +243,13 @@ func New(bench *core.Benchmark, store *core.Store, cfg Config) *Service {
 		exec:    sched.NewExecutor(cfg.Workers),
 		admit:   make(chan struct{}, cfg.QueueDepth),
 		flight:  map[verdictKey]*call{},
+		tracer: obs.NewTracer(obs.TracerConfig{
+			Sample: cfg.TraceSample,
+			Ring:   cfg.TraceRing,
+			Seed:   cfg.TraceSeed,
+		}),
 	}
+	s.exec.OnQueueWait = execWaitHist.Observe
 	for _, model := range bench.Config.Models {
 		if model != llm.GPT4oMini { // commercial model is an arbiter, not a voter (§3.3)
 			s.voters = append(s.voters, model)
@@ -230,10 +276,14 @@ func (s *Service) ingestLoop() {
 		if err != nil {
 			continue // batches are validated at admission; a failure is benign
 		}
+		var swept uint64
 		for factID, epoch := range res.Epochs {
-			s.stats.ingestSwept.Add(uint64(s.cache.sweepStale(factID, epoch)))
+			swept += uint64(s.cache.sweepStale(factID, epoch))
 		}
+		s.stats.mu.RLock()
 		s.stats.ingestApplied.Add(uint64(len(docs)))
+		s.stats.ingestSwept.Add(swept)
+		s.stats.mu.RUnlock()
 	}
 }
 
@@ -267,7 +317,12 @@ func (s *Service) verdict(ctx context.Context, cell core.Cell, f *dataset.Fact, 
 	view := s.bench.Engine.EpochView()
 	key := verdictKey{cell: cell, factID: f.ID, epoch: view.FactEpoch(f.ID)}
 	for {
-		if out, ok := s.cache.get(key); ok {
+		_, endLRU := obs.StartSpan(ctx, "lru")
+		lruStart := time.Now()
+		out, hit := s.cache.get(key)
+		lruHist.Observe(time.Since(lruStart))
+		endLRU()
+		if hit {
 			s.stats.lruHits.Add(1)
 			return out, "lru", nil
 		}
@@ -275,8 +330,12 @@ func (s *Service) verdict(ctx context.Context, cell core.Cell, f *dataset.Fact, 
 		if c, ok := s.flight[key]; ok {
 			s.flightMu.Unlock()
 			s.stats.coalesced.Add(1)
+			_, endWait := obs.StartSpan(ctx, "coalesce")
+			waitStart := time.Now()
 			select {
 			case <-c.done:
+				coalesceHist.Observe(time.Since(waitStart))
+				endWait()
 				// A leader whose own client disconnected reports a context
 				// error that says nothing about this follower's request: a
 				// follower with a live context retries (one of them becomes
@@ -287,6 +346,8 @@ func (s *Service) verdict(ctx context.Context, cell core.Cell, f *dataset.Fact, 
 				}
 				return c.out, c.src, c.err
 			case <-ctx.Done():
+				coalesceHist.Observe(time.Since(waitStart))
+				endWait()
 				return strategy.Outcome{}, "", ctx.Err()
 			}
 		}
@@ -309,16 +370,34 @@ func (s *Service) verdict(ctx context.Context, cell core.Cell, f *dataset.Fact, 
 // read. A verification that races an epoch bump is served (it is a valid
 // point-in-time answer) but not cached — its evidence may straddle epochs.
 func (s *Service) resolve(ctx context.Context, key verdictKey, view search.EpochView, cell core.Cell, f *dataset.Fact, idx int) (strategy.Outcome, string, error) {
+	_, endStore := obs.StartSpan(ctx, "store")
+	storeStart := time.Now()
 	fp := s.bench.CellKeyAt(cell, view.CorpusDigest(cell.Dataset)).Fingerprint()
 	if outs, ok := s.store.Get(fp); ok && idx < len(outs) {
 		s.stats.storeHits.Add(1)
 		s.hydrateCell(cell, outs, view)
+		storeHist.Observe(time.Since(storeStart))
+		endStore()
 		return outs[idx], "store", nil
 	}
+	storeHist.Observe(time.Since(storeStart))
+	endStore()
+	// exec_wait and verify are sibling spans under the caller: the wait
+	// span ends the moment a worker picks the task up, where the verify
+	// span begins. The exec_wait histogram is fed by the executor's own
+	// OnQueueWait hook (which also covers background fill tasks), not here.
+	_, endExecWait := obs.StartSpan(ctx, "exec_wait")
 	var out strategy.Outcome
 	err := s.exec.Do(ctx, func(ctx context.Context) error {
+		endExecWait()
+		vctx, endVerify := obs.StartSpan(ctx, "verify")
+		verifyStart := time.Now()
+		defer func() {
+			verifyHist.Observe(time.Since(verifyStart))
+			endVerify()
+		}()
 		var err error
-		out, err = s.verify(ctx, cell, f)
+		out, err = s.verify(vctx, cell, f)
 		return err
 	})
 	if err != nil {
@@ -507,12 +586,26 @@ type Stats struct {
 	// behaviour plus the pruned top-k's work accounting (queries, postings
 	// touched, blocks skipped, docs scored).
 	Retrieval search.Stats `json:"retrieval"`
+
+	// Latency summarises every layer and endpoint histogram with at least
+	// one observation, keyed "family/label" (e.g. "layer/lru",
+	// "endpoint/verify"): count, mean and exact-at-bucket-resolution
+	// p50/p95/p99 in milliseconds. /metricsz exposes the full bucket data.
+	Latency map[string]obs.Summary `json:"latency,omitempty"`
 }
 
-// Stats snapshots the service counters.
+// Stats snapshots the service counters. The counter block is loaded under
+// the stats lock held exclusively, so grouped updates (consensus, ingest)
+// are never observed half-applied — every scrape satisfies
+// consensus_votes_dispatched + consensus_votes_skipped ==
+// consensus_requests * len(voters).
 func (s *Service) Stats() Stats {
+	latency := obs.Default.Summaries()
+	s.stats.mu.Lock()
+	defer s.stats.mu.Unlock()
 	return Stats{
 		Retrieval:     s.bench.Engine.Stats(),
+		Latency:       latency,
 		Requests:      s.stats.requests.Load(),
 		RateLimited:   s.stats.rateLimited.Load(),
 		QueueRejected: s.stats.queueRejected.Load(),
@@ -550,24 +643,28 @@ func (s *Service) Stats() Stats {
 //	GET  /v1/verdict/{dataset}/{method}/{model}/{fact} -> VerdictResponse (no compute; 404 when absent)
 //	GET  /v1/consensus/{fact}[?mode=serial|eager|adaptive] -> ConsensusResponse
 //	GET  /v1/facts                                     -> fact IDs per dataset
-//	GET  /healthz, GET /statsz
+//	GET  /v1/trace/{id}                                -> one sampled trace's spans
+//	GET  /healthz, GET /statsz, GET /metricsz
 //
 // Verification and ingestion endpoints sit behind the rate limiter and
-// admission queue; health, stats and fact listing bypass both.
+// admission queue; health, stats, metrics, traces and fact listing bypass
+// both (an observability scrape must never consume serving capacity).
 func (s *Service) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /v1/verify", s.admitted(s.handleVerify))
-	mux.HandleFunc("POST /v1/verify/batch", s.admitted(s.handleBatch))
-	mux.HandleFunc("POST /v1/documents", s.admitted(s.handleIngest))
-	mux.HandleFunc("GET /v1/verdict/{dataset}/{method}/{model}/{fact}", s.admitted(s.handleVerdict))
-	mux.HandleFunc("GET /v1/consensus/{fact}", s.admitted(s.handleConsensus))
+	mux.HandleFunc("POST /v1/verify", s.admitted("verify", s.handleVerify))
+	mux.HandleFunc("POST /v1/verify/batch", s.admitted("verify_batch", s.handleBatch))
+	mux.HandleFunc("POST /v1/documents", s.admitted("documents", s.handleIngest))
+	mux.HandleFunc("GET /v1/verdict/{dataset}/{method}/{model}/{fact}", s.admitted("verdict", s.handleVerdict))
+	mux.HandleFunc("GET /v1/consensus/{fact}", s.admitted("consensus", s.handleConsensus))
 	mux.HandleFunc("GET /v1/facts", s.handleFacts)
+	mux.HandleFunc("GET /v1/trace/{id}", s.handleTrace)
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 	})
 	mux.HandleFunc("GET /statsz", func(w http.ResponseWriter, _ *http.Request) {
 		writeJSON(w, http.StatusOK, s.Stats())
 	})
+	mux.HandleFunc("GET /metricsz", s.handleMetrics)
 	return mux
 }
 
@@ -592,24 +689,85 @@ func retrySeconds(d time.Duration) int {
 	return sec
 }
 
+// timingWriter injects the trace's Server-Timing header just before the
+// first byte of the response goes out — by then every layer span has
+// closed (handlers do all their work before writing), so the header
+// carries the request's own top-level breakdown. Only traced requests pay
+// for the wrapper.
+type timingWriter struct {
+	http.ResponseWriter
+	tr    *obs.Trace
+	wrote bool
+}
+
+func (w *timingWriter) WriteHeader(code int) {
+	if !w.wrote {
+		w.wrote = true
+		if st := w.tr.ServerTiming(); st != "" {
+			w.ResponseWriter.Header().Set("Server-Timing", st)
+		}
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *timingWriter) Write(b []byte) (int, error) {
+	if !w.wrote {
+		w.WriteHeader(http.StatusOK)
+	}
+	return w.ResponseWriter.Write(b)
+}
+
+// forceTraceHeader lets any single request opt into tracing regardless of
+// the sample rate (loadgen's -server-timing mode sets it on every
+// request). The response then carries X-Trace-Id and Server-Timing.
+const forceTraceHeader = "X-Server-Timing"
+
 // admitted wraps a handler with the rate limiter (429) and the bounded
 // admission queue (503): the two backpressure layers every verification
 // endpoint sits behind. An admitted request holds its queue slot until the
 // handler returns, so QueueDepth bounds queued-plus-executing requests and
 // nothing ever waits unboundedly.
-func (s *Service) admitted(next http.HandlerFunc) http.HandlerFunc {
+//
+// The wrapper is also the observability root: it times the whole request
+// into the endpoint's histogram, starts the per-request trace when
+// sampling (or the force header) selects it, and records the ratelimit
+// and admit layers. An unsampled request pays one atomic sequence
+// increment and two clock reads — no allocations.
+func (s *Service) admitted(endpoint string, next http.HandlerFunc) http.HandlerFunc {
+	endpointHist := obs.Endpoint(endpoint)
 	return func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		ctx, tr := s.tracer.Start(r.Context(), "request", r.Header.Get(forceTraceHeader) == "1")
+		if tr != nil {
+			w.Header().Set("X-Trace-Id", tr.ID())
+			w = &timingWriter{ResponseWriter: w, tr: tr}
+			r = r.WithContext(ctx)
+			defer s.tracer.Finish(tr)
+		}
+		defer func() { endpointHist.Observe(time.Since(start)) }()
+
 		s.stats.requests.Add(1)
-		if ok, wait := s.limiter.allow(clientID(r)); !ok {
+		_, endRL := obs.StartSpan(ctx, "ratelimit")
+		rlStart := time.Now()
+		ok, wait := s.limiter.allow(clientID(r))
+		ratelimitHist.Observe(time.Since(rlStart))
+		endRL()
+		if !ok {
 			s.stats.rateLimited.Add(1)
 			w.Header().Set("Retry-After", strconv.Itoa(retrySeconds(wait)))
 			httpError(w, http.StatusTooManyRequests, "rate limit exceeded")
 			return
 		}
+		_, endAdmit := obs.StartSpan(ctx, "admit")
+		admitStart := time.Now()
 		select {
 		case s.admit <- struct{}{}:
+			admitHist.Observe(time.Since(admitStart))
+			endAdmit()
 			defer func() { <-s.admit }()
 		default:
+			admitHist.Observe(time.Since(admitStart))
+			endAdmit()
 			s.stats.queueRejected.Add(1)
 			w.Header().Set("Retry-After", strconv.Itoa(retrySeconds(s.cfg.RetryAfter)))
 			httpError(w, http.StatusServiceUnavailable, "admission queue full")
@@ -825,8 +983,10 @@ func (s *Service) handleIngest(w http.ResponseWriter, r *http.Request) {
 	}
 	select {
 	case s.ingestCh <- req.Documents:
+		s.stats.mu.RLock()
 		s.stats.ingestBatches.Add(1)
 		s.stats.ingestDocs.Add(uint64(len(req.Documents)))
+		s.stats.mu.RUnlock()
 		writeJSON(w, http.StatusAccepted, IngestResponse{Queued: len(req.Documents)})
 	default:
 		s.stats.ingestRejected.Add(1)
@@ -945,11 +1105,15 @@ func (s *Service) Consensus(ctx context.Context, factID string, mode consensus.M
 	if err != nil {
 		return nil, err
 	}
+	// Grouped under the stats lock (shared): a /statsz scrape sees this
+	// request's five counters land together or not at all.
+	s.stats.mu.RLock()
 	s.stats.consensusRequests.Add(1)
 	s.stats.consensusDispatched.Add(uint64(st.Dispatched))
 	s.stats.consensusSkipped.Add(uint64(st.Skipped))
 	s.stats.consensusEscalations.Add(uint64(st.Escalations))
 	s.stats.consensusArbiters.Add(uint64(st.ArbiterCalls))
+	s.stats.mu.RUnlock()
 	resp := &ConsensusResponse{
 		FactID:    factID,
 		Dataset:   string(f.Dataset),
@@ -978,6 +1142,76 @@ func (s *Service) handleFacts(w http.ResponseWriter, _ *http.Request) {
 		byDataset[string(dn)] = ids
 	}
 	writeJSON(w, http.StatusOK, map[string]any{"datasets": byDataset})
+}
+
+// handleTrace serves one retained trace's spans by ID (the X-Trace-Id a
+// sampled response carried). Traces age out of the bounded ring.
+func (s *Service) handleTrace(w http.ResponseWriter, r *http.Request) {
+	out, ok := s.tracer.Get(r.PathValue("id"))
+	if !ok {
+		httpError(w, http.StatusNotFound, "trace not found (unsampled, or evicted from the ring)")
+		return
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// handleMetrics renders every /statsz counter plus the layer and endpoint
+// latency histograms in Prometheus text format. Counters follow the
+// factcheck_<name>_total convention; point-in-time values (cache sizes,
+// queue depth, corpus epoch) are gauges; the latency families are
+// factcheck_{layer,endpoint}_latency_seconds with power-of-two buckets.
+func (s *Service) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	st := s.Stats()
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	p := obs.NewPromWriter(w)
+	p.Info("factcheck_build_info", "Build identity of the serving process.",
+		"go_version", runtime.Version(), "consensus_mode", string(s.cfg.ConsensusMode))
+
+	p.Counter("factcheck_requests_total", "Requests reaching the admission middleware.", st.Requests)
+	p.Counter("factcheck_rate_limited_total", "Requests rejected by the per-client token bucket (429).", st.RateLimited)
+	p.Counter("factcheck_queue_rejected_total", "Requests rejected by the full admission queue (503).", st.QueueRejected)
+	p.Counter("factcheck_lru_hits_total", "Verdicts answered by the in-memory LRU.", st.LRUHits)
+	p.Counter("factcheck_store_hits_total", "Verdicts answered by a result-store snapshot.", st.StoreHits)
+	p.Counter("factcheck_computed_total", "Verdicts computed by fresh verification.", st.Computed)
+	p.Counter("factcheck_coalesced_total", "Requests that joined an in-flight identical resolution.", st.Coalesced)
+	p.Counter("factcheck_cell_fills_total", "Background whole-cell fills persisted.", st.CellFills)
+
+	p.Counter("factcheck_ingest_batches_total", "Document batches accepted (202).", st.IngestBatches)
+	p.Counter("factcheck_ingest_docs_total", "Documents accepted for ingestion.", st.IngestDocs)
+	p.Counter("factcheck_ingest_docs_applied_total", "Documents folded into published epoch snapshots.", st.IngestApplied)
+	p.Counter("factcheck_ingest_rejected_total", "Batches rejected because the ingest queue was full (503).", st.IngestRejected)
+	p.Counter("factcheck_ingest_swept_total", "Stale verdict-LRU entries reclaimed after epoch bumps.", st.IngestSwept)
+
+	p.Counter("factcheck_consensus_requests_total", "Consensus decisions served.", st.ConsensusRequests)
+	p.Counter("factcheck_consensus_votes_dispatched_total", "Voter verifications the consensus planner dispatched.", st.ConsensusDispatched)
+	p.Counter("factcheck_consensus_votes_skipped_total", "Voter verifications the early-stop planner proved unnecessary.", st.ConsensusSkipped)
+	p.Counter("factcheck_consensus_escalations_total", "Consensus tiers dispatched beyond the cheap quorum.", st.ConsensusEscalations)
+	p.Counter("factcheck_consensus_arbiter_calls_total", "Arbiter tie-breaks.", st.ConsensusArbiters)
+
+	p.Gauge("factcheck_cache_len", "Verdict LRU entries.", float64(st.CacheLen))
+	p.Gauge("factcheck_cache_capacity", "Verdict LRU capacity.", float64(st.CacheCapacity))
+	p.Gauge("factcheck_queue_depth", "Admission queue slots in use.", float64(st.QueueDepth))
+	p.Gauge("factcheck_queue_cap", "Admission queue capacity.", float64(st.QueueCap))
+	p.Gauge("factcheck_store_cells", "Result-store cell snapshots.", float64(st.StoreCells))
+	p.Gauge("factcheck_clients", "Rate-limiter client buckets alive.", float64(st.Clients))
+
+	r := st.Retrieval
+	p.Gauge("factcheck_retrieval_facts", "Facts known to the search engine.", float64(r.Facts))
+	p.Gauge("factcheck_retrieval_cached_facts", "Facts with materialised index shards.", float64(r.CachedFacts))
+	p.Gauge("factcheck_retrieval_indexed_docs", "Documents in materialised shards.", float64(r.IndexedDocs))
+	p.Gauge("factcheck_retrieval_postings", "Postings in materialised shards.", float64(r.Postings))
+	p.Counter("factcheck_retrieval_hits_total", "Search-engine shard cache hits.", uint64(r.Hits))
+	p.Counter("factcheck_retrieval_misses_total", "Search-engine shard cache misses.", uint64(r.Misses))
+	p.Counter("factcheck_retrieval_evicted_total", "Shards evicted from the search-engine cache.", uint64(r.Evicted))
+	p.Gauge("factcheck_retrieval_epoch", "Corpus snapshot publication sequence number.", float64(r.Epoch))
+	p.Gauge("factcheck_retrieval_ingested_docs", "Live-ingested documents across all facts.", float64(r.IngestedDocs))
+	p.Gauge("factcheck_retrieval_cached_query_vecs", "Entries in the per-epoch query-vector memo.", float64(r.CachedQueryVecs))
+	p.Counter("factcheck_retrieval_search_queries_total", "Search calls served by the pruned top-k path.", uint64(r.SearchQueries))
+	p.Counter("factcheck_retrieval_postings_touched_total", "Postings read by the pruned top-k path.", uint64(r.PostingsTouched))
+	p.Counter("factcheck_retrieval_blocks_skipped_total", "Posting blocks skipped by max-score pruning.", uint64(r.BlocksSkipped))
+	p.Counter("factcheck_retrieval_docs_scored_total", "Documents fully scored by the pruned top-k path.", uint64(r.DocsScored))
+
+	obs.Default.WriteProm(p)
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {

@@ -209,7 +209,7 @@ func (r RAG) Verify(ctx context.Context, m llm.Model, f *dataset.Fact) (Outcome,
 	if r.Pipeline == nil {
 		return Outcome{}, fmt.Errorf("rag: verifier has no pipeline")
 	}
-	ev, err := r.Pipeline.Retrieve(f)
+	ev, err := r.Pipeline.RetrieveCtx(ctx, f)
 	if err != nil {
 		return Outcome{}, fmt.Errorf("rag: retrieve %s: %w", f.ID, err)
 	}
