@@ -8,6 +8,10 @@
 //	           [-queue 64] [-workers N] [-cache 65536]
 //	           [-rate 50] [-burst 100] [-maxbatch 64] [-fill=true]
 //	           [-consensus adaptive] [-ingestqueue 16]
+//	           [-request-timeout 0] [-read-timeout 0]
+//	           [-fault SPEC]... [-fault-seed S]
+//	           [-retries 3] [-retry-base 5ms] [-breaker-threshold 5]
+//	           [-breaker-probe-every 4] [-breaker-probes 2]
 //	           [-trace-sample 0.01] [-trace-seed S] [-trace-ring 512]
 //	           [-pprof 127.0.0.1:6060]
 //
@@ -28,6 +32,16 @@
 // ring. A client can force a trace for one request with the header
 // `X-Server-Timing: 1` regardless of the sample rate. -pprof starts
 // net/http/pprof on a separate listener, kept off the serving mux.
+//
+// Chaos and resilience: -fault injects deterministic faults (repeatable;
+// see internal/fault for the clause grammar) keyed by -fault-seed, so a
+// chaos run is exactly reproducible. The resilience stack is always on —
+// transient model failures retry with capped det-jittered backoff and
+// every model sits behind a circuit breaker — tunable with -retries /
+// -retry-base / -breaker-* (negative -retries or -breaker-threshold
+// disables that half). -request-timeout bounds each admitted request end
+// to end (504 + Retry-After on expiry); -read-timeout bounds how long a
+// client may take to send its request (slow-loris defence).
 package main
 
 import (
@@ -43,7 +57,9 @@ import (
 
 	"factcheck/internal/consensus"
 	"factcheck/internal/core"
+	"factcheck/internal/fault"
 	"factcheck/internal/prof"
+	"factcheck/internal/resilience"
 	"factcheck/internal/serve"
 )
 
@@ -62,13 +78,16 @@ func main() {
 
 // options are the parsed command-line options.
 type options struct {
-	addr      string
-	scale     float64
-	small     bool
-	par       int
-	storeDir  string
-	pprofAddr string
-	cfg       serve.Config
+	addr        string
+	scale       float64
+	small       bool
+	par         int
+	storeDir    string
+	pprofAddr   string
+	readTimeout time.Duration
+	faults      fault.Plan
+	resil       resilience.Config
+	cfg         serve.Config
 }
 
 // parseFlags parses and validates the command line.
@@ -91,6 +110,16 @@ func parseFlags(args []string) (options, error) {
 	fs.StringVar(&o.cfg.TraceSeed, "trace-seed", "", "derive trace IDs deterministically from this seed (default: random IDs)")
 	fs.IntVar(&o.cfg.TraceRing, "trace-ring", 0, "finished traces kept for /v1/trace/{id} (default 512)")
 	fs.StringVar(&o.pprofAddr, "pprof", "", "serve net/http/pprof on this separate address (e.g. 127.0.0.1:6060; default: off)")
+	fs.DurationVar(&o.cfg.RequestTimeout, "request-timeout", 0, "end-to-end deadline per admitted request; expiry answers 504 + Retry-After (default: off)")
+	fs.DurationVar(&o.readTimeout, "read-timeout", 0, "maximum time a client may take to send its whole request, slow-loris defence (default: off)")
+	fs.Func("fault", "deterministic fault spec, repeatable (comma-separated clauses: model=NAME, err=P, fail-first=N, spike=DUR, spike-rate=P, stall=P, down, store-corrupt=P, ingest-err=P)",
+		func(v string) error { return o.faults.Parse(v) })
+	fs.StringVar(&o.faults.Seed, "fault-seed", "", "seed keying every fault draw; equal seeds and traffic replay identical faults")
+	fs.IntVar(&o.resil.Retries, "retries", 0, "retries per transient model failure (default 3; negative = off)")
+	fs.DurationVar(&o.resil.RetryBase, "retry-base", 0, "base retry backoff, doubled per attempt and det-jittered ±50% (default 5ms)")
+	fs.IntVar(&o.resil.Threshold, "breaker-threshold", 0, "consecutive model failures that open its circuit breaker (default 5; negative = off)")
+	fs.IntVar(&o.resil.ProbeEvery, "breaker-probe-every", 0, "while open, admit every Nth rejected call as a half-open probe (default 4)")
+	fs.IntVar(&o.resil.ProbeSuccesses, "breaker-probes", 0, "consecutive probe successes that close the breaker again (default 2)")
 	fill := fs.Bool("fill", true, "persist on-demand verdicts back to the store via background whole-cell fills")
 	consensusMode := fs.String("consensus", "", "default /v1/consensus execution mode: serial, eager or adaptive (default adaptive; ?mode= overrides per request)")
 	if err := fs.Parse(args); err != nil {
@@ -122,10 +151,19 @@ func parseFlags(args []string) (options, error) {
 // buildService wires the benchmark, store and service for the options.
 func buildService(o options, logw io.Writer) (*serve.Service, error) {
 	start := time.Now()
-	b := core.NewBenchmark(core.Config{Scale: o.scale, Small: o.small, Parallelism: o.par})
+	b := core.NewBenchmark(core.Config{
+		Scale: o.scale, Small: o.small, Parallelism: o.par,
+		Faults: o.faults, Resilience: &o.resil,
+	})
 	store, err := core.OpenStore(o.storeDir)
 	if err != nil {
 		return nil, err
+	}
+	if tamper := b.Faults.StoreTamper(); tamper != nil {
+		store.SetWriteTamper(tamper)
+	}
+	if !o.faults.Empty() {
+		fmt.Fprintf(logw, "factcheckd: fault plan: %s (seed %q)\n", o.faults, o.faults.Seed)
 	}
 	if o.storeDir != "" {
 		fmt.Fprintf(logw, "factcheckd: store %s: %d cell snapshots loaded\n", o.storeDir, store.Len())
@@ -159,8 +197,13 @@ func run(ctx context.Context, args []string, logw io.Writer) error {
 		Addr:              o.addr,
 		Handler:           svc.Handler(),
 		ReadHeaderTimeout: 5 * time.Second,
+		// ReadTimeout bounds the whole request read, so a client trickling
+		// its body a byte at a time (slow loris) ties up a connection for at
+		// most this long. It never touches admitted work — handlers read the
+		// body before resolving.
+		ReadTimeout: o.readTimeout,
 	}
 	// Graceful drain: stop accepting, let in-flight handlers finish, then
 	// wait out background cell fills and the executor.
-	return serve.RunServer(ctx, srv, "factcheckd", logw, svc.Drain)
+	return serve.RunServer(ctx, srv, "factcheckd", logw, svc.StartDrain, svc.Drain)
 }

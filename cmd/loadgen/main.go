@@ -7,7 +7,8 @@
 //	loadgen [-addr http://localhost:8095] [-mix uniform] [-n 1000] [-c 8]
 //	        [-seed 1] [-method DKA] [-models m1,m2] [-batch 16]
 //	        [-zipf 1.2] [-consensus adaptive] [-digest FILE]
-//	        [-server-timing] [-cpuprofile FILE] [-memprofile FILE]
+//	        [-scenario FILE] [-server-timing]
+//	        [-cpuprofile FILE] [-memprofile FILE]
 //
 // Mixes (all seeded, so a mix replays identically):
 //
@@ -38,15 +39,27 @@
 // a plain one.
 //
 // Every response is checked against the service's backpressure contract:
-// anything other than 200, 429 or 503 (or a malformed/failed item inside a
-// 200 batch) is a violation and makes loadgen exit nonzero. With -digest,
-// a canonical FNV-64a digest of every distinct verdict is written to FILE;
-// two fully served runs against the same store/scale must produce
-// identical digests, whatever mix of cold, store-warm and LRU-warm answers
-// served them. A run with any 429/503 rejections refuses to write the file
-// (rejected verdicts never enter the digest, which would make it depend on
-// throttling timing): run digest comparisons with the limiter headroom to
-// serve every request, as the CI gate does.
+// anything other than 200, or 429/503/504 carrying a positive integer
+// Retry-After (or a malformed/failed item inside a 200 batch), is a
+// violation and makes loadgen exit nonzero. With -digest, a canonical
+// FNV-64a digest of every distinct verdict is written to FILE; two runs
+// whose every job's final outcome was served against the same store/scale
+// must produce identical digests, whatever mix of cold, store-warm and
+// LRU-warm answers served them. A run where any job ended unserved
+// refuses to write the file (its verdict never entered the digest, which
+// would make the digest depend on throttling timing): give the limiter
+// headroom, or retry rejections until served via a scenario.
+//
+// With -scenario FILE, a named chaos scenario (scenarios/*.json) pins the
+// plan and adds a client policy and pass/fail contract: retry_rejected
+// re-issues 429/503/504 outcomes after honouring Retry-After pacing
+// (bounded by retry_budget, each wait capped by max_retry_wait_ms);
+// slow_loris trickles every Nth request body one byte per byte_delay_ms
+// so a -read-timeout server proves it cuts slow senders; transport errors
+// (timeout/reset/eof/refused) become tracked outcome classes budgeted by
+// the contract instead of instant violations. The exit status is the
+// scenario's verdict, so a CI chaos sweep is one loadgen call per
+// scenario file.
 package main
 
 import (
@@ -88,6 +101,9 @@ type target struct {
 // document ingestion (ingest set). stable restricts the verdict digest
 // line to the epoch-independent gold label (ingest mix). expect413 marks
 // the oversized ingest probe, whose only acceptable answer is a 413.
+// loris trickles the request body one byte at a time (slow-loris
+// scenarios); the server cutting such a sender loose is an expected,
+// tracked outcome rather than a violation.
 type job struct {
 	reqs          []serve.VerifyRequest
 	consensusFact string
@@ -95,6 +111,7 @@ type job struct {
 	ingest        []search.IngestDoc
 	stable        bool
 	expect413     bool
+	loris         bool
 }
 
 // buildPlan expands a mix into the exact request sequence: pure function
@@ -203,14 +220,24 @@ func buildPlan(mix string, seed int64, targets []target, models []string, method
 	return jobs, nil
 }
 
-// outcome is one request's observation.
+// outcome is one request's observation. status 0 means the request
+// never got a response (transportErr holds why). retryAfter carries the
+// parsed Retry-After of a retryable rejection, retries how many
+// re-issues the final outcome took; transport is the tracked
+// connection-failure class a scenario assigned, and lorisCut marks a
+// slow-loris job the server cut loose as designed.
 type outcome struct {
-	status    int
-	latency   time.Duration
-	sources   map[string]int
-	verdicts  map[string]string // canonical key -> canonical verdict line
-	timing    map[string]float64
-	violation string
+	status       int
+	latency      time.Duration
+	sources      map[string]int
+	verdicts     map[string]string // canonical key -> canonical verdict line
+	timing       map[string]float64
+	violation    string
+	retryAfter   int
+	retries      int
+	transportErr error
+	transport    string
+	lorisCut     bool
 }
 
 // send fires one request, stamping the force-trace header when the run
@@ -275,32 +302,50 @@ func consensusKeyLine(v *serve.ConsensusResponse) (string, string) {
 	return key, line
 }
 
+// jobOpts carries per-request behaviour from the run into doJob.
+type jobOpts struct {
+	timing     bool
+	lorisDelay time.Duration // per-byte body delay for loris jobs
+}
+
+// checkRetryAfter records a retryable rejection: the Retry-After must
+// parse as positive integer seconds (stored for pacing), else the
+// response violates the backpressure contract.
+func (o *outcome) checkRetryAfter(resp *http.Response) {
+	ra, err := retryAfterOf(resp.Header.Get("Retry-After"))
+	if err != nil {
+		o.violation = fmt.Sprintf("%d: %v", resp.StatusCode, err)
+		return
+	}
+	o.retryAfter = ra
+}
+
 // doConsensus fires one consensus lookup.
-func doConsensus(client *http.Client, addr string, j job, timing bool) outcome {
+func doConsensus(client *http.Client, addr string, j job, opt jobOpts) outcome {
 	o := outcome{sources: map[string]int{}, verdicts: map[string]string{}}
 	start := time.Now()
-	resp, err := send(client, "GET", addr+"/v1/consensus/"+j.consensusFact+"?mode="+j.consensusMode, "", nil, timing)
+	resp, err := send(client, "GET", addr+"/v1/consensus/"+j.consensusFact+"?mode="+j.consensusMode, "", nil, opt.timing)
 	o.latency = time.Since(start)
 	if err != nil {
 		o.violation = "transport: " + err.Error()
+		o.transportErr = err
 		return o
 	}
 	defer resp.Body.Close()
-	if timing {
+	if opt.timing {
 		o.timing = parseServerTiming(resp.Header.Get("Server-Timing"))
 	}
 	data, err := io.ReadAll(resp.Body)
 	if err != nil {
 		o.violation = "read: " + err.Error()
+		o.transportErr = err
 		return o
 	}
 	o.status = resp.StatusCode
 	switch resp.StatusCode {
 	case http.StatusOK:
-	case http.StatusTooManyRequests, http.StatusServiceUnavailable:
-		if resp.Header.Get("Retry-After") == "" {
-			o.violation = fmt.Sprintf("%d without Retry-After", resp.StatusCode)
-		}
+	case http.StatusTooManyRequests, http.StatusServiceUnavailable, http.StatusGatewayTimeout:
+		o.checkRetryAfter(resp)
 		return o
 	default:
 		o.violation = fmt.Sprintf("unexpected status %d: %.120s", resp.StatusCode, data)
@@ -323,7 +368,7 @@ func doConsensus(client *http.Client, addr string, j job, timing bool) outcome {
 // doIngest fires one POST /v1/documents batch. A 202 means the batch was
 // admitted; 429/503 with Retry-After is legitimate backpressure. The
 // oversized probe inverts the contract: only a 413 refusal is acceptable.
-func doIngest(client *http.Client, addr string, j job, timing bool) outcome {
+func doIngest(client *http.Client, addr string, j job, opt jobOpts) outcome {
 	o := outcome{sources: map[string]int{}, verdicts: map[string]string{}}
 	payload, err := json.Marshal(serve.IngestRequest{Documents: j.ingest})
 	if err != nil {
@@ -331,16 +376,18 @@ func doIngest(client *http.Client, addr string, j job, timing bool) outcome {
 		return o
 	}
 	start := time.Now()
-	resp, err := send(client, "POST", addr+"/v1/documents", "application/json", strings.NewReader(string(payload)), timing)
+	resp, err := send(client, "POST", addr+"/v1/documents", "application/json", strings.NewReader(string(payload)), opt.timing)
 	o.latency = time.Since(start)
 	if err != nil {
 		o.violation = "transport: " + err.Error()
+		o.transportErr = err
 		return o
 	}
 	defer resp.Body.Close()
 	data, err := io.ReadAll(resp.Body)
 	if err != nil {
 		o.violation = "read: " + err.Error()
+		o.transportErr = err
 		return o
 	}
 	o.status = resp.StatusCode
@@ -352,10 +399,8 @@ func doIngest(client *http.Client, addr string, j job, timing bool) outcome {
 	}
 	switch resp.StatusCode {
 	case http.StatusAccepted:
-	case http.StatusTooManyRequests, http.StatusServiceUnavailable:
-		if resp.Header.Get("Retry-After") == "" {
-			o.violation = fmt.Sprintf("%d without Retry-After", resp.StatusCode)
-		}
+	case http.StatusTooManyRequests, http.StatusServiceUnavailable, http.StatusGatewayTimeout:
+		o.checkRetryAfter(resp)
 	default:
 		o.violation = fmt.Sprintf("unexpected ingest status %d: %.120s", resp.StatusCode, data)
 	}
@@ -363,12 +408,12 @@ func doIngest(client *http.Client, addr string, j job, timing bool) outcome {
 }
 
 // doJob fires one job and classifies the result.
-func doJob(client *http.Client, addr string, j job, timing bool) outcome {
+func doJob(client *http.Client, addr string, j job, opt jobOpts) outcome {
 	if j.consensusFact != "" {
-		return doConsensus(client, addr, j, timing)
+		return doConsensus(client, addr, j, opt)
 	}
 	if j.ingest != nil {
-		return doIngest(client, addr, j, timing)
+		return doIngest(client, addr, j, opt)
 	}
 	o := outcome{sources: map[string]int{}, verdicts: map[string]string{}}
 	url := addr + "/v1/verify"
@@ -382,29 +427,33 @@ func doJob(client *http.Client, addr string, j job, timing bool) outcome {
 		o.violation = "marshal: " + err.Error()
 		return o
 	}
+	var reader io.Reader = strings.NewReader(string(payload))
+	if j.loris && opt.lorisDelay > 0 {
+		reader = &trickleReader{data: payload, delay: opt.lorisDelay}
+	}
 	start := time.Now()
-	resp, err := send(client, "POST", url, "application/json", strings.NewReader(string(payload)), timing)
+	resp, err := send(client, "POST", url, "application/json", reader, opt.timing)
 	o.latency = time.Since(start)
 	if err != nil {
 		o.violation = "transport: " + err.Error()
+		o.transportErr = err
 		return o
 	}
 	defer resp.Body.Close()
-	if timing {
+	if opt.timing {
 		o.timing = parseServerTiming(resp.Header.Get("Server-Timing"))
 	}
 	data, err := io.ReadAll(resp.Body)
 	if err != nil {
 		o.violation = "read: " + err.Error()
+		o.transportErr = err
 		return o
 	}
 	o.status = resp.StatusCode
 	switch resp.StatusCode {
 	case http.StatusOK:
-	case http.StatusTooManyRequests, http.StatusServiceUnavailable:
-		if resp.Header.Get("Retry-After") == "" {
-			o.violation = fmt.Sprintf("%d without Retry-After", resp.StatusCode)
-		}
+	case http.StatusTooManyRequests, http.StatusServiceUnavailable, http.StatusGatewayTimeout:
+		o.checkRetryAfter(resp)
 		return o
 	default:
 		o.violation = fmt.Sprintf("unexpected status %d: %.120s", resp.StatusCode, data)
@@ -445,6 +494,43 @@ func doJob(client *http.Client, addr string, j job, timing bool) outcome {
 			return o
 		}
 		record(item.Verdict)
+	}
+	return o
+}
+
+// doJobRetry runs one job under a scenario's client policy: retryable
+// rejections (429/503/504) are re-issued after sleeping the server's
+// Retry-After (capped per scenario), up to the retry budget; transport
+// errors become tracked outcome classes instead of instant violations,
+// and a cut slow-loris sender is an expected outcome. With no scenario
+// the job runs exactly once with the historical semantics.
+func doJobRetry(client *http.Client, addr string, j job, opt jobOpts, sc *Scenario) outcome {
+	o := doJob(client, addr, j, opt)
+	if sc == nil {
+		return o
+	}
+	if sc.RetryRejected {
+		for attempt := 0; o.violation == "" && o.retryAfter > 0 && attempt < sc.retryBudget(); attempt++ {
+			time.Sleep(sc.retryWait(o.retryAfter))
+			retries := o.retries + 1
+			o = doJob(client, addr, j, opt)
+			o.retries = retries
+		}
+	}
+	// A cut slow-loris sender is the outcome the scenario exists to
+	// provoke. The cut surfaces either as a connection-level failure or
+	// as the server refusing the half-read body (400 after its read
+	// deadline killed the decode, or a stdlib 408).
+	if j.loris && (o.transportErr != nil ||
+		o.status == http.StatusBadRequest || o.status == http.StatusRequestTimeout) {
+		o.lorisCut = true
+		o.violation = ""
+		o.transportErr = nil
+		return o
+	}
+	if o.transportErr != nil {
+		o.transport = classifyTransport(o.transportErr)
+		o.violation = ""
 	}
 	return o
 }
@@ -567,7 +653,54 @@ func run(args []string, out io.Writer) error {
 	if fs.fs.NArg() > 0 {
 		return fmt.Errorf("unexpected arguments: %v", fs.fs.Args())
 	}
-	if *fs.n <= 0 || *fs.c <= 0 {
+	// Effective plan parameters: flags, overridden by any scenario field
+	// the file pins.
+	mix, n, c, seed := *fs.mix, *fs.n, *fs.c, *fs.seed
+	method, models := *fs.method, strings.Split(*fs.models, ",")
+	batch, zipfS := *fs.batch, *fs.zipfS
+	consensusMode, ingestEvery := *fs.consensus, *fs.ingestEvery
+	timeout := *fs.timeout
+	var sc *Scenario
+	if *fs.scenario != "" {
+		var err error
+		if sc, err = loadScenario(*fs.scenario); err != nil {
+			return err
+		}
+		if sc.Mix != "" {
+			mix = sc.Mix
+		}
+		if sc.N > 0 {
+			n = sc.N
+		}
+		if sc.C > 0 {
+			c = sc.C
+		}
+		if sc.Seed != 0 {
+			seed = sc.Seed
+		}
+		if sc.Method != "" {
+			method = sc.Method
+		}
+		if len(sc.Models) > 0 {
+			models = sc.Models
+		}
+		if sc.Batch > 0 {
+			batch = sc.Batch
+		}
+		if sc.ZipfS > 0 {
+			zipfS = sc.ZipfS
+		}
+		if sc.Consensus != "" {
+			consensusMode = sc.Consensus
+		}
+		if sc.IngestEvery > 0 {
+			ingestEvery = sc.IngestEvery
+		}
+		if sc.TimeoutMS > 0 {
+			timeout = time.Duration(sc.TimeoutMS) * time.Millisecond
+		}
+	}
+	if n <= 0 || c <= 0 {
 		return fmt.Errorf("-n and -c must be positive")
 	}
 	stopProf, profErr := fs.prof.Start()
@@ -579,32 +712,41 @@ func run(args []string, out io.Writer) error {
 			fmt.Fprintln(os.Stderr, "loadgen:", perr)
 		}
 	}()
-	models := strings.Split(*fs.models, ",")
-	client := &http.Client{Timeout: *fs.timeout}
+	client := &http.Client{Timeout: timeout}
 	addr := strings.TrimSuffix(*fs.addr, "/")
 	targets, err := fetchTargets(client, addr)
 	if err != nil {
 		return err
 	}
-	jobs, err := buildPlan(*fs.mix, *fs.seed, targets, models, *fs.method, *fs.n, *fs.batch, *fs.zipfS, *fs.consensus, *fs.ingestEvery)
+	jobs, err := buildPlan(mix, seed, targets, models, method, n, batch, zipfS, consensusMode, ingestEvery)
 	if err != nil {
 		return err
 	}
+	opt := jobOpts{timing: *fs.serverTiming}
+	if sc != nil && sc.SlowLoris != nil {
+		opt.lorisDelay = time.Duration(sc.SlowLoris.ByteDelayMS) * time.Millisecond
+		markLoris(jobs, sc.SlowLoris.Every)
+	}
 
 	var (
-		next       atomic.Int64
-		mu         sync.Mutex
-		latencies  []time.Duration
-		statuses   = map[int]int{}
-		sources    = map[string]int{}
-		verdicts   = map[string]string{}
-		timingSum  = map[string]float64{}
-		traced     int
-		violations []string
-		wg         sync.WaitGroup
+		next        atomic.Int64
+		mu          sync.Mutex
+		latencies   []time.Duration
+		statuses    = map[int]int{}
+		sources     = map[string]int{}
+		verdicts    = map[string]string{}
+		transports  = map[string]int{}
+		timingSum   = map[string]float64{}
+		traced      int
+		retried     int
+		unserved    int
+		lorisCut    int
+		lorisServed int
+		violations  []string
+		wg          sync.WaitGroup
 	)
 	start := time.Now()
-	for w := 0; w < *fs.c; w++ {
+	for w := 0; w < c; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
@@ -613,7 +755,13 @@ func run(args []string, out io.Writer) error {
 				if i >= len(jobs) {
 					return
 				}
-				o := doJob(client, addr, jobs[i], *fs.serverTiming)
+				o := doJobRetry(client, addr, jobs[i], opt, sc)
+				// A job's final outcome counts as served when it got the
+				// answer its contract wants — 200/202, or the 413 refusal
+				// the oversized probe exists to provoke.
+				served := o.violation == "" &&
+					(o.status == http.StatusOK || o.status == http.StatusAccepted ||
+						(jobs[i].expect413 && o.status == http.StatusRequestEntityTooLarge))
 				mu.Lock()
 				// Percentiles describe served verdicts only: a 429/503
 				// rejection returns in microseconds and would drag p50
@@ -634,6 +782,18 @@ func run(args []string, out io.Writer) error {
 						timingSum[layer] += ms
 					}
 				}
+				retried += o.retries
+				if o.transport != "" {
+					transports[o.transport]++
+				}
+				switch {
+				case o.lorisCut:
+					lorisCut++
+				case !served:
+					unserved++
+				case jobs[i].loris:
+					lorisServed++
+				}
 				if o.violation != "" {
 					violations = append(violations, o.violation)
 				}
@@ -647,7 +807,22 @@ func run(args []string, out io.Writer) error {
 	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
 	digest := digestOf(verdicts)
 	fmt.Fprintf(out, "loadgen: mix=%s n=%d c=%d requests=%d elapsed=%.2fs throughput=%.1f req/s\n",
-		*fs.mix, *fs.n, *fs.c, len(jobs), elapsed.Seconds(), float64(len(jobs))/elapsed.Seconds())
+		mix, n, c, len(jobs), elapsed.Seconds(), float64(len(jobs))/elapsed.Seconds())
+	if sc != nil {
+		fmt.Fprintf(out, "scenario: %s retries=%d unserved=%d", sc.Name, retried, unserved)
+		var classes []string
+		for class := range transports {
+			classes = append(classes, class)
+		}
+		sort.Strings(classes)
+		for _, class := range classes {
+			fmt.Fprintf(out, " transport_%s=%d", class, transports[class])
+		}
+		if sc.SlowLoris != nil {
+			fmt.Fprintf(out, " loris_cut=%d loris_served=%d", lorisCut, lorisServed)
+		}
+		fmt.Fprintln(out)
+	}
 	var codes []int
 	for code := range statuses {
 		codes = append(codes, code)
@@ -677,18 +852,28 @@ func run(args []string, out io.Writer) error {
 	}
 	fmt.Fprintf(out, "digest: %016x (%d distinct verdicts)\n", digest, len(verdicts))
 	if *fs.digest != "" {
-		// A rejected request's verdict never entered the map, so the
-		// digest would depend on which requests happened to be throttled —
-		// refuse to write a timing-dependent file.
-		if rejected := statuses[http.StatusTooManyRequests] + statuses[http.StatusServiceUnavailable]; rejected > 0 {
-			return fmt.Errorf("digest requested but %d requests were rejected (429/503); "+
-				"the digest is only deterministic when every request is served — raise the "+
-				"server's -rate/-queue or lower -n/-c", rejected)
+		// An unserved job's verdict never entered the map, so the digest
+		// would depend on which jobs happened to be rejected or cut —
+		// refuse to write a timing-dependent file. Final outcomes decide:
+		// a job rejected with 429/503/504 and then served on a scenario
+		// retry contributes its verdict like any other.
+		if unserved > 0 {
+			return fmt.Errorf("digest requested but %d jobs ended unserved; "+
+				"the digest is only deterministic when every job's final outcome is served — "+
+				"raise the server's -rate/-queue, lower -n/-c, or retry rejections via a "+
+				"scenario's retry_rejected", unserved)
 		}
 		line := fmt.Sprintf("%016x %d\n", digest, len(verdicts))
 		if err := os.WriteFile(*fs.digest, []byte(line), 0o644); err != nil {
 			return err
 		}
+	}
+	if sc != nil {
+		transportErrs := 0
+		for _, n := range transports {
+			transportErrs += n
+		}
+		violations = append(violations, sc.Contract.check(unserved, transportErrs)...)
 	}
 	if len(violations) > 0 {
 		max := len(violations)
@@ -716,6 +901,7 @@ type flags struct {
 	zipfS        *float64
 	consensus    *string
 	ingestEvery  *int
+	scenario     *string
 	digest       *string
 	serverTiming *bool
 	timeout      *time.Duration
@@ -727,7 +913,7 @@ func newFlagSet() *flags {
 	return &flags{
 		fs:           fs,
 		addr:         fs.String("addr", "http://localhost:8095", "factcheckd base URL"),
-		mix:          fs.String("mix", "uniform", "request mix: uniform, zipf or batch"),
+		mix:          fs.String("mix", "uniform", "request mix: uniform, zipf, batch, consensus or ingest"),
 		n:            fs.Int("n", 1000, "number of verify requests to issue"),
 		c:            fs.Int("c", 8, "concurrent workers"),
 		seed:         fs.Int64("seed", 1, "plan seed (same seed -> identical request sequence)"),
@@ -737,6 +923,7 @@ func newFlagSet() *flags {
 		zipfS:        fs.Float64("zipf", 1.2, "zipf skew exponent (zipf mix; > 1)"),
 		consensus:    fs.String("consensus", "adaptive", "consensus execution mode (consensus mix): serial, eager or adaptive"),
 		ingestEvery:  fs.Int("ingestevery", 8, "replace every Nth job with a document ingestion (ingest mix; >= 2)"),
+		scenario:     fs.String("scenario", "", "run a named chaos scenario from this JSON file (see scenarios/); its fields override plan flags"),
 		digest:       fs.String("digest", "", "write the verdict digest to this file"),
 		serverTiming: fs.Bool("server-timing", false, "force a server trace per request (X-Server-Timing: 1) and print the server-side layer attribution"),
 		timeout:      fs.Duration("timeout", 60*time.Second, "per-request HTTP timeout"),

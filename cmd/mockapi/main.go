@@ -18,7 +18,14 @@
 // Usage:
 //
 //	mockapi [-addr :8080] [-scale 0.25] [-small] [-warm 0]
+//	        [-fail-rate 0] [-latency 0] [-stall 0] [-fault-seed S]
 //	        [-pprof 127.0.0.1:6062]
+//
+// Fault injection (internal/fault): -fail-rate injects deterministic 500s
+// with Retry-After, -latency adds a fixed delay to every response, -stall
+// hangs a fraction of requests until the client gives up — all keyed by
+// -fault-seed over each request's (method, path, query, sequence), so a
+// chaos run against the mock API replays exactly.
 //
 // On SIGINT/SIGTERM the server drains gracefully: in-flight requests
 // finish before the process exits.
@@ -38,6 +45,7 @@ import (
 
 	"factcheck/internal/corpus"
 	"factcheck/internal/dataset"
+	"factcheck/internal/fault"
 	"factcheck/internal/prof"
 	"factcheck/internal/search"
 	"factcheck/internal/serve"
@@ -64,6 +72,8 @@ type options struct {
 	small     bool
 	warm      int
 	pprofAddr string
+	httpFault fault.HTTPSpec
+	faultSeed string
 }
 
 // parseFlags parses and validates the command line.
@@ -75,6 +85,10 @@ func parseFlags(args []string) (options, error) {
 	fs.BoolVar(&o.small, "small", false, "use the miniature test world")
 	fs.IntVar(&o.warm, "warm", 0, "eagerly index the first N facts (0 = lazy, on first query)")
 	fs.StringVar(&o.pprofAddr, "pprof", "", "serve net/http/pprof on this separate address (default: off)")
+	fs.Float64Var(&o.httpFault.FailRate, "fail-rate", 0, "deterministically fail this fraction of requests with 500 + Retry-After")
+	fs.DurationVar(&o.httpFault.Latency, "latency", 0, "add this delay to every response")
+	fs.Float64Var(&o.httpFault.StallRate, "stall", 0, "deterministically stall this fraction of requests until the client disconnects")
+	fs.StringVar(&o.faultSeed, "fault-seed", "", "seed keying the fault draws; equal seeds and traffic replay identical faults")
 	if err := fs.Parse(args); err != nil {
 		return o, err
 	}
@@ -86,6 +100,15 @@ func parseFlags(args []string) (options, error) {
 	}
 	if o.warm < 0 {
 		return o, fmt.Errorf("-warm %d must be >= 0", o.warm)
+	}
+	if o.httpFault.FailRate < 0 || o.httpFault.FailRate > 1 {
+		return o, fmt.Errorf("-fail-rate %g out of range [0, 1]", o.httpFault.FailRate)
+	}
+	if o.httpFault.StallRate < 0 || o.httpFault.StallRate > 1 {
+		return o, fmt.Errorf("-stall %g out of range [0, 1]", o.httpFault.StallRate)
+	}
+	if o.httpFault.Latency < 0 {
+		return o, fmt.Errorf("-latency %s must be >= 0", o.httpFault.Latency)
 	}
 	return o, nil
 }
@@ -137,7 +160,11 @@ func buildHandler(o options, logw io.Writer) (http.Handler, error) {
 	}
 	fmt.Fprintf(logw, "mockapi: %d facts known in %.1fs\n",
 		dataset.TotalFacts(ds), time.Since(start).Seconds())
-	return logRequests(logw, api.Handler()), nil
+	if !o.httpFault.Empty() {
+		fmt.Fprintf(logw, "mockapi: injecting faults: fail-rate=%g latency=%s stall=%g (seed %q)\n",
+			o.httpFault.FailRate, o.httpFault.Latency, o.httpFault.StallRate, o.faultSeed)
+	}
+	return logRequests(logw, fault.HTTPMiddleware(o.httpFault, o.faultSeed, api.Handler())), nil
 }
 
 func run(ctx context.Context, args []string, logw io.Writer) error {
@@ -169,7 +196,7 @@ func run(ctx context.Context, args []string, logw io.Writer) error {
 		Handler:           h,
 		ReadHeaderTimeout: 5 * time.Second,
 	}
-	return serve.RunServer(ctx, srv, "mockapi", logw, nil)
+	return serve.RunServer(ctx, srv, "mockapi", logw, nil, nil)
 }
 
 func logRequests(logw io.Writer, next http.Handler) http.Handler {

@@ -131,5 +131,5 @@ func run(ctx context.Context, args []string, logw io.Writer) error {
 	}
 	// On drain, WaitFills lets in-flight background cell fills reach the
 	// store before the process exits.
-	return serve.RunServer(ctx, srv, "webapp", logw, app.WaitFills)
+	return serve.RunServer(ctx, srv, "webapp", logw, nil, app.WaitFills)
 }

@@ -95,6 +95,10 @@ type Decision struct {
 	// in dispatch order. Nil unless votes were skipped; always nil outside
 	// ModeAdaptive.
 	Skipped []string
+	// Unavailable lists voters dropped from the ensemble because their
+	// dependency was down (Engine.Degrade), in dispatch order. The
+	// decision settled over the survivors.
+	Unavailable []string
 	// TierLatencySeconds is the critical-path latency of each dispatched
 	// tier, in dispatch order (nil for the package-level Decide baseline).
 	TierLatencySeconds []float64

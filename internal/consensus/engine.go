@@ -10,6 +10,7 @@ import (
 
 	"factcheck/internal/dataset"
 	"factcheck/internal/obs"
+	"factcheck/internal/resilience"
 	"factcheck/internal/strategy"
 )
 
@@ -131,6 +132,15 @@ type Engine struct {
 	// failing when no Arbiter is set (the serving layer's contract; the
 	// offline reports keep Decide's tie-is-an-error behaviour).
 	AllowTie bool
+	// Degrade settles with the surviving ensemble when a voter is
+	// unavailable (hard-down model, open circuit breaker — see
+	// resilience.IsUnavailable) instead of erroring the whole decision:
+	// the unavailable voters are reported in Decision.Unavailable, cast
+	// no vote, and shrink the majority bound. Every voter unavailable is
+	// still an error — there is no ensemble left to decide. Transient
+	// (retry-exhausted) and semantic failures error regardless; only
+	// dependency unavailability is survivable.
+	Degrade bool
 }
 
 // Decide runs the engine for one fact. Every mode yields identical
@@ -157,6 +167,7 @@ func (e *Engine) Decide(ctx context.Context, f *dataset.Fact, fetch Fetch) (Deci
 
 	d := Decision{FactID: f.ID, Gold: f.Gold, Mode: e.Mode}
 	trues, falses := 0, 0
+	var unavailErr error
 	for wi, wave := range waves {
 		if wi > 0 {
 			if _, settled := Settled(trues, falses, n); settled {
@@ -188,6 +199,18 @@ func (e *Engine) Decide(ctx context.Context, f *dataset.Fact, fetch Fetch) (Deci
 		lat := 0.0
 		for i, m := range wave {
 			if werrs[i] != nil {
+				if e.Degrade && resilience.IsUnavailable(werrs[i]) {
+					// The voter's dependency is down, not the vote wrong:
+					// drop it from the ensemble. n shrinks with it, so the
+					// Settled bound at the next tier boundary is over the
+					// survivors.
+					d.Unavailable = append(d.Unavailable, m)
+					if unavailErr == nil {
+						unavailErr = werrs[i]
+					}
+					n--
+					continue
+				}
 				return Decision{}, st, fmt.Errorf("consensus: %s vote on %s: %w", m, f.ID, werrs[i])
 			}
 			o := wouts[i]
@@ -210,8 +233,14 @@ func (e *Engine) Decide(ctx context.Context, f *dataset.Fact, fetch Fetch) (Deci
 		d.TierLatencySeconds = append(d.TierLatencySeconds, lat)
 		d.LatencySeconds += lat
 	}
-	if st.Skipped = n - st.Dispatched; st.Skipped > 0 {
+	if st.Skipped = len(e.Plan.Order) - st.Dispatched; st.Skipped > 0 {
 		d.Skipped = append([]string(nil), e.Plan.Order[st.Dispatched:]...)
+	}
+	// Wrapping the first voter's error keeps the unavailability
+	// classification (resilience.IsUnavailable) intact, so the serving
+	// layer maps an all-down ensemble to 503, not 500.
+	if len(d.Votes) == 0 {
+		return Decision{}, st, fmt.Errorf("consensus: every voter unavailable for %s (%v): %w", f.ID, d.Unavailable, unavailErr)
 	}
 
 	// A partial dispatch only ever stops settled, so the majority of the

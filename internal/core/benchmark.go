@@ -29,8 +29,10 @@ import (
 	"factcheck/internal/consensus"
 	"factcheck/internal/corpus"
 	"factcheck/internal/dataset"
+	"factcheck/internal/fault"
 	"factcheck/internal/llm"
 	"factcheck/internal/rag"
+	"factcheck/internal/resilience"
 	"factcheck/internal/results"
 	"factcheck/internal/sched"
 	"factcheck/internal/search"
@@ -65,6 +67,15 @@ type Config struct {
 	// fingerprints — but it lets latency-structure benchmarks (serial vs
 	// fanned-out consensus) measure what a real model server would cost.
 	Pace float64
+	// Faults injects deterministic faults into model calls and ingestion
+	// folds (internal/fault). Like Pace it is an execution knob excluded
+	// from result-store fingerprints: a call that survives its faults
+	// (directly or via retries) produces byte-identical outcomes.
+	Faults fault.Plan
+	// Resilience, when set, wraps every model with capped-backoff retries
+	// for transient errors and a per-model circuit breaker
+	// (internal/resilience). Nil leaves failures to surface raw.
+	Resilience *resilience.Config
 }
 
 // DefaultConfig returns the full-benchmark configuration.
@@ -107,6 +118,12 @@ type Benchmark struct {
 	Engine   *search.Engine
 	Pipeline *rag.Pipeline
 
+	// Faults and Resilience execute the config's fault plan and
+	// retry/breaker policy; either may be nil (no-op). The serving layer
+	// reads Resilience for its breaker stats.
+	Faults     *fault.Injector
+	Resilience *resilience.Registry
+
 	modelsMu sync.Mutex
 	models   map[string]llm.Model
 
@@ -128,13 +145,15 @@ func NewBenchmark(cfg Config) *Benchmark {
 	gen := corpus.NewGenerator(w)
 	eng := search.NewEngine(gen, all...)
 	b := &Benchmark{
-		Config:   cfg,
-		World:    w,
-		Datasets: ds,
-		Corpus:   gen,
-		Engine:   eng,
-		Pipeline: rag.New(eng),
-		models:   map[string]llm.Model{},
+		Config:     cfg,
+		World:      w,
+		Datasets:   ds,
+		Corpus:     gen,
+		Engine:     eng,
+		Pipeline:   rag.New(eng),
+		Faults:     fault.New(cfg.Faults),
+		Resilience: resilience.NewRegistry(cfg.Resilience),
+		models:     map[string]llm.Model{},
 	}
 	return b
 }
@@ -152,10 +171,16 @@ func (b *Benchmark) Model(name string) (llm.Model, error) {
 	if err != nil {
 		return nil, err
 	}
+	// The execution chain wraps outward from the simulator: pacing turns
+	// simulated latency real, the fault injector fails/delays calls ahead
+	// of it, and the resilience layer (retry around breaker) sits
+	// outermost so injected transient errors are what it absorbs.
 	var wrapped llm.Model = m
 	if b.Config.Pace > 0 {
 		wrapped = llm.Paced{Model: m, Scale: b.Config.Pace}
 	}
+	wrapped = b.Faults.Model(wrapped)
+	wrapped = b.Resilience.Model(wrapped)
 	b.models[name] = wrapped
 	return wrapped, nil
 }
@@ -588,6 +613,9 @@ func (b *Benchmark) FactByID(id string) (*dataset.Fact, bool) {
 // keep their warm evidence. The corpus digest bump retires affected cell
 // fingerprints automatically.
 func (b *Benchmark) Ingest(docs []search.IngestDoc) (search.IngestResult, error) {
+	if err := b.Faults.IngestFault(); err != nil {
+		return search.IngestResult{}, err
+	}
 	res, err := b.Engine.Ingest(docs)
 	if err != nil {
 		return res, err

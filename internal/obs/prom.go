@@ -46,6 +46,40 @@ func (p *PromWriter) Gauge(name, help string, v float64) {
 	p.printf("%s %s\n", name, formatFloat(v))
 }
 
+// Labeled pairs one label value with one sample value, for the *Vec
+// emitters.
+type Labeled struct {
+	Label string
+	Value float64
+}
+
+// CounterVec emits one counter family with a sample per label value, in
+// the order given (callers sort for determinism). Empty families emit
+// nothing — a TYPE header with no samples is legal but noisy. Counter
+// samples must be integral (the lint enforces it), so values are rendered
+// with %d.
+func (p *PromWriter) CounterVec(name, help, label string, vals []Labeled) {
+	if len(vals) == 0 {
+		return
+	}
+	p.header(name, help, "counter")
+	for _, v := range vals {
+		p.printf("%s{%s=%q} %d\n", name, label, v.Label, uint64(v.Value))
+	}
+}
+
+// GaugeVec emits one gauge family with a sample per label value, in the
+// order given. Empty families emit nothing.
+func (p *PromWriter) GaugeVec(name, help, label string, vals []Labeled) {
+	if len(vals) == 0 {
+		return
+	}
+	p.header(name, help, "gauge")
+	for _, v := range vals {
+		p.printf("%s{%s=%q} %s\n", name, label, v.Label, formatFloat(v.Value))
+	}
+}
+
 // Info emits a value-1 gauge carrying identity labels (the build_info
 // convention). Label pairs must be passed in the desired output order as
 // key, value, key, value, ...

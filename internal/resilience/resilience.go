@@ -1,0 +1,256 @@
+// Package resilience is the serving stack's failure-handling layer: capped
+// exponential-backoff retries for transient model errors and per-model
+// circuit breakers, both deterministic by construction.
+//
+// Retries use det-seeded jitter keyed by (seed, model, claim, attempt), so
+// a retried chaos run backs off identically every time; a call that
+// recovers on retry returns the wrapped model's response untouched, so
+// retried verdicts are byte-identical to fault-free ones.
+//
+// Breakers are count-based, not time-based: a breaker opens after
+// Threshold consecutive failures, rejects calls while open, admits a probe
+// every ProbeEvery-th rejected call (half-open), and closes again after
+// ProbeSuccesses consecutive probe successes. Transitions are a pure
+// function of the call/outcome sequence — no clocks — which is what makes
+// breaker behaviour replayable across identical chaos runs.
+//
+// Error classification is duck-typed (no dependency on the fault package):
+// an error is transient when it (or anything it wraps) has a
+// `FaultTransient() bool` method returning true, and unavailable via
+// `FaultUnavailable() bool` — breaker rejections and hard-down faults are
+// unavailable, and the serving layer maps unavailable to degraded serving
+// or 503 instead of 500.
+package resilience
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Config parameterises the resilience layer. The zero value of a field
+// selects its documented default; a nil *Config disables the layer.
+type Config struct {
+	// Retries bounds retry attempts after the first call (so a call runs
+	// at most Retries+1 times). Default 3; negative disables retries.
+	Retries int
+	// RetryBase is the first backoff; each retry doubles it, capped at
+	// RetryMax, then multiplied by a det jitter in [0.5, 1.5].
+	// Defaults 5ms and 250ms.
+	RetryBase time.Duration
+	RetryMax  time.Duration
+	// Seed keys the backoff jitter (deterministic chaos runs replay
+	// identical backoff schedules).
+	Seed string
+	// Threshold is the consecutive-failure count that opens a breaker.
+	// Default 5; negative disables breakers.
+	Threshold int
+	// ProbeEvery admits one half-open probe per that many rejected calls
+	// while open. Default 4.
+	ProbeEvery int
+	// ProbeSuccesses is the consecutive probe successes that close an
+	// open breaker. Default 2.
+	ProbeSuccesses int
+}
+
+func (c Config) fill() Config {
+	if c.Retries == 0 {
+		c.Retries = 3
+	}
+	if c.RetryBase <= 0 {
+		c.RetryBase = 5 * time.Millisecond
+	}
+	if c.RetryMax <= 0 {
+		c.RetryMax = 250 * time.Millisecond
+	}
+	if c.Threshold == 0 {
+		c.Threshold = 5
+	}
+	if c.ProbeEvery <= 0 {
+		c.ProbeEvery = 4
+	}
+	if c.ProbeSuccesses <= 0 {
+		c.ProbeSuccesses = 2
+	}
+	return c
+}
+
+// IsTransient reports whether err carries a retryable fault marker.
+func IsTransient(err error) bool {
+	var t interface{ FaultTransient() bool }
+	return errors.As(err, &t) && t.FaultTransient()
+}
+
+// IsUnavailable reports whether err marks a hard-down or breaker-open
+// dependency — a failure mode the serving layer degrades around (stale
+// answer, surviving-ensemble consensus) instead of treating as a 500.
+func IsUnavailable(err error) bool {
+	var u interface{ FaultUnavailable() bool }
+	return errors.As(err, &u) && u.FaultUnavailable()
+}
+
+// OpenError reports a call rejected by an open circuit breaker.
+type OpenError struct {
+	Model string
+}
+
+// Error implements error.
+func (e *OpenError) Error() string {
+	return fmt.Sprintf("resilience: circuit breaker open for %s", e.Model)
+}
+
+// FaultUnavailable marks breaker rejections unavailable for classification.
+func (e *OpenError) FaultUnavailable() bool { return true }
+
+// State is a breaker state.
+type State int32
+
+// The breaker states, in escalation order.
+const (
+	Closed State = iota
+	Open
+	HalfOpen
+)
+
+// String implements fmt.Stringer.
+func (s State) String() string {
+	switch s {
+	case Closed:
+		return "closed"
+	case Open:
+		return "open"
+	case HalfOpen:
+		return "half-open"
+	}
+	return "unknown"
+}
+
+// Breaker is a count-based circuit breaker. All transitions happen under
+// one mutex on call/report boundaries; there are no clocks anywhere, so a
+// given sequence of outcomes always walks the same state sequence.
+type Breaker struct {
+	cfg Config
+
+	mu          sync.Mutex
+	state       State
+	consecFails int // closed: consecutive failures toward Threshold
+	rejects     int // open: rejections since opening, for probe cadence
+	probeWins   int // half-open: consecutive probe successes
+	probing     bool
+
+	stats BreakerStats
+}
+
+// BreakerStats counts a breaker's lifetime activity. Snapshot via
+// Breaker.Stats (or Registry.Stats for the whole ensemble).
+type BreakerStats struct {
+	// State is the current state name.
+	State string `json:"state"`
+	// Opens, HalfOpens and Closes count state transitions.
+	Opens     uint64 `json:"opens"`
+	HalfOpens uint64 `json:"half_opens"`
+	Closes    uint64 `json:"closes"`
+	// Rejected counts calls refused while open (including half-open
+	// with a probe already in flight); Probes counts admitted probes.
+	Rejected uint64 `json:"rejected"`
+	Probes   uint64 `json:"probes"`
+}
+
+// NewBreaker builds a breaker (cfg defaults filled).
+func NewBreaker(cfg Config) *Breaker { return &Breaker{cfg: cfg.fill()} }
+
+// Allow gates one call: admit reports whether to proceed, probe whether
+// the admitted call is a half-open probe (its outcome decides the
+// reopen/close transition). A rejected call must not reach the dependency.
+func (b *Breaker) Allow() (admit, probe bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case Closed:
+		return true, false
+	case Open:
+		b.rejects++
+		if b.rejects%b.cfg.ProbeEvery == 0 {
+			b.state = HalfOpen
+			b.stats.HalfOpens++
+			b.probing = true
+			b.probeWins = 0
+			b.stats.Probes++
+			return true, true
+		}
+		b.stats.Rejected++
+		return false, false
+	default: // HalfOpen
+		if b.probing {
+			b.stats.Rejected++
+			return false, false
+		}
+		b.probing = true
+		b.stats.Probes++
+		return true, true
+	}
+}
+
+// Report records an admitted call's outcome. Context errors are the
+// caller's (cancellation, deadline), not the dependency's: they leave the
+// breaker untouched.
+func (b *Breaker) Report(probe bool, err error) {
+	if err != nil && (errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)) {
+		if probe {
+			b.mu.Lock()
+			b.probing = false // the probe didn't run to a verdict; re-admit one
+			b.mu.Unlock()
+		}
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if probe {
+		b.probing = false
+		if err != nil {
+			// A failed probe reopens: back to rejecting, fresh cadence.
+			b.state = Open
+			b.stats.Opens++
+			b.rejects = 0
+			return
+		}
+		b.probeWins++
+		if b.probeWins >= b.cfg.ProbeSuccesses {
+			b.state = Closed
+			b.stats.Closes++
+			b.consecFails = 0
+		}
+		return
+	}
+	if b.state != Closed {
+		return // late report from a call admitted before the state moved
+	}
+	if err == nil {
+		b.consecFails = 0
+		return
+	}
+	b.consecFails++
+	if b.consecFails >= b.cfg.Threshold {
+		b.state = Open
+		b.stats.Opens++
+		b.rejects = 0
+	}
+}
+
+// State returns the current state.
+func (b *Breaker) State() State {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state
+}
+
+// Stats snapshots the breaker's counters.
+func (b *Breaker) Stats() BreakerStats {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	st := b.stats
+	st.State = b.state.String()
+	return st
+}

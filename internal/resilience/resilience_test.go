@@ -1,0 +1,380 @@
+package resilience
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"factcheck/internal/llm"
+)
+
+// transientErr and downErr are the duck-typed fault markers the layer
+// classifies on (the real ones live in internal/fault; the duck typing is
+// exactly what keeps this package free of that import).
+type transientErr struct{}
+
+func (transientErr) Error() string        { return "transient failure" }
+func (transientErr) FaultTransient() bool { return true }
+
+type downErr struct{}
+
+func (downErr) Error() string          { return "dependency down" }
+func (downErr) FaultUnavailable() bool { return true }
+
+// scriptMod fails its first failFor calls with err (forever when failFor
+// is negative), then answers resp.
+type scriptMod struct {
+	name    string
+	failFor int
+	err     error
+	resp    llm.Response
+
+	mu    sync.Mutex
+	calls int
+}
+
+func (m *scriptMod) Name() string     { return m.name }
+func (m *scriptMod) ParamsB() float64 { return 1 }
+func (m *scriptMod) Generate(context.Context, llm.Request) (llm.Response, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.calls++
+	if m.failFor < 0 || m.calls <= m.failFor {
+		return llm.Response{}, m.err
+	}
+	return m.resp, nil
+}
+
+func (m *scriptMod) callCount() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.calls
+}
+
+// fastRetry is a retry config whose backoff sleeps are negligible.
+func fastRetry() *Config {
+	return &Config{Retries: 3, RetryBase: time.Microsecond, RetryMax: 10 * time.Microsecond, Seed: "t"}
+}
+
+func TestClassification(t *testing.T) {
+	if !IsTransient(transientErr{}) || !IsTransient(fmt.Errorf("wrap: %w", transientErr{})) {
+		t.Error("transient marker not classified, bare or wrapped")
+	}
+	if IsTransient(errors.New("semantic")) || IsTransient(nil) {
+		t.Error("plain error classified transient")
+	}
+	if !IsUnavailable(downErr{}) || !IsUnavailable(fmt.Errorf("wrap: %w", &OpenError{Model: "m"})) {
+		t.Error("unavailable marker not classified, bare or wrapped")
+	}
+	if IsUnavailable(transientErr{}) || IsTransient(downErr{}) {
+		t.Error("transient and unavailable markers cross-classified")
+	}
+	if msg := (&OpenError{Model: "m"}).Error(); msg == "" {
+		t.Error("empty OpenError message")
+	}
+}
+
+// TestBreakerWalk drives one breaker through the full state machine:
+// closed -> open on Threshold consecutive failures, rejecting while open,
+// half-open probe every ProbeEvery-th rejected call, reopen on a failed
+// probe, closed again after ProbeSuccesses consecutive probe wins.
+func TestBreakerWalk(t *testing.T) {
+	b := NewBreaker(Config{Threshold: 3, ProbeEvery: 2, ProbeSuccesses: 2})
+	mustAllow := func(wantAdmit, wantProbe bool) {
+		t.Helper()
+		admit, probe := b.Allow()
+		if admit != wantAdmit || probe != wantProbe {
+			t.Fatalf("Allow() = (%v, %v), want (%v, %v) in state %v", admit, probe, wantAdmit, wantProbe, b.State())
+		}
+	}
+
+	// Three consecutive failures open the breaker.
+	for i := 0; i < 3; i++ {
+		mustAllow(true, false)
+		b.Report(false, transientErr{})
+	}
+	if b.State() != Open {
+		t.Fatalf("state after %d failures = %v, want open", 3, b.State())
+	}
+
+	// Open: the first rejected call is refused, the second admits a probe.
+	mustAllow(false, false)
+	mustAllow(true, true)
+	// A failed probe reopens with a fresh cadence.
+	b.Report(true, transientErr{})
+	if b.State() != Open {
+		t.Fatalf("state after failed probe = %v, want open", b.State())
+	}
+	mustAllow(false, false)
+	mustAllow(true, true)
+	// First probe success: still half-open, the next call probes again.
+	b.Report(true, nil)
+	if b.State() != HalfOpen {
+		t.Fatalf("state after one probe win = %v, want half-open", b.State())
+	}
+	mustAllow(true, true)
+	b.Report(true, nil)
+	if b.State() != Closed {
+		t.Fatalf("state after %d probe wins = %v, want closed", 2, b.State())
+	}
+	mustAllow(true, false)
+
+	st := b.Stats()
+	if st.Opens != 2 || st.HalfOpens != 2 || st.Closes != 1 || st.Rejected != 2 || st.Probes != 3 || st.State != "closed" {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+// TestBreakerProbeInFlight: half-open admits exactly one probe; calls
+// racing the in-flight probe are rejected, not run.
+func TestBreakerProbeInFlight(t *testing.T) {
+	b := NewBreaker(Config{Threshold: 1, ProbeEvery: 1})
+	b.Allow()
+	b.Report(false, transientErr{})
+	if admit, probe := b.Allow(); !admit || !probe {
+		t.Fatalf("probe not admitted: (%v, %v)", admit, probe)
+	}
+	if admit, _ := b.Allow(); admit {
+		t.Fatal("second call admitted beside an in-flight probe")
+	}
+}
+
+// TestBreakerSuccessResetsCount: the failure count toward Threshold is
+// consecutive, not cumulative.
+func TestBreakerSuccessResetsCount(t *testing.T) {
+	b := NewBreaker(Config{Threshold: 3})
+	fail := func() { b.Allow(); b.Report(false, transientErr{}) }
+	fail()
+	fail()
+	b.Allow()
+	b.Report(false, nil)
+	fail()
+	fail()
+	if b.State() != Closed {
+		t.Fatalf("state = %v after interleaved success, want closed", b.State())
+	}
+	fail()
+	if b.State() != Open {
+		t.Fatalf("state = %v after three consecutive failures, want open", b.State())
+	}
+}
+
+// TestBreakerIgnoresCallerContextErrors: cancellation and deadline expiry
+// are the caller's failures, not the dependency's.
+func TestBreakerIgnoresCallerContextErrors(t *testing.T) {
+	b := NewBreaker(Config{Threshold: 2})
+	for i := 0; i < 10; i++ {
+		b.Allow()
+		b.Report(false, context.Canceled)
+		b.Allow()
+		b.Report(false, fmt.Errorf("rpc: %w", context.DeadlineExceeded))
+	}
+	if b.State() != Closed {
+		t.Fatalf("state = %v after caller context errors, want closed", b.State())
+	}
+	// A probe cut by its caller's deadline reached no verdict: the breaker
+	// stays half-open and re-admits a probe.
+	b = NewBreaker(Config{Threshold: 1, ProbeEvery: 1})
+	b.Allow()
+	b.Report(false, transientErr{})
+	_, probe := b.Allow()
+	if !probe {
+		t.Fatal("probe not admitted")
+	}
+	b.Report(true, context.DeadlineExceeded)
+	if b.State() != HalfOpen {
+		t.Fatalf("state = %v after context-cut probe, want half-open", b.State())
+	}
+	if admit, probe := b.Allow(); !admit || !probe {
+		t.Fatalf("replacement probe not admitted: (%v, %v)", admit, probe)
+	}
+}
+
+// TestBreakerLateReport: an outcome reported after the state moved on (a
+// call admitted closed, finishing while open) must not disturb the walk.
+func TestBreakerLateReport(t *testing.T) {
+	b := NewBreaker(Config{Threshold: 1})
+	b.Allow()
+	b.Allow() // both admitted while closed
+	b.Report(false, transientErr{})
+	if b.State() != Open {
+		t.Fatal("breaker did not open")
+	}
+	opens := b.Stats().Opens
+	b.Report(false, transientErr{}) // the straggler lands while open
+	if st := b.Stats(); st.Opens != opens || st.State != "open" {
+		t.Fatalf("late report moved the breaker: %+v", st)
+	}
+}
+
+// TestRetryRecovery: a model failing transiently under the retry budget
+// recovers to the wrapped model's exact response, and the registry counts
+// the sleeps and the recovery.
+func TestRetryRecovery(t *testing.T) {
+	reg := NewRegistry(fastRetry())
+	inner := &scriptMod{name: "m", failFor: 2, err: transientErr{}, resp: llm.Response{Text: "payload"}}
+	m := reg.Model(inner)
+	resp, err := m.Generate(context.Background(), llm.Request{})
+	if err != nil || resp.Text != "payload" {
+		t.Fatalf("recovered call = (%+v, %v)", resp, err)
+	}
+	if inner.callCount() != 3 {
+		t.Fatalf("inner calls = %d, want 3 (1 + 2 retries)", inner.callCount())
+	}
+	if st := reg.Stats(); st.Retries != 2 || st.Recovered != 1 || st.Exhausted != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestRetryExhausted(t *testing.T) {
+	reg := NewRegistry(fastRetry())
+	inner := &scriptMod{name: "m", failFor: -1, err: transientErr{}}
+	_, err := reg.Model(inner).Generate(context.Background(), llm.Request{})
+	if !IsTransient(err) {
+		t.Fatalf("exhausted call returned %v, want the transient error", err)
+	}
+	if inner.callCount() != 4 {
+		t.Fatalf("inner calls = %d, want 4 (1 + 3 retries)", inner.callCount())
+	}
+	if st := reg.Stats(); st.Retries != 3 || st.Recovered != 0 || st.Exhausted != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+// TestNoRetryOnSemanticOrUnavailable: only transient faults burn retry
+// budget; semantic and hard-down errors return on the first attempt.
+func TestNoRetryOnSemanticOrUnavailable(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		err  error
+	}{
+		{"semantic", errors.New("bad verdict")},
+		{"unavailable", downErr{}},
+	} {
+		reg := NewRegistry(fastRetry())
+		inner := &scriptMod{name: "m", failFor: -1, err: tc.err}
+		_, err := reg.Model(inner).Generate(context.Background(), llm.Request{})
+		if !errors.Is(err, tc.err) {
+			t.Fatalf("%s: returned %v, want %v", tc.name, err, tc.err)
+		}
+		if inner.callCount() != 1 {
+			t.Fatalf("%s: inner calls = %d, want 1", tc.name, inner.callCount())
+		}
+		if st := reg.Stats(); st.Retries != 0 {
+			t.Fatalf("%s: retried a non-transient failure: %+v", tc.name, st)
+		}
+	}
+}
+
+// TestBreakerOpensUnderStorm: every attempt passes the breaker gate, so a
+// storm of failures trips it and later calls are rejected without ever
+// reaching the model.
+func TestBreakerOpensUnderStorm(t *testing.T) {
+	reg := NewRegistry(&Config{Retries: -1, Threshold: 5, Seed: "t"})
+	inner := &scriptMod{name: "m", failFor: -1, err: transientErr{}}
+	m := reg.Model(inner)
+	for i := 0; i < 5; i++ {
+		if _, err := m.Generate(context.Background(), llm.Request{}); !IsTransient(err) {
+			t.Fatalf("call %d: %v", i, err)
+		}
+	}
+	_, err := m.Generate(context.Background(), llm.Request{})
+	var open *OpenError
+	if !errors.As(err, &open) || open.Model != "m" || !IsUnavailable(err) {
+		t.Fatalf("call past threshold returned %v, want OpenError for m", err)
+	}
+	if inner.callCount() != 5 {
+		t.Fatalf("inner calls = %d, rejected call reached the model", inner.callCount())
+	}
+	st := reg.Stats().Breakers["m"]
+	if st.State != "open" || st.Opens != 1 || st.Rejected != 1 {
+		t.Fatalf("breaker stats = %+v", st)
+	}
+}
+
+// TestBreakerRecoversViaProbes: once the dependency heals, probes close
+// the breaker and traffic flows again.
+func TestBreakerRecoversViaProbes(t *testing.T) {
+	reg := NewRegistry(&Config{Retries: -1, Threshold: 2, ProbeEvery: 1, ProbeSuccesses: 2, Seed: "t"})
+	inner := &scriptMod{name: "m", failFor: 2, err: transientErr{}, resp: llm.Response{Text: "ok"}}
+	m := reg.Model(inner)
+	m.Generate(context.Background(), llm.Request{})
+	m.Generate(context.Background(), llm.Request{}) // breaker opens; model heals
+	for i := 0; i < 2; i++ {                        // ProbeEvery=1: every call probes
+		if _, err := m.Generate(context.Background(), llm.Request{}); err != nil {
+			t.Fatalf("probe %d: %v", i, err)
+		}
+	}
+	st := reg.Stats().Breakers["m"]
+	if st.State != "closed" || st.Opens != 1 || st.Closes != 1 || st.Probes != 2 {
+		t.Fatalf("breaker stats = %+v", st)
+	}
+	if resp, err := m.Generate(context.Background(), llm.Request{}); err != nil || resp.Text != "ok" {
+		t.Fatalf("post-recovery call = (%+v, %v)", resp, err)
+	}
+}
+
+// TestBackoffHonoursContext: a context expiring mid-backoff returns the
+// last dependency error promptly instead of sleeping out the schedule.
+func TestBackoffHonoursContext(t *testing.T) {
+	reg := NewRegistry(&Config{Retries: 3, RetryBase: time.Minute, RetryMax: time.Minute, Seed: "t"})
+	inner := &scriptMod{name: "m", failFor: -1, err: transientErr{}}
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := reg.Model(inner).Generate(ctx, llm.Request{})
+	if el := time.Since(start); el > 5*time.Second {
+		t.Fatalf("cancelled backoff slept %v", el)
+	}
+	if !IsTransient(err) {
+		t.Fatalf("cancelled backoff returned %v, want the last transient error", err)
+	}
+	if inner.callCount() != 1 {
+		t.Fatalf("inner calls = %d, want 1 (retry cut by context)", inner.callCount())
+	}
+}
+
+func TestNilRegistry(t *testing.T) {
+	var reg *Registry
+	if NewRegistry(nil) != nil {
+		t.Fatal("NewRegistry(nil) != nil")
+	}
+	inner := &scriptMod{name: "m"}
+	if got := reg.Model(inner); got != llm.Model(inner) {
+		t.Error("nil registry rewrapped the model")
+	}
+	if reg.Breaker("m") != nil {
+		t.Error("nil registry built a breaker")
+	}
+	if st := reg.Stats(); st.Retries != 0 || st.Recovered != 0 || st.Exhausted != 0 || st.Breakers != nil {
+		t.Errorf("nil registry stats = %+v", st)
+	}
+	if reg.BreakerModels() != nil {
+		t.Error("nil registry listed breaker models")
+	}
+	// Threshold < 0 disables breakers but keeps retries.
+	reg = NewRegistry(&Config{Threshold: -1})
+	if reg.Breaker("m") != nil {
+		t.Error("Threshold<0 still built a breaker")
+	}
+}
+
+func TestBreakerModelsSorted(t *testing.T) {
+	reg := NewRegistry(&Config{})
+	for _, n := range []string{"zeta", "alpha", "mid"} {
+		reg.Breaker(n)
+	}
+	got := reg.BreakerModels()
+	want := []string{"alpha", "mid", "zeta"}
+	if len(got) != len(want) {
+		t.Fatalf("models = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("models = %v, want %v", got, want)
+		}
+	}
+}

@@ -117,6 +117,12 @@ const staleTempAge = time.Hour
 type Store struct {
 	dir string
 
+	// tamper, when set, may rewrite a snapshot's encoded bytes just
+	// before they hit disk (deterministic fault injection: corrupt
+	// snapshots that the next Open must reject). The in-memory table
+	// always keeps the genuine outcomes.
+	tamper func(fp uint64, data []byte) []byte
+
 	mu    sync.RWMutex
 	cells map[Fingerprint][]strategy.Outcome
 }
@@ -184,6 +190,13 @@ func Open(dir string) (*Store, error) {
 // Dir returns the backing directory ("" for in-memory stores).
 func (s *Store) Dir() string { return s.dir }
 
+// SetWriteTamper installs a hook that may rewrite snapshot bytes on their
+// way to disk (nil clears it). A chaos harness uses it to write corrupt
+// snapshots; the codec's load-time rejection then turns corruption into a
+// recomputed cell instead of served garbage. Set before serving traffic —
+// the hook is read without synchronisation.
+func (s *Store) SetWriteTamper(f func(fp uint64, data []byte) []byte) { s.tamper = f }
+
 // Len returns the number of cells in the table.
 func (s *Store) Len() int {
 	s.mu.RLock()
@@ -206,6 +219,9 @@ func (s *Store) Get(fp Fingerprint) ([]strategy.Outcome, bool) {
 func (s *Store) Put(fp Fingerprint, outs []strategy.Outcome) error {
 	if s.dir != "" {
 		data := Encode(fp, outs)
+		if s.tamper != nil {
+			data = s.tamper(uint64(fp), data)
+		}
 		tmp, err := os.CreateTemp(s.dir, "put-*.tmp")
 		if err != nil {
 			return fmt.Errorf("results: creating snapshot temp file: %w", err)

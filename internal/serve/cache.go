@@ -99,6 +99,28 @@ func (c *verdictCache) put(k verdictKey, out strategy.Outcome) {
 	}
 }
 
+// getStale returns the (cell, fact) verdict under any epoch, preferring
+// the newest — the degraded-serving fallback when fresh resolution is
+// unavailable (breaker open, model down). It scans the whole cache, which
+// only the unavailability path ever pays for.
+func (c *verdictCache) getStale(cell core.Cell, factID string) (strategy.Outcome, bool) {
+	var best strategy.Outcome
+	var bestEpoch uint64
+	found := false
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		for k, el := range s.entries {
+			if k.cell == cell && k.factID == factID && (!found || k.epoch > bestEpoch) {
+				found, bestEpoch = true, k.epoch
+				best = el.Value.(*cacheEntry).out
+			}
+		}
+		s.mu.Unlock()
+	}
+	return best, found
+}
+
 // sweepStale removes the fact's entries whose epoch predates the given
 // one. Epoch-keyed lookups already make such entries unreachable; the
 // sweep reclaims their memory eagerly instead of waiting for LRU pressure.

@@ -14,11 +14,14 @@ const drainTimeout = 15 * time.Second
 
 // RunServer is the shared serve-until-signalled scaffold of the repo's
 // daemons (factcheckd, webapp, mockapi): it runs srv until ctx is
-// cancelled, then drains gracefully — stop accepting, finish in-flight
-// requests (up to drainTimeout), run the app-specific drain hook (nil for
-// none), and log the outcome. The log reports "drain cut off" instead of
-// "drained" when the timeout expired with requests still in flight.
-func RunServer(ctx context.Context, srv *http.Server, name string, logw io.Writer, drain func()) error {
+// cancelled, then drains gracefully — flip readiness off via the
+// app-specific drainStart hook (nil for none; factcheckd fails /readyz
+// here so load balancers stop routing while in-flight work finishes),
+// stop accepting, finish in-flight requests (up to drainTimeout), run the
+// app-specific drain hook (nil for none), and log the outcome. The log
+// reports "drain cut off" instead of "drained" when the timeout expired
+// with requests still in flight.
+func RunServer(ctx context.Context, srv *http.Server, name string, logw io.Writer, drainStart, drain func()) error {
 	errc := make(chan error, 1)
 	go func() { errc <- srv.ListenAndServe() }()
 	fmt.Fprintf(logw, "%s: serving on %s\n", name, srv.Addr)
@@ -28,6 +31,9 @@ func RunServer(ctx context.Context, srv *http.Server, name string, logw io.Write
 	case <-ctx.Done():
 	}
 	fmt.Fprintf(logw, "%s: draining...\n", name)
+	if drainStart != nil {
+		drainStart()
+	}
 	shCtx, cancel := context.WithTimeout(context.Background(), drainTimeout)
 	defer cancel()
 	err := srv.Shutdown(shCtx)

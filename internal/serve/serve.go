@@ -34,6 +34,7 @@ import (
 	"net"
 	"net/http"
 	"runtime"
+	"sort"
 	"strconv"
 	"sync"
 	"sync/atomic"
@@ -44,6 +45,7 @@ import (
 	"factcheck/internal/dataset"
 	"factcheck/internal/llm"
 	"factcheck/internal/obs"
+	"factcheck/internal/resilience"
 	"factcheck/internal/sched"
 	"factcheck/internal/search"
 	"factcheck/internal/strategy"
@@ -111,6 +113,13 @@ type Config struct {
 	// TraceSeed, when non-empty, derives deterministic trace IDs from the
 	// request sequence number (det-hashed); otherwise IDs are random.
 	TraceSeed string
+	// RequestTimeout bounds each admitted request end to end: the
+	// handler's context expires after it, every layer below honours the
+	// context (executor handoff, singleflight waits, model calls, fault
+	// stalls), and an expired verification answers 504 + Retry-After
+	// instead of hanging. 0 (the default) disables the deadline — and
+	// keeps the warm path free of the context allocation.
+	RequestTimeout time.Duration
 }
 
 // DefaultConfig returns the production defaults (with FillCells on).
@@ -187,6 +196,12 @@ type Service struct {
 	// GET /v1/trace/{id}).
 	tracer *obs.Tracer
 
+	// draining flips at drain start (StartDrain): /readyz answers 503 and
+	// the admission wrapper rejects new work while in-flight requests
+	// finish — readiness is the first thing to go, work admission the
+	// same instant, liveness (/healthz) never.
+	draining atomic.Bool
+
 	stats serviceStats
 }
 
@@ -228,6 +243,18 @@ type serviceStats struct {
 	consensusSkipped     atomic.Uint64
 	consensusEscalations atomic.Uint64
 	consensusArbiters    atomic.Uint64
+	consensusDegraded    atomic.Uint64
+
+	// Resilience-path counters: stale verdicts served degraded, verdicts
+	// refused because the dependency was unavailable with no stale copy
+	// (503), requests cut off by the per-request deadline (504), ingest
+	// folds retried after transient failures, and batches dropped after
+	// the redelivery budget.
+	degraded      atomic.Uint64
+	unavailable   atomic.Uint64
+	deadlines     atomic.Uint64
+	ingestRetries atomic.Uint64
+	ingestDropped atomic.Uint64
 }
 
 // New builds a service over a benchmark and a result store (use
@@ -264,17 +291,36 @@ func New(bench *core.Benchmark, store *core.Store, cfg Config) *Service {
 	return s
 }
 
+// ingestRedelivery bounds how many times the background builder retries a
+// transiently-failing fold before dropping the batch. Acknowledged batches
+// (202) should survive transient dependency hiccups, but an unfoldable
+// batch must not wedge the builder forever.
+const ingestRedelivery = 3
+
 // ingestLoop is the background builder: it folds admitted document batches
 // into fresh corpus epoch snapshots one at a time, then sweeps the touched
 // facts' now-stale verdict-LRU entries. Admission never blocks on a fold —
 // the bounded channel is the backpressure boundary — and readers never
 // block at all (the engine publishes each epoch with one pointer store).
+// Transient fold failures are retried up to ingestRedelivery times with a
+// short doubling backoff; a batch still failing after that is dropped and
+// counted, never silently lost.
 func (s *Service) ingestLoop() {
 	defer close(s.ingestDone)
 	for docs := range s.ingestCh {
-		res, err := s.bench.Ingest(docs)
+		var res search.IngestResult
+		var err error
+		for attempt := 0; ; attempt++ {
+			res, err = s.bench.Ingest(docs)
+			if err == nil || !resilience.IsTransient(err) || attempt >= ingestRedelivery {
+				break
+			}
+			s.stats.ingestRetries.Add(1)
+			time.Sleep(time.Duration(2<<attempt) * time.Millisecond)
+		}
 		if err != nil {
-			continue // batches are validated at admission; a failure is benign
+			s.stats.ingestDropped.Add(1)
+			continue // batches are validated at admission; a drop means retries ran dry
 		}
 		var swept uint64
 		for factID, epoch := range res.Epochs {
@@ -301,6 +347,13 @@ func (s *Service) Drain() {
 	s.filler.Close()
 	s.exec.Close()
 }
+
+// StartDrain marks the service draining: /readyz answers 503 + Retry-After
+// (telling load balancers to route elsewhere) and the admission wrapper
+// rejects new work, while requests already admitted run to completion.
+// Call it the moment shutdown begins — before http.Server.Shutdown, which
+// waits out the in-flight handlers — then Drain once the handlers are done.
+func (s *Service) StartDrain() { s.draining.Store(true) }
 
 // --- verdict resolution --------------------------------------------------
 
@@ -497,8 +550,14 @@ type VerdictResponse struct {
 	PromptTokens     int     `json:"prompt_tokens"`
 	CompletionTokens int     `json:"completion_tokens"`
 	Explanation      string  `json:"explanation"`
-	// Source is the layer that answered: "lru", "store" or "computed".
+	// Source is the layer that answered: "lru", "store", "computed" or
+	// "degraded" (a stale verdict served because fresh resolution was
+	// unavailable).
 	Source string `json:"source"`
+	// Degraded marks a stale verdict served under graceful degradation: the
+	// model (or its circuit breaker) was unavailable and a previous epoch's
+	// verdict was returned instead of an error.
+	Degraded bool `json:"degraded,omitempty"`
 }
 
 // BatchRequest asks for several verdicts in one round trip.
@@ -540,6 +599,11 @@ type ConsensusResponse struct {
 	// Skipped lists voters the early-stop planner proved unnecessary, in
 	// dispatch order (adaptive mode only).
 	Skipped []string `json:"skipped,omitempty"`
+	// Unavailable lists voters dropped because their dependency was down
+	// (hard-down model, open circuit breaker); the decision settled over
+	// the survivors. Degraded is set whenever the list is non-empty.
+	Unavailable []string `json:"unavailable,omitempty"`
+	Degraded    bool     `json:"degraded,omitempty"`
 	// LatencyMS is the simulated decided-at latency of the consensus: the
 	// per-tier critical paths actually waited on, summed.
 	LatencyMS float64 `json:"latency_ms"`
@@ -581,6 +645,20 @@ type Stats struct {
 	ConsensusSkipped     uint64 `json:"consensus_votes_skipped"`
 	ConsensusEscalations uint64 `json:"consensus_escalations"`
 	ConsensusArbiters    uint64 `json:"consensus_arbiter_calls"`
+	ConsensusDegraded    uint64 `json:"consensus_degraded"`
+
+	// Resilience-path counters: stale verdicts served degraded, 503s for
+	// unavailable dependencies with no stale copy, 504s from the request
+	// deadline, and the background builder's ingest retries/drops.
+	Degraded      uint64 `json:"degraded_served"`
+	Unavailable   uint64 `json:"unavailable_rejected"`
+	Deadlines     uint64 `json:"deadline_timeouts"`
+	IngestRetries uint64 `json:"ingest_retries"`
+	IngestDropped uint64 `json:"ingest_dropped"`
+
+	// Resilience snapshots the retry counters and per-model circuit
+	// breakers (zero value when no resilience policy is configured).
+	Resilience resilience.Stats `json:"resilience"`
 
 	// Retrieval mirrors the search engine's cumulative counters — cache
 	// behaviour plus the pruned top-k's work accounting (queries, postings
@@ -632,6 +710,14 @@ func (s *Service) Stats() Stats {
 		ConsensusSkipped:     s.stats.consensusSkipped.Load(),
 		ConsensusEscalations: s.stats.consensusEscalations.Load(),
 		ConsensusArbiters:    s.stats.consensusArbiters.Load(),
+		ConsensusDegraded:    s.stats.consensusDegraded.Load(),
+
+		Degraded:      s.stats.degraded.Load(),
+		Unavailable:   s.stats.unavailable.Load(),
+		Deadlines:     s.stats.deadlines.Load(),
+		IngestRetries: s.stats.ingestRetries.Load(),
+		IngestDropped: s.stats.ingestDropped.Load(),
+		Resilience:    s.bench.Resilience.Stats(),
 	}
 }
 
@@ -644,7 +730,8 @@ func (s *Service) Stats() Stats {
 //	GET  /v1/consensus/{fact}[?mode=serial|eager|adaptive] -> ConsensusResponse
 //	GET  /v1/facts                                     -> fact IDs per dataset
 //	GET  /v1/trace/{id}                                -> one sampled trace's spans
-//	GET  /healthz, GET /statsz, GET /metricsz
+//	GET  /healthz (liveness), GET /readyz (readiness; 503 while draining)
+//	GET  /statsz, GET /metricsz
 //
 // Verification and ingestion endpoints sit behind the rate limiter and
 // admission queue; health, stats, metrics, traces and fact listing bypass
@@ -658,8 +745,20 @@ func (s *Service) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/consensus/{fact}", s.admitted("consensus", s.handleConsensus))
 	mux.HandleFunc("GET /v1/facts", s.handleFacts)
 	mux.HandleFunc("GET /v1/trace/{id}", s.handleTrace)
+	// /healthz is liveness (the process is up — always 200 while serving,
+	// even mid-drain); /readyz is readiness (the process wants traffic —
+	// flips to 503 the instant draining starts, before any in-flight
+	// request finishes, so load balancers stop routing here first).
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+	mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, _ *http.Request) {
+		if s.draining.Load() {
+			w.Header().Set("Retry-After", strconv.Itoa(retrySeconds(s.cfg.RetryAfter)))
+			writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
 	})
 	mux.HandleFunc("GET /statsz", func(w http.ResponseWriter, _ *http.Request) {
 		writeJSON(w, http.StatusOK, s.Stats())
@@ -747,6 +846,11 @@ func (s *Service) admitted(endpoint string, next http.HandlerFunc) http.HandlerF
 		defer func() { endpointHist.Observe(time.Since(start)) }()
 
 		s.stats.requests.Add(1)
+		if s.draining.Load() {
+			w.Header().Set("Retry-After", strconv.Itoa(retrySeconds(s.cfg.RetryAfter)))
+			httpError(w, http.StatusServiceUnavailable, "draining")
+			return
+		}
 		_, endRL := obs.StartSpan(ctx, "ratelimit")
 		rlStart := time.Now()
 		ok, wait := s.limiter.allow(clientID(r))
@@ -773,24 +877,73 @@ func (s *Service) admitted(endpoint string, next http.HandlerFunc) http.HandlerF
 			httpError(w, http.StatusServiceUnavailable, "admission queue full")
 			return
 		}
+		if s.cfg.RequestTimeout > 0 {
+			tctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+			defer cancel()
+			r = r.WithContext(tctx)
+		}
 		next(w, r)
 	}
 }
 
-// apiError pairs a message with its HTTP status.
+// apiError pairs a message with its HTTP status and an optional
+// Retry-After hint (seconds; 0 = none). Every retryable rejection — 429,
+// 503, 504 — carries the hint, so a well-behaved client never has to guess
+// a backoff.
 type apiError struct {
-	status int
-	msg    string
+	status     int
+	msg        string
+	retryAfter int
 }
 
 func (e *apiError) Error() string { return e.msg }
+
+// writeError renders an apiError, setting Retry-After when the error
+// carries a hint.
+func (s *Service) writeError(w http.ResponseWriter, aerr *apiError) {
+	if aerr.retryAfter > 0 {
+		w.Header().Set("Retry-After", strconv.Itoa(aerr.retryAfter))
+	}
+	httpError(w, aerr.status, aerr.msg)
+}
+
+// classifyError maps a resolution failure to its API error. The taxonomy
+// is the resilience stack's contract with clients:
+//
+//   - the request deadline expired → 504 + Retry-After (the work was cut
+//     off, not wrong; a retry may hit a warm cache);
+//   - a dependency is unavailable (model hard-down, circuit open) →
+//     503 + Retry-After (callers with a stale verdict to fall back on
+//     handle this case before classifying);
+//   - a transient failure exhausted its retries → 503 + Retry-After, not
+//     500: the next attempt is as likely as any to succeed, and under
+//     injected fault rates a 500 here would make error budgets
+//     probabilistic instead of contractual;
+//   - anything else is a genuine server error → 500.
+func (s *Service) classifyError(err error) *apiError {
+	ra := retrySeconds(s.cfg.RetryAfter)
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		s.stats.deadlines.Add(1)
+		return &apiError{status: http.StatusGatewayTimeout, retryAfter: ra,
+			msg: "request deadline exceeded: " + err.Error()}
+	case resilience.IsUnavailable(err):
+		s.stats.unavailable.Add(1)
+		return &apiError{status: http.StatusServiceUnavailable, retryAfter: ra,
+			msg: "dependency unavailable: " + err.Error()}
+	case resilience.IsTransient(err):
+		return &apiError{status: http.StatusServiceUnavailable, retryAfter: ra,
+			msg: "transient failure: " + err.Error()}
+	}
+	return &apiError{status: http.StatusInternalServerError, msg: err.Error()}
+}
 
 // parseTarget validates the request coordinates and resolves the fact.
 func (s *Service) parseTarget(req VerifyRequest) (core.Cell, *dataset.Fact, int, *apiError) {
 	dn := dataset.Name(req.Dataset)
 	d, ok := s.bench.Datasets[dn]
 	if !ok {
-		return core.Cell{}, nil, 0, &apiError{http.StatusNotFound, "unknown dataset " + req.Dataset}
+		return core.Cell{}, nil, 0, &apiError{status: http.StatusNotFound, msg: "unknown dataset " + req.Dataset}
 	}
 	method := llm.Method(req.Method)
 	okMethod := false
@@ -801,7 +954,7 @@ func (s *Service) parseTarget(req VerifyRequest) (core.Cell, *dataset.Fact, int,
 		}
 	}
 	if !okMethod {
-		return core.Cell{}, nil, 0, &apiError{http.StatusBadRequest, "unknown method " + req.Method}
+		return core.Cell{}, nil, 0, &apiError{status: http.StatusBadRequest, msg: "unknown method " + req.Method}
 	}
 	okModel := false
 	for _, m := range s.bench.Config.Models {
@@ -811,12 +964,12 @@ func (s *Service) parseTarget(req VerifyRequest) (core.Cell, *dataset.Fact, int,
 		}
 	}
 	if !okModel {
-		return core.Cell{}, nil, 0, &apiError{http.StatusNotFound, "unknown model " + req.Model}
+		return core.Cell{}, nil, 0, &apiError{status: http.StatusNotFound, msg: "unknown model " + req.Model}
 	}
 	idx, ok := s.bench.FactIndex(dn)[req.FactID]
 	if !ok {
-		return core.Cell{}, nil, 0, &apiError{http.StatusNotFound,
-			fmt.Sprintf("unknown fact %s in dataset %s", req.FactID, req.Dataset)}
+		return core.Cell{}, nil, 0, &apiError{status: http.StatusNotFound,
+			msg: fmt.Sprintf("unknown fact %s in dataset %s", req.FactID, req.Dataset)}
 	}
 	return core.Cell{Dataset: dn, Method: method, Model: req.Model}, d.Facts[idx], idx, nil
 }
@@ -852,10 +1005,10 @@ func decodeBody(w http.ResponseWriter, r *http.Request, v any) *apiError {
 	if err := json.NewDecoder(r.Body).Decode(v); err != nil {
 		var tooBig *http.MaxBytesError
 		if errors.As(err, &tooBig) {
-			return &apiError{http.StatusRequestEntityTooLarge,
-				fmt.Sprintf("request body exceeds %d bytes", tooBig.Limit)}
+			return &apiError{status: http.StatusRequestEntityTooLarge,
+				msg: fmt.Sprintf("request body exceeds %d bytes", tooBig.Limit)}
 		}
-		return &apiError{http.StatusBadRequest, "malformed request body: " + err.Error()}
+		return &apiError{status: http.StatusBadRequest, msg: "malformed request body: " + err.Error()}
 	}
 	return nil
 }
@@ -868,7 +1021,7 @@ func (s *Service) handleVerify(w http.ResponseWriter, r *http.Request) {
 	}
 	resp, aerr := s.resolveOne(r.Context(), req)
 	if aerr != nil {
-		httpError(w, aerr.status, aerr.msg)
+		s.writeError(w, aerr)
 		return
 	}
 	writeJSON(w, http.StatusOK, resp)
@@ -883,7 +1036,20 @@ func (s *Service) resolveOne(ctx context.Context, req VerifyRequest) (*VerdictRe
 	}
 	out, source, err := s.verdict(ctx, cell, f, idx)
 	if err != nil {
-		return nil, &apiError{http.StatusInternalServerError, err.Error()}
+		// Degraded serving: when the dependency is unavailable (not merely
+		// slow or failing transiently), a stale verdict beats no verdict —
+		// verdicts are deterministic per corpus epoch, so "stale" means "for
+		// an earlier corpus", not "possibly wrong". The response is marked so
+		// clients can tell.
+		if resilience.IsUnavailable(err) {
+			if stale, ok := s.cache.getStale(cell, f.ID); ok {
+				s.stats.degraded.Add(1)
+				resp := verdictResponse(cell, stale, "degraded")
+				resp.Degraded = true
+				return resp, nil
+			}
+		}
+		return nil, s.classifyError(err)
 	}
 	return verdictResponse(cell, out, source), nil
 }
@@ -1070,10 +1236,10 @@ func (s *Service) handleConsensus(w http.ResponseWriter, r *http.Request) {
 	if err != nil {
 		var aerr *apiError
 		if errors.As(err, &aerr) {
-			httpError(w, aerr.status, aerr.msg)
+			s.writeError(w, aerr)
 			return
 		}
-		httpError(w, http.StatusInternalServerError, err.Error())
+		s.writeError(w, s.classifyError(err))
 		return
 	}
 	writeJSON(w, http.StatusOK, resp)
@@ -1089,13 +1255,13 @@ func (s *Service) handleConsensus(w http.ResponseWriter, r *http.Request) {
 func (s *Service) Consensus(ctx context.Context, factID string, mode consensus.Mode) (*ConsensusResponse, error) {
 	f, ok := s.bench.FactByID(factID)
 	if !ok {
-		return nil, &apiError{http.StatusNotFound, "unknown fact " + factID}
+		return nil, &apiError{status: http.StatusNotFound, msg: "unknown fact " + factID}
 	}
 	idx, ok := s.bench.FactIndex(f.Dataset)[factID]
 	if !ok {
-		return nil, &apiError{http.StatusNotFound, "unknown fact " + factID}
+		return nil, &apiError{status: http.StatusNotFound, msg: "unknown fact " + factID}
 	}
-	eng := &consensus.Engine{Plan: s.plan, Mode: mode, AllowTie: true}
+	eng := &consensus.Engine{Plan: s.plan, Mode: mode, AllowTie: true, Degrade: true}
 	fetch := func(ctx context.Context, model string) (strategy.Outcome, error) {
 		cell := core.Cell{Dataset: f.Dataset, Method: llm.MethodDKA, Model: model}
 		out, _, err := s.verdict(ctx, cell, f, idx)
@@ -1113,17 +1279,22 @@ func (s *Service) Consensus(ctx context.Context, factID string, mode consensus.M
 	s.stats.consensusSkipped.Add(uint64(st.Skipped))
 	s.stats.consensusEscalations.Add(uint64(st.Escalations))
 	s.stats.consensusArbiters.Add(uint64(st.ArbiterCalls))
+	if len(dec.Unavailable) > 0 {
+		s.stats.consensusDegraded.Add(1)
+	}
 	s.stats.mu.RUnlock()
 	resp := &ConsensusResponse{
-		FactID:    factID,
-		Dataset:   string(f.Dataset),
-		Method:    string(llm.MethodDKA),
-		Final:     dec.Final,
-		Tie:       dec.Tie,
-		Gold:      f.Gold,
-		Mode:      string(mode),
-		Skipped:   dec.Skipped,
-		LatencyMS: dec.LatencySeconds * 1000,
+		FactID:      factID,
+		Dataset:     string(f.Dataset),
+		Method:      string(llm.MethodDKA),
+		Final:       dec.Final,
+		Tie:         dec.Tie,
+		Gold:        f.Gold,
+		Mode:        string(mode),
+		Skipped:     dec.Skipped,
+		Unavailable: dec.Unavailable,
+		Degraded:    len(dec.Unavailable) > 0,
+		LatencyMS:   dec.LatencySeconds * 1000,
 	}
 	for _, v := range dec.Votes {
 		resp.Votes = append(resp.Votes, VoteItem{Model: v.Model, Verdict: v.Verdict.String()})
@@ -1187,6 +1358,45 @@ func (s *Service) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	p.Counter("factcheck_consensus_votes_skipped_total", "Voter verifications the early-stop planner proved unnecessary.", st.ConsensusSkipped)
 	p.Counter("factcheck_consensus_escalations_total", "Consensus tiers dispatched beyond the cheap quorum.", st.ConsensusEscalations)
 	p.Counter("factcheck_consensus_arbiter_calls_total", "Arbiter tie-breaks.", st.ConsensusArbiters)
+	p.Counter("factcheck_consensus_degraded_total", "Consensus decisions settled over a partial ensemble.", st.ConsensusDegraded)
+
+	p.Counter("factcheck_degraded_served_total", "Stale verdicts served because fresh resolution was unavailable.", st.Degraded)
+	p.Counter("factcheck_unavailable_total", "Verdicts refused 503: dependency unavailable, no stale copy.", st.Unavailable)
+	p.Counter("factcheck_deadline_timeouts_total", "Requests cut off by the per-request deadline (504).", st.Deadlines)
+	p.Counter("factcheck_ingest_retries_total", "Transiently-failed ingest folds retried by the background builder.", st.IngestRetries)
+	p.Counter("factcheck_ingest_dropped_total", "Ingest batches dropped after the redelivery budget.", st.IngestDropped)
+	p.Counter("factcheck_retries_total", "Model-call retry attempts after transient failures.", st.Resilience.Retries)
+	p.Counter("factcheck_retry_recovered_total", "Model calls that succeeded on a retry attempt.", st.Resilience.Recovered)
+	p.Counter("factcheck_retry_exhausted_total", "Model calls that failed every retry attempt.", st.Resilience.Exhausted)
+
+	// Per-model circuit-breaker families, sorted by model for deterministic
+	// exposition. State encodes closed=0, open=1, half-open=2.
+	if n := len(st.Resilience.Breakers); n > 0 {
+		models := make([]string, 0, n)
+		for m := range st.Resilience.Breakers {
+			models = append(models, m)
+		}
+		sort.Strings(models)
+		vec := func(f func(resilience.BreakerStats) float64) []obs.Labeled {
+			vals := make([]obs.Labeled, len(models))
+			for i, m := range models {
+				vals[i] = obs.Labeled{Label: m, Value: f(st.Resilience.Breakers[m])}
+			}
+			return vals
+		}
+		p.GaugeVec("factcheck_breaker_state", "Circuit state per model: 0 closed, 1 open, 2 half-open.", "model",
+			vec(func(b resilience.BreakerStats) float64 { return float64(breakerStateNum(b.State)) }))
+		p.CounterVec("factcheck_breaker_opens_total", "Closed/half-open to open transitions per model.", "model",
+			vec(func(b resilience.BreakerStats) float64 { return float64(b.Opens) }))
+		p.CounterVec("factcheck_breaker_half_opens_total", "Open to half-open transitions per model.", "model",
+			vec(func(b resilience.BreakerStats) float64 { return float64(b.HalfOpens) }))
+		p.CounterVec("factcheck_breaker_closes_total", "Half-open to closed transitions per model.", "model",
+			vec(func(b resilience.BreakerStats) float64 { return float64(b.Closes) }))
+		p.CounterVec("factcheck_breaker_rejected_total", "Calls rejected by an open breaker per model.", "model",
+			vec(func(b resilience.BreakerStats) float64 { return float64(b.Rejected) }))
+		p.CounterVec("factcheck_breaker_probes_total", "Half-open probe calls admitted per model.", "model",
+			vec(func(b resilience.BreakerStats) float64 { return float64(b.Probes) }))
+	}
 
 	p.Gauge("factcheck_cache_len", "Verdict LRU entries.", float64(st.CacheLen))
 	p.Gauge("factcheck_cache_capacity", "Verdict LRU capacity.", float64(st.CacheCapacity))
@@ -1212,6 +1422,17 @@ func (s *Service) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	p.Counter("factcheck_retrieval_docs_scored_total", "Documents fully scored by the pruned top-k path.", uint64(r.DocsScored))
 
 	obs.Default.WriteProm(p)
+}
+
+// breakerStateNum maps a breaker state name to its gauge encoding.
+func breakerStateNum(state string) int {
+	switch state {
+	case resilience.Open.String():
+		return 1
+	case resilience.HalfOpen.String():
+		return 2
+	}
+	return 0
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {

@@ -1029,11 +1029,17 @@ func TestRunServer(t *testing.T) {
 	drained := false
 	var log bytes.Buffer
 	done := make(chan error, 1)
-	go func() { done <- RunServer(ctx, srv, "testd", &log, func() { drained = true }) }()
+	started := false
+	go func() {
+		done <- RunServer(ctx, srv, "testd", &log, func() { started = true }, func() { drained = true })
+	}()
 	time.Sleep(20 * time.Millisecond)
 	cancel()
 	if err := <-done; err != nil {
 		t.Fatalf("RunServer: %v", err)
+	}
+	if !started {
+		t.Fatal("drain-start hook not called")
 	}
 	if !drained {
 		t.Fatal("drain hook not called")
@@ -1048,7 +1054,7 @@ func TestRunServer(t *testing.T) {
 // TestRunServerListenError: a bind failure is reported, not swallowed.
 func TestRunServerListenError(t *testing.T) {
 	srv := &http.Server{Addr: "256.0.0.1:-1", Handler: http.NewServeMux()}
-	if err := RunServer(context.Background(), srv, "testd", io.Discard, nil); err == nil {
+	if err := RunServer(context.Background(), srv, "testd", io.Discard, nil, nil); err == nil {
 		t.Fatal("RunServer succeeded with an unbindable address")
 	}
 }
